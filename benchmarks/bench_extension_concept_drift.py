@@ -1,0 +1,106 @@
+"""Extension — concept drift: hard-coded defenses decay, Turbo adapts.
+
+The introduction motivates Turbo with two weaknesses of the deployed
+defenses: block-lists need to observe a value before they can block it, and
+scorecards "suffer from the concept drift problem as fraud tactics evolve".
+This bench quantifies both: detectors are fit on a training period, then
+evaluated on periods where the grey industry rotates its hardware and
+upgrades its identity packaging.  HAG is retrained each period from the
+period's own early window (the daily-retraining regime of Section II-C),
+while the block-list and scorecard stay frozen — as they effectively do in
+production.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import Blocklist, default_scorecard, hag_method
+from repro.datagen import GeneratorConfig, generate_drift_scenario
+from repro.eval import prepare_experiment, run_method
+from repro.eval.metrics import roc_auc_score
+
+from _shared import WINDOWS, emit, emit_header, once
+
+
+def scenario_config() -> GeneratorConfig:
+    return GeneratorConfig(n_users=1200, fraud_rate=0.1)
+
+
+def blocklist_auc(blocklist: Blocklist, dataset) -> float:
+    labels = dataset.labels
+    uids = sorted(labels)
+    scores = blocklist.predict_proba(dataset.logs, uids)
+    y = np.asarray([labels[u] for u in uids])
+    return roc_auc_score(y, scores)
+
+
+def scorecard_auc(dataset) -> float:
+    labels = dataset.labels
+    users = dataset.user_by_id()
+    latest: dict[int, object] = {}
+    for txn in dataset.transactions:
+        current = latest.get(txn.uid)
+        if current is None or txn.created_at > current.created_at:
+            latest[txn.uid] = txn
+    card = default_scorecard()
+    uids = sorted(labels)
+    scores = np.asarray([card.score(users[u], latest[u]) for u in uids])
+    y = np.asarray([labels[u] for u in uids])
+    return roc_auc_score(y, scores)
+
+
+def run_drift():
+    scenario = generate_drift_scenario(scenario_config(), n_periods=2, seed=5)
+
+    # Frozen defenses: block-list fit on the training period's confirmed
+    # fraudsters; scorecard rules are static by construction.
+    train_labels = scenario.train.labels
+    fraud_uids = {u for u, l in train_labels.items() if l}
+    blocklist = Blocklist().fit(scenario.train.logs, fraud_uids)
+
+    rows = {}
+    rows["train period"] = {
+        "drift": 0.0,
+        "blocklist": blocklist_auc(blocklist, scenario.train),
+        "scorecard": scorecard_auc(scenario.train),
+        "hag": float("nan"),
+    }
+    for period in scenario.periods:
+        data = prepare_experiment(period.dataset, windows=WINDOWS, seed=0)
+        report, _ = run_method(hag_method(), data, seed=0)
+        rows[f"period {period.index}"] = {
+            "drift": period.drift_level,
+            "blocklist": blocklist_auc(blocklist, period.dataset),
+            "scorecard": scorecard_auc(period.dataset),
+            "hag": report.auc,
+        }
+    return rows
+
+
+def test_extension_concept_drift(benchmark):
+    rows = once(benchmark, run_drift)
+    emit_header("Extension — concept drift: frozen rules vs retrained Turbo")
+    emit(f"{'period':<14}{'drift':>7}{'blocklist AUC':>15}{'scorecard AUC':>15}{'HAG AUC':>10}")
+    for name, row in rows.items():
+        hag = f"{row['hag']:.3f}" if np.isfinite(row["hag"]) else "   -"
+        emit(
+            f"{name:<14}{row['drift']:>7.2f}{row['blocklist']:>15.3f}"
+            f"{row['scorecard']:>15.3f}{hag:>10}"
+        )
+    emit()
+    emit("Shape: the block-list collapses to chance once the crews rotate")
+    emit("hardware; the scorecard decays as identity packaging improves;")
+    emit("the retrained behavior-graph model keeps working.")
+
+    periods = [row for name, row in rows.items() if name.startswith("period")]
+    # Shape 1: the frozen block-list is useless on rotated infrastructure.
+    assert all(p["blocklist"] < 0.6 for p in periods)
+    assert rows["train period"]["blocklist"] > 0.8
+    # Shape 2: the scorecard decays as drift grows.
+    assert periods[-1]["scorecard"] < rows["train period"]["scorecard"]
+    # Shape 3: the retrained graph model stays clearly ahead of both frozen
+    # defenses on the drifted periods.
+    for p in periods:
+        assert p["hag"] > p["blocklist"] + 0.1
+        assert p["hag"] > p["scorecard"]

@@ -1,0 +1,63 @@
+"""E6 — Fig. 4c: temporal aggregation of same-behavior co-occurrences.
+
+The paper's violin plot shows, per behavior type, the pairwise time
+intervals between different users' logs sharing the same ``(type, value)``:
+fraudster pairs concentrate in a 0–3 day window, normal pairs spread
+smoothly.  The bench prints the quartiles of both distributions per type.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datagen import EDGE_TYPES
+
+from repro.eval.empirical import temporal_aggregation_intervals
+
+from _shared import SCALE, d1_dataset, emit, emit_header, once
+
+#: the paper plots 7 behavior types; we use the seven with co-occurrence
+#: volume in the synthetic data.
+TYPES = EDGE_TYPES[:7]
+
+
+def run_intervals():
+    dataset = d1_dataset()
+    out = {}
+    for btype in TYPES:
+        out[btype] = (
+            temporal_aggregation_intervals(dataset, btype, fraud_pairs=True),
+            temporal_aggregation_intervals(dataset, btype, fraud_pairs=False),
+        )
+    return out
+
+
+def quartiles(values: np.ndarray) -> str:
+    if len(values) < 4:
+        return f"(n={len(values)})"
+    q1, q2, q3 = np.percentile(values, [25, 50, 75])
+    return f"n={len(values):<7} q1={q1:6.2f}  median={q2:6.2f}  q3={q3:6.2f}"
+
+
+def test_fig4c_temporal_aggregation(benchmark):
+    intervals = once(benchmark, run_intervals)
+    emit_header(f"Fig. 4c — temporal aggregation, |Δt| in days (scale={SCALE})")
+    for btype, (fraud, normal) in intervals.items():
+        emit(f"{btype.value}:")
+        emit(f"  fraud pairs   {quartiles(fraud)}")
+        emit(f"  normal pairs  {quartiles(normal)}")
+    emit()
+    emit("Paper shape: fraud intervals burst at 0-3 days then decay; normal")
+    emit("intervals decrease smoothly over much longer horizons.")
+
+    # Shape: pooled over types, the median fraud interval is much shorter
+    # than the median normal interval, and most fraud mass sits within the
+    # 0-3 day window the paper reports.
+    fraud_all = np.concatenate([f for f, _n in intervals.values() if len(f)])
+    normal_all = np.concatenate([n for _f, n in intervals.values() if len(n)])
+    assert np.median(fraud_all) < 0.3 * np.median(normal_all)
+    # The majority of fraud-pair mass sits inside the paper's 0-3 day window
+    # (the remainder is cross-wave reuse of the shared farm infrastructure),
+    # while normal pairs put almost no mass there.
+    assert np.mean(fraud_all <= 3.0) > 0.5
+    assert np.mean(normal_all <= 3.0) < 0.2

@@ -1,0 +1,50 @@
+"""E9 — Fig. 7: AUC drop when masking each edge type.
+
+The paper masks one edge type at a time and reports the AUC drop: Device ID
+costs the most (-6.24 %), and the deterministic types (Device ID, IMEI,
+IMSI) generally contribute more than the probabilistic ones (IP, GPS,
+GPS_Dev, Wi-Fi MAC, workplace).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import hag_method
+from repro.datagen import DETERMINISTIC_TYPES, PROBABILISTIC_TYPES
+from repro.eval import run_method
+
+from _shared import SCALE, SEEDS, d1_experiment, emit, emit_header, once
+
+
+def run_ablation():
+    data = d1_experiment()
+    seed = SEEDS[0]
+    full_report, _ = run_method(hag_method(), data, seed=seed)
+    drops = {}
+    for btype in data.edge_types:
+        report, _ = run_method(hag_method(masked_types=(btype,)), data, seed=seed)
+        drops[btype] = full_report.auc - report.auc
+    return full_report.auc, drops
+
+
+def test_fig7_edge_type_ablation(benchmark):
+    full_auc, drops = once(benchmark, run_ablation)
+    emit_header(f"Fig. 7 — AUC drop per masked edge type (scale={SCALE})")
+    emit(f"full HAG AUC: {100 * full_auc:.2f}%")
+    for btype, drop in sorted(drops.items(), key=lambda kv: -kv[1]):
+        kind = "deterministic" if btype in DETERMINISTIC_TYPES else "probabilistic"
+        emit(f"  mask {btype.value:<14} AUC drop {100 * drop:+6.2f}%  ({kind})")
+    emit()
+    emit("Paper shape: Device ID drops the most (-6.24%); deterministic types")
+    emit("contribute more than probabilistic ones on average.")
+
+    det = [drops[t] for t in DETERMINISTIC_TYPES if t in drops]
+    prob = [drops[t] for t in PROBABILISTIC_TYPES if t in drops]
+    # Shape 1: deterministic relations matter more on average.
+    assert np.mean(det) > np.mean(prob), (np.mean(det), np.mean(prob))
+    # Shape 2: at least one deterministic type has a clearly positive drop.
+    assert max(det) > 0.005
+    # Shape 3: the largest drop comes from a deterministic type.
+    worst = max(drops, key=drops.get)
+    assert worst in DETERMINISTIC_TYPES, worst

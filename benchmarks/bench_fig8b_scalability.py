@@ -1,0 +1,104 @@
+"""E11 — Fig. 8b: scalability of the graph computing operations.
+
+The paper scales BN up and reports: full-graph training time grows linearly
+with BN size, while per-request subgraph sampling and prediction latencies
+grow slowly — the property that makes the inductive design deployable.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import HAG, TrainConfig, prepare_aggregators, train_node_classifier
+from repro.datagen import make_d1
+from repro.eval.runner import prepare_experiment
+from repro.network import computation_subgraph
+
+from _shared import SCALE, WINDOWS, emit, emit_header, once
+
+SCALES = (0.15, 0.3, 0.6)
+
+
+def measure_at_scale(scale: float) -> dict[str, float]:
+    dataset = make_d1(scale=scale, seed=7)
+    data = prepare_experiment(dataset, windows=WINDOWS, seed=0)
+    aggregators = prepare_aggregators([data.adjacencies[t] for t in data.edge_types])
+    model = HAG(
+        data.features.shape[1],
+        n_types=len(data.edge_types),
+        rng=np.random.default_rng(0),
+        hidden=(32, 16),
+        att_dim=16,
+        cfo_att_dim=16,
+        cfo_out_dim=4,
+        mlp_hidden=(8,),
+    )
+    start = time.perf_counter()
+    train_node_classifier(
+        model,
+        lambda x: model.forward(x, aggregators),
+        data.features,
+        data.labels,
+        data.train_idx,
+        None,
+        TrainConfig(epochs=5, lr=5e-3, patience=5, min_epochs=5),
+    )
+    train_seconds = (time.perf_counter() - start) / 5  # per epoch
+
+    rng = np.random.default_rng(1)
+    allowed = set(data.nodes)
+    index = {uid: i for i, uid in enumerate(data.nodes)}
+    sample_times, predict_times, sizes = [], [], []
+    for uid in rng.choice(data.nodes, size=20, replace=False):
+        start = time.perf_counter()
+        subgraph = computation_subgraph(
+            data.bn, int(uid), hops=2, fanout=10, allowed=allowed,
+            edge_types=data.edge_types,
+        )
+        sample_times.append(time.perf_counter() - start)
+        features = data.features[[index[v] for v in subgraph.nodes]]
+        start = time.perf_counter()
+        model.predict_subgraph(subgraph, features, edge_type_order=data.edge_types)
+        predict_times.append(time.perf_counter() - start)
+        sizes.append(subgraph.num_nodes)
+    return {
+        "nodes": float(len(data.nodes)),
+        "edges": float(data.bn.num_edges()),
+        "train_s_per_epoch": train_seconds,
+        "sample_ms": 1000 * float(np.mean(sample_times)),
+        "predict_ms": 1000 * float(np.mean(predict_times)),
+        "subgraph_nodes": float(np.mean(sizes)),
+    }
+
+
+def run_sweep():
+    return {scale: measure_at_scale(scale) for scale in SCALES}
+
+
+def test_fig8b_scalability(benchmark):
+    sweep = once(benchmark, run_sweep)
+    emit_header("Fig. 8b — scalability of graph computing operations (wall clock)")
+    emit(
+        f"{'scale':>6}{'nodes':>8}{'edges':>9}{'train s/ep':>12}"
+        f"{'sample ms':>11}{'predict ms':>12}{'|G_v|':>8}"
+    )
+    for scale, row in sweep.items():
+        emit(
+            f"{scale:>6}{row['nodes']:>8.0f}{row['edges']:>9.0f}"
+            f"{row['train_s_per_epoch']:>12.2f}{row['sample_ms']:>11.1f}"
+            f"{row['predict_ms']:>12.1f}{row['subgraph_nodes']:>8.0f}"
+        )
+    emit()
+    emit("Paper shape: training cost grows with BN size; per-request sampling")
+    emit("and prediction latencies grow slowly (inductive, subgraph-bounded).")
+
+    small, large = sweep[SCALES[0]], sweep[SCALES[-1]]
+    population_growth = large["nodes"] / small["nodes"]
+    # Shape 1: training cost grows with the graph.
+    assert large["train_s_per_epoch"] > small["train_s_per_epoch"]
+    # Shape 2: per-request prediction grows sublinearly vs the population
+    # (it is bounded by the sampled subgraph, not the whole BN).
+    predict_growth = large["predict_ms"] / max(small["predict_ms"], 1e-9)
+    assert predict_growth < population_growth, (predict_growth, population_growth)

@@ -1,0 +1,55 @@
+"""E3 — Table IV: GraphSAGE vs HAG on the larger, positive-majority D2.
+
+Paper (%): G-SAGE 93.17/96.09/94.61/96.66/97.31 — HAG 95.88/97.46/95.50/
+97.14/98.28.  Shape: both models score far higher than on D1 (D2's rejected
+applicants are blatant), and HAG keeps a consistent edge over GraphSAGE.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import METHODS
+from repro.eval.reporting import format_table
+
+from _shared import (
+    SCALE,
+    SEEDS,
+    d1_experiment,
+    d2_experiment,
+    emit,
+    emit_header,
+    once,
+    repeat_over_splits,
+)
+
+
+def run_table4():
+    return {
+        name: repeat_over_splits(
+            name, METHODS[name], seeds=SEEDS, experiment=d2_experiment
+        )
+        for name in ("GraphSAGE", "HAG")
+    }
+
+
+def test_table4_d2_comparison(benchmark):
+    results = once(benchmark, run_table4)
+    rows = {name: result.row() for name, result in results.items()}
+    emit_header(f"Table IV — performance comparison on D2 (%)  (scale={SCALE})")
+    emit(format_table(rows, columns=["Precision", "Recall", "F1", "F2", "AUC"]))
+    emit()
+    emit("Paper: G-SAGE 93.2/96.1/94.6/96.7/97.3;  HAG 95.9/97.5/95.5/97.1/98.3")
+
+    sage = results["GraphSAGE"].report
+    hag = results["HAG"].report
+    # Shape 1: D2 is much easier than D1 — both models reach high AUC/F1.
+    assert sage.auc > 0.9 and hag.auc > 0.9
+    assert sage.f1 > 0.85 and hag.f1 > 0.85
+    # Shape 2: HAG >= GraphSAGE (the paper's +1.0 AUC, +0.9 F1 edge),
+    # allowing a small tolerance at synthetic scale.
+    assert hag.auc >= sage.auc - 0.005
+    # Shape 3: both exceed their own D1 performance.
+    d1 = d1_experiment()
+    from repro.eval import run_method
+
+    d1_sage, _ = run_method(METHODS["GraphSAGE"], d1, seed=SEEDS[0])
+    assert sage.auc > d1_sage.auc

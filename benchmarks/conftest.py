@@ -1,0 +1,8 @@
+"""Make the shared benchmark helpers importable from any invocation dir."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Stream behavior logs through the BN server's window jobs.
+
+Shows the time-evolving side of BN (Section V): logs arrive hour by hour,
+periodic jobs close epochs and add inverse-weighted edges, the TTL sweep
+prunes stale relations, and the graph around an emerging fraud ring can be
+watched densifying in real time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import make_d1
+from repro.datagen import DAY, HOUR
+from repro.network import BNBuilder, FAST_WINDOWS
+from repro.system import BNServer, InMemoryCache, LatencyModel
+
+
+def main() -> None:
+    dataset = make_d1(scale=0.15, seed=13)
+    labels = dataset.labels
+    fraudsters = {uid for uid, label in labels.items() if label}
+
+    latency = LatencyModel(seed=0)
+    builder = BNBuilder(windows=FAST_WINDOWS, ttl=60 * DAY)
+    server = BNServer(builder, latency, cache=InMemoryCache(latency))
+
+    logs = dataset.logs  # already time-sorted
+    print(f"Streaming {len(logs)} logs over {dataset.end_time / DAY:.0f} days ...")
+
+    # Feed the stream in 6-hour batches, running due jobs after each batch —
+    # exactly how the production scheduler interleaves ingestion and edge
+    # construction.
+    step = 6 * HOUR
+    cursor = 0
+    report_every = 30 * DAY
+    next_report = report_every
+    for now in np.arange(step, dataset.end_time + step, step):
+        batch = []
+        while cursor < len(logs) and logs[cursor].timestamp <= now:
+            batch.append(logs[cursor])
+            cursor += 1
+        server.ingest(batch)
+        server.run_due_jobs(float(now))
+        if now >= next_report:
+            bn = server.bn
+            fraud_edges = sum(
+                1
+                for u, v, _t, _rec in bn.iter_edges()
+                if u in fraudsters and v in fraudsters
+            )
+            print(
+                f"  day {now / DAY:5.0f}:  nodes={bn.num_nodes():5d}"
+                f"  typed edges={bn.num_edges():6d}"
+                f"  fraud-fraud edges={fraud_edges:5d}"
+                f"  jobs run={server.jobs_run}"
+            )
+            next_report += report_every
+
+    bn = server.bn
+    print("\nFinal network:")
+    print(f"  {bn.num_nodes()} nodes, {bn.num_edges()} typed edges")
+    print(f"  edge types: {sorted(t.value for t in bn.edge_types())}")
+
+    # The hierarchical windows gave short-interval co-occurrences more
+    # weight: compare mean fraud-fraud vs normal-normal edge weight.
+    fraud_weights, normal_weights = [], []
+    for u, v, _t, record in bn.iter_edges():
+        if u in fraudsters and v in fraudsters:
+            fraud_weights.append(record.weight)
+        elif u not in fraudsters and v not in fraudsters:
+            normal_weights.append(record.weight)
+    if fraud_weights:
+        print(
+            f"  mean edge weight: fraud-fraud {np.mean(fraud_weights):.2f}"
+            f" vs normal-normal {np.mean(normal_weights):.2f}"
+        )
+    else:
+        print(
+            "  no fraud-fraud edges remain: every ring finished its burst more"
+            " than 60 days before the end, so the TTL sweep pruned them —"
+            " exactly the bounded-growth behavior of Section V"
+        )
+
+    # Sample the neighbourhood of the most recently active fraudster from
+    # the live graph (older rings have been TTL-pruned).
+    last_app: dict[int, float] = {}
+    for txn in dataset.transactions:
+        if txn.uid in fraudsters:
+            last_app[txn.uid] = max(last_app.get(txn.uid, 0.0), txn.created_at)
+    target = max(last_app, key=last_app.get)
+    subgraph, seconds = server.sample(target, now=dataset.end_time, allowed=set(labels))
+    fraud_share = np.mean([v in fraudsters for v in subgraph.nodes])
+    print(
+        f"  live sample around fraudster {target}"
+        f" (applied day {last_app[target] / DAY:.0f}): {subgraph.num_nodes} nodes,"
+        f" {100 * fraud_share:.0f}% fraudulent, served in {1000 * seconds:.0f} ms"
+        f" (simulated)"
+    )
+
+
+if __name__ == "__main__":
+    main()

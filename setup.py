@@ -1,0 +1,9 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` uses PEP 660 editable wheels, which require ``wheel``
+for setuptools < 70; offline environments may lack it.  ``python setup.py
+develop`` (or the .pth fallback below) provides the same editable install.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,72 @@
+"""Block-listing — the other hard-coded production baseline.
+
+Values of deterministic behavior types (device, IMEI, IMSI) observed on
+confirmed fraudsters are block-listed; any later application touching a
+listed value is flagged.  Its structural weakness — "at least one malicious
+behavior has to be observed before the mechanism can block-list" — is what
+motivates Turbo in the paper's introduction.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..datagen.behavior_types import DETERMINISTIC_TYPES, BehaviorType
+from ..datagen.entities import BehaviorLog
+
+__all__ = ["Blocklist"]
+
+
+class Blocklist:
+    """Value block-list learned from confirmed fraud labels."""
+
+    def __init__(
+        self, watched_types: Sequence[BehaviorType] = DETERMINISTIC_TYPES
+    ) -> None:
+        self.watched_types = tuple(watched_types)
+        self._blocked: set[tuple[BehaviorType, str]] = set()
+
+    def fit(
+        self, logs: Sequence[BehaviorLog], fraud_uids: set[int]
+    ) -> "Blocklist":
+        """Block every watched value a known fraudster has used."""
+        wanted = set(self.watched_types)
+        for log in logs:
+            if log.btype in wanted and log.uid in fraud_uids:
+                self._blocked.add((log.btype, log.value))
+        return self
+
+    def add(self, btype: BehaviorType, value: str) -> None:
+        """Manually block one value."""
+        self._blocked.add((btype, value))
+
+    def __len__(self) -> int:
+        return len(self._blocked)
+
+    def is_blocked(self, logs: Sequence[BehaviorLog], uid: int) -> bool:
+        """Does ``uid`` touch any blocked value in ``logs``?"""
+        for log in logs:
+            if log.uid == uid and (log.btype, log.value) in self._blocked:
+                return True
+        return False
+
+    def predict_proba(
+        self, logs: Sequence[BehaviorLog], uids: Sequence[int]
+    ) -> np.ndarray:
+        """Score each uid by the fraction of its watched values blocked."""
+        per_user: dict[int, set[tuple[BehaviorType, str]]] = {u: set() for u in uids}
+        wanted = set(self.watched_types)
+        for log in logs:
+            if log.btype in wanted and log.uid in per_user:
+                per_user[log.uid].add((log.btype, log.value))
+        scores = []
+        for uid in uids:
+            touched = per_user[uid]
+            if not touched:
+                scores.append(0.0)
+                continue
+            hits = sum(1 for item in touched if item in self._blocked)
+            scores.append(hits / len(touched))
+        return np.asarray(scores)

@@ -1,0 +1,75 @@
+"""Deep Neural Network baseline (paper: a three-layer MLP, 128/64/32)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..core.trainer import TrainConfig, train_node_classifier
+
+__all__ = ["DNNClassifier"]
+
+
+class DNNClassifier:
+    """MLP on handcrafted features with the shared training loop."""
+
+    def __init__(
+        self,
+        hidden: tuple[int, ...] = (128, 64, 32),
+        lr: float = 5e-3,
+        epochs: int = 200,
+        patience: int = 25,
+        dropout: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        self.hidden = hidden
+        self.lr = lr
+        self.epochs = epochs
+        self.patience = patience
+        self.dropout = dropout
+        self.seed = seed
+        self.model: nn.MLP | None = None
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        val_features: np.ndarray | None = None,
+        val_labels: np.ndarray | None = None,
+    ) -> "DNNClassifier":
+        """Train the MLP (optionally early-stopping on a validation split)."""
+        rng = np.random.default_rng(self.seed)
+        self.model = nn.MLP(
+            features.shape[1], list(self.hidden), 1, rng, dropout=self.dropout
+        )
+        if val_features is not None and val_labels is not None:
+            stacked = np.vstack([features, val_features])
+            all_labels = np.concatenate([labels, val_labels])
+            train_idx = np.arange(len(labels))
+            val_idx = np.arange(len(labels), len(all_labels))
+        else:
+            stacked, all_labels = features, labels
+            train_idx = np.arange(len(labels))
+            val_idx = None
+        model = self.model
+        train_node_classifier(
+            model,
+            lambda x: model(x).flatten(),
+            stacked,
+            all_labels,
+            train_idx,
+            val_idx,
+            TrainConfig(
+                epochs=self.epochs, lr=self.lr, patience=self.patience, seed=self.seed
+            ),
+        )
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Fraud probabilities from the trained MLP."""
+        if self.model is None:
+            raise RuntimeError("model is not fitted")
+        self.model.eval()
+        with nn.no_grad():
+            logits = self.model(nn.Tensor(features)).flatten().numpy()
+        return 1.0 / (1.0 + np.exp(-logits))

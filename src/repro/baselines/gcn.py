@@ -1,0 +1,62 @@
+"""GCN baseline (Kipf & Welling) in its random-walk inductive variant.
+
+The paper reimplements GCN "as a random walk-liked GCN ... to support the
+inductive inference", i.e. aggregation with ``D^-1 A`` instead of the
+symmetric normalization, with self-loops included (Eq. 1's
+``\tilde N_v = {v} ∪ N_v``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from .. import nn
+from ..network.adjacency import row_normalize
+from ..nn import Tensor
+
+__all__ = ["GCN", "gcn_aggregator"]
+
+
+def gcn_aggregator(adjacency: sp.spmatrix) -> sp.csr_matrix:
+    """Random-walk aggregation matrix ``D^-1 (A + I)``."""
+    with_loops = adjacency.tocsr() + sp.eye(adjacency.shape[0], format="csr")
+    return row_normalize(with_loops)
+
+
+class GCN(nn.Module):
+    """Stacked GCN layers followed by an MLP head (paper's GNN protocol)."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        rng: np.random.Generator,
+        hidden: Sequence[int] = (128, 64),
+        mlp_hidden: Sequence[int] = (32,),
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        widths = [in_dim, *hidden]
+        self.layers = nn.ModuleList(
+            nn.Linear(a, b, rng) for a, b in zip(widths[:-1], widths[1:])
+        )
+        self.head = nn.MLP(widths[-1], mlp_hidden, 1, rng, dropout=dropout)
+
+    def embeddings(self, x: Tensor, aggregator: sp.csr_matrix) -> Tensor:
+        """Node representations before the MLP head."""
+        h = x
+        for layer in self.layers:
+            h = layer(nn.spmm(aggregator, h)).relu()
+        return h
+
+    def forward(self, x: Tensor, aggregator: sp.csr_matrix) -> Tensor:
+        return self.head(self.embeddings(x, aggregator)).flatten()
+
+    def predict_proba(self, x: np.ndarray, aggregator: sp.csr_matrix) -> np.ndarray:
+        """Fraud probabilities for every node (no autograd recording)."""
+        self.eval()
+        with nn.no_grad():
+            logits = self.forward(Tensor(x), aggregator)
+        return 1.0 / (1.0 + np.exp(-logits.numpy()))

@@ -1,0 +1,71 @@
+"""GraphSAGE baseline (Hamilton et al.) with the mean aggregator (Eq. 2).
+
+``h_v' = ReLU(W [h_v ; mean_{u in N(v)} h_u])`` — the skip-connection
+paradigm the paper contrasts SAO against.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from .. import nn
+from ..network.adjacency import row_normalize
+from ..nn import Tensor
+
+__all__ = ["GraphSAGE", "sage_aggregator"]
+
+
+def sage_aggregator(adjacency: sp.spmatrix) -> sp.csr_matrix:
+    """Neighbour-mean matrix ``D^-1 A`` (no self-loops: self goes via skip)."""
+    return row_normalize(adjacency)
+
+
+class SAGELayer(nn.Module):
+    """One mean-aggregator GraphSAGE layer."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.linear = nn.Linear(2 * in_dim, out_dim, rng)
+
+    def forward(self, h: Tensor, aggregator: sp.csr_matrix) -> Tensor:
+        neighbor = nn.spmm(aggregator, h)
+        return self.linear(nn.concat([h, neighbor], axis=1)).relu()
+
+
+class GraphSAGE(nn.Module):
+    """Stacked SAGE layers + MLP head."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        rng: np.random.Generator,
+        hidden: Sequence[int] = (128, 64),
+        mlp_hidden: Sequence[int] = (32,),
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        widths = [in_dim, *hidden]
+        self.layers = nn.ModuleList(
+            SAGELayer(a, b, rng) for a, b in zip(widths[:-1], widths[1:])
+        )
+        self.head = nn.MLP(widths[-1], mlp_hidden, 1, rng, dropout=dropout)
+
+    def embeddings(self, x: Tensor, aggregator: sp.csr_matrix) -> Tensor:
+        """Node representations before the MLP head."""
+        h = x
+        for layer in self.layers:
+            h = layer(h, aggregator)
+        return h
+
+    def forward(self, x: Tensor, aggregator: sp.csr_matrix) -> Tensor:
+        return self.head(self.embeddings(x, aggregator)).flatten()
+
+    def predict_proba(self, x: np.ndarray, aggregator: sp.csr_matrix) -> np.ndarray:
+        """Fraud probabilities for every node (no autograd recording)."""
+        self.eval()
+        with nn.no_grad():
+            logits = self.forward(Tensor(x), aggregator)
+        return 1.0 / (1.0 + np.exp(-logits.numpy()))

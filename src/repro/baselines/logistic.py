@@ -1,0 +1,75 @@
+"""Logistic Regression baseline (Table III, handcrafted-feature family)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LogisticRegression"]
+
+
+class LogisticRegression:
+    """L2-regularized logistic regression trained with full-batch Adam.
+
+    Expects standardized features; predicts ``P(fraud)`` via the sigmoid.
+    """
+
+    def __init__(
+        self,
+        l2: float = 1e-3,
+        lr: float = 0.1,
+        epochs: int = 300,
+        tol: float = 1e-7,
+    ) -> None:
+        if l2 < 0:
+            raise ValueError("l2 must be non-negative")
+        self.l2 = l2
+        self.lr = lr
+        self.epochs = epochs
+        self.tol = tol
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LogisticRegression":
+        """Fit weights by full-batch Adam on the regularized log-loss."""
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.float64)
+        n, d = features.shape
+        w = np.zeros(d)
+        b = 0.0
+        m_w = np.zeros(d)
+        v_w = np.zeros(d)
+        m_b = v_b = 0.0
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        previous_loss = np.inf
+        for t in range(1, self.epochs + 1):
+            z = features @ w + b
+            p = 1.0 / (1.0 + np.exp(-np.clip(z, -500, 500)))
+            grad_w = features.T @ (p - labels) / n + self.l2 * w
+            grad_b = float(np.mean(p - labels))
+            m_w = beta1 * m_w + (1 - beta1) * grad_w
+            v_w = beta2 * v_w + (1 - beta2) * grad_w**2
+            m_b = beta1 * m_b + (1 - beta1) * grad_b
+            v_b = beta2 * v_b + (1 - beta2) * grad_b**2
+            w -= self.lr * (m_w / (1 - beta1**t)) / (np.sqrt(v_w / (1 - beta2**t)) + eps)
+            b -= self.lr * (m_b / (1 - beta1**t)) / (np.sqrt(v_b / (1 - beta2**t)) + eps)
+            loss = float(
+                -np.mean(labels * np.log(p + 1e-12) + (1 - labels) * np.log(1 - p + 1e-12))
+                + 0.5 * self.l2 * w @ w
+            )
+            if abs(previous_loss - loss) < self.tol:
+                break
+            previous_loss = loss
+        self.coef_ = w
+        self.intercept_ = b
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        """Raw linear scores ``X w + b``."""
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted")
+        return np.asarray(features) @ self.coef_ + self.intercept_
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Fraud probabilities via the sigmoid of the linear score."""
+        z = self.decision_function(features)
+        return 1.0 / (1.0 + np.exp(-np.clip(z, -500, 500)))

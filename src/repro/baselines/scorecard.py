@@ -1,0 +1,79 @@
+"""Rule-based credit scorecard — Jimi's original risk management approach.
+
+Section VI-E: before Turbo, "block-listing and rule-based scorecards were
+still the major anti-fraud approaches used by the platform".  The scorecard
+assigns points per profile attribute band; the online A/B benchmark uses it
+as the baseline pipeline Turbo is layered on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..datagen.entities import Transaction, User
+
+__all__ = ["ScorecardRule", "Scorecard", "default_scorecard"]
+
+
+@dataclass(slots=True)
+class ScorecardRule:
+    """One scorecard entry: risk points awarded when the predicate holds."""
+
+    name: str
+    points: float
+    predicate: Callable[[User, Transaction], bool]
+
+
+@dataclass(slots=True)
+class Scorecard:
+    """Sum of rule points squashed into a pseudo-probability.
+
+    ``decision_threshold`` is the operating point of the rule system: the
+    fraction of maximum points above which an application is rejected.
+    """
+
+    rules: list[ScorecardRule] = field(default_factory=list)
+    decision_threshold: float = 0.5
+
+    def score(self, user: User, txn: Transaction) -> float:
+        """Risk score in [0, 1]: awarded points / maximum points."""
+        if not self.rules:
+            raise ValueError("scorecard has no rules")
+        awarded = sum(rule.points for rule in self.rules if rule.predicate(user, txn))
+        maximum = sum(rule.points for rule in self.rules)
+        return awarded / maximum
+
+    def predict(self, user: User, txn: Transaction) -> bool:
+        """True when the application should be rejected."""
+        return self.score(user, txn) >= self.decision_threshold
+
+    def scores(self, pairs: Sequence[tuple[User, Transaction]]) -> np.ndarray:
+        """Vectorized scores for (user, transaction) pairs."""
+        return np.asarray([self.score(u, t) for u, t in pairs])
+
+
+def default_scorecard(decision_threshold: float = 0.5) -> Scorecard:
+    """A domain-expert scorecard over the simulator's profile attributes."""
+    rules = [
+        ScorecardRule("very_low_credit", 3.0, lambda u, t: u.credit_score < 560),
+        ScorecardRule("low_credit", 2.0, lambda u, t: 560 <= u.credit_score < 620),
+        ScorecardRule("phone_unverified", 2.0, lambda u, t: not u.phone_verified),
+        ScorecardRule("id_unverified", 2.5, lambda u, t: not u.id_verified),
+        ScorecardRule("weak_third_party", 2.0, lambda u, t: u.third_party_score < 0.3),
+        ScorecardRule("no_history", 1.0, lambda u, t: u.historical_leases == 0),
+        ScorecardRule("young_applicant", 1.0, lambda u, t: u.age < 22),
+        ScorecardRule("low_income", 1.5, lambda u, t: u.income_level < 1.5),
+        ScorecardRule(
+            "rent_burden", 1.5, lambda u, t: t.monthly_rent > 350.0 * max(u.income_level, 0.1)
+        ),
+        ScorecardRule("high_ticket", 1.0, lambda u, t: t.item_value > 6000.0),
+        ScorecardRule(
+            "fresh_account",
+            1.5,
+            lambda u, t: (t.created_at - u.registered_at) < 3 * 86400.0,
+        ),
+    ]
+    return Scorecard(rules=rules, decision_threshold=decision_threshold)

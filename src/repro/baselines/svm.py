@@ -1,0 +1,92 @@
+"""Linear Support Vector Machine baseline (Table III)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LinearSVM"]
+
+
+class LinearSVM:
+    """Linear SVM trained by SGD on the regularized hinge loss.
+
+    ``predict_proba`` squashes the margin through a sigmoid whose scale is
+    calibrated on the training margins (a lightweight Platt scaling), so the
+    0.5 threshold corresponds to the decision boundary.
+    """
+
+    def __init__(
+        self,
+        c: float = 1.0,
+        epochs: int = 200,
+        lr: float = 0.01,
+        batch_size: int = 64,
+        class_weight: float | None = None,
+        seed: int = 0,
+    ) -> None:
+        if c <= 0:
+            raise ValueError("C must be positive")
+        self.c = c
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        #: multiplier on the positive class's hinge gradient; ``None``
+        #: derives sqrt(n_neg / n_pos) from the training labels.
+        self.class_weight = class_weight
+        self.seed = seed
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+        self._margin_scale: float = 1.0
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LinearSVM":
+        """Fit by SGD on the class-weighted hinge loss."""
+        features = np.asarray(features, dtype=np.float64)
+        signs = np.where(np.asarray(labels) > 0.5, 1.0, -1.0)
+        n, d = features.shape
+        rng = np.random.default_rng(self.seed)
+        w = np.zeros(d)
+        b = 0.0
+        lam = 1.0 / (self.c * n)
+        n_pos = max(1.0, float((signs > 0).sum()))
+        if self.class_weight is not None:
+            pos_weight = self.class_weight
+        else:
+            pos_weight = float(np.sqrt(max(1.0, (n - n_pos) / n_pos)))
+        example_weights = np.where(signs > 0, pos_weight, 1.0)
+        for epoch in range(self.epochs):
+            order = rng.permutation(n)
+            lr = self.lr / (1.0 + 0.01 * epoch)
+            for start in range(0, n, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                x = features[batch]
+                y = signs[batch]
+                ew = example_weights[batch]
+                margins = y * (x @ w + b)
+                active = margins < 1.0
+                grad_w = lam * w * len(batch)
+                if active.any():
+                    wy = (ew * y)[active]
+                    grad_w = grad_w - (wy[:, None] * x[active]).sum(axis=0) / len(batch)
+                    grad_b = -float(wy.sum()) / len(batch)
+                else:
+                    grad_b = 0.0
+                w -= lr * grad_w
+                b -= lr * grad_b
+        self.coef_ = w
+        self.intercept_ = b
+        # Calibrate the sigmoid scale so typical margins map away from 0.5.
+        margins = features @ w + b
+        spread = float(np.std(margins))
+        self._margin_scale = 1.0 / spread if spread > 1e-9 else 1.0
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        """Signed margins ``X w + b``."""
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted")
+        return np.asarray(features) @ self.coef_ + self.intercept_
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Pseudo-probabilities from the calibrated margin sigmoid."""
+        z = self.decision_function(features) * self._margin_scale * 4.0
+        return 1.0 / (1.0 + np.exp(-np.clip(z, -500, 500)))

@@ -1,0 +1,105 @@
+"""Self-aware Aggregation Operator (SAO) — Section IV-A, Eq. 5–9.
+
+BN's implicit relations form *cliques*; Theorem 1 shows that GCN-style
+aggregation maps every node of a clique to the same expected hidden feature
+after one round (over-smoothing).  SAO counteracts this with a learned,
+node-wise gate between a node's own representation and its aggregated
+neighbourhood::
+
+    h_v' = ReLU(alpha_self * W_ls h_v + alpha_neigh * W_ln h_N(v))      (5)
+    h_N(v) = (1/deg(v)) * sum_u w_uv h_u                                 (6)
+    alpha'_self  = p^T tanh([W_s h_v ; W_s h_v])                         (7)
+    alpha'_neigh = p^T tanh([W_n h_N ; W_s h_v])                         (8)
+    (alpha_self, alpha_neigh) = softmax(alpha'_self, alpha'_neigh)       (9)
+
+With ``use_attention=False`` the gate is removed (both coefficients fixed to
+1), reducing Eq. 5 to the skip-connection form of Eq. 4 — this is the SAO(-)
+ablation of Table V.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .. import nn
+from ..nn import Tensor
+
+__all__ = ["SAOLayer", "neighbor_mean_matrix"]
+
+
+def neighbor_mean_matrix(adjacency: sp.spmatrix) -> sp.csr_matrix:
+    """Aggregation matrix for Eq. 6: row ``v`` holds ``w_uv / deg(v)``.
+
+    We read ``deg(v)`` as the *weighted* degree on the (type-normalized) BN
+    weights — consistent with the paper's ``deg'`` definition in Section
+    III-A — so every non-empty row sums to one.  Dividing by the neighbour
+    count instead would shrink the already-normalized weights a second time
+    and starve the neighbourhood branch of gradient signal.
+    """
+    csr = adjacency.tocsr()
+    weighted_degree = np.asarray(csr.sum(axis=1)).ravel()
+    inv = np.divide(
+        1.0,
+        weighted_degree,
+        out=np.zeros_like(weighted_degree),
+        where=weighted_degree > 0,
+    )
+    return (sp.diags(inv) @ csr).tocsr()
+
+
+class SAOLayer(nn.Module):
+    """One SAO layer operating on a single homogeneous subgraph ``G^r``."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        att_dim: int,
+        rng: np.random.Generator,
+        use_attention: bool = True,
+        activation: bool = True,
+    ) -> None:
+        super().__init__()
+        self.use_attention = use_attention
+        self.activation = activation
+        self.w_self = nn.Linear(in_dim, out_dim, rng)  # W_ls
+        self.w_neigh = nn.Linear(in_dim, out_dim, rng)  # W_ln
+        if use_attention:
+            self.att_self = nn.xavier_uniform((in_dim, att_dim), rng)  # W_s
+            self.att_neigh = nn.xavier_uniform((in_dim, att_dim), rng)  # W_n
+            self.p = nn.normal((2 * att_dim,), rng, std=0.1)
+
+    def forward(self, h: Tensor, aggregator: sp.spmatrix) -> Tensor:
+        """Apply SAO given node features ``h`` and the Eq. 6 aggregator."""
+        h_neigh = nn.spmm(aggregator, h)
+        z_self = self.w_self(h)
+        z_neigh = self.w_neigh(h_neigh)
+        if not self.use_attention:
+            out = z_self + z_neigh
+            return out.relu() if self.activation else out
+
+        proj_self = h @ self.att_self  # W_s h_v
+        proj_neigh = h_neigh @ self.att_neigh  # W_n h_N
+        score_self = nn.concat([proj_self, proj_self], axis=1).tanh() @ self.p
+        score_neigh = nn.concat([proj_neigh, proj_self], axis=1).tanh() @ self.p
+        alphas = nn.stack([score_self, score_neigh], axis=1).softmax(axis=1)
+        alpha_self = alphas[:, 0].reshape(-1, 1)
+        alpha_neigh = alphas[:, 1].reshape(-1, 1)
+        out = alpha_self * z_self + alpha_neigh * z_neigh
+        return out.relu() if self.activation else out
+
+    def attention_coefficients(
+        self, h: Tensor, aggregator: sp.spmatrix
+    ) -> np.ndarray:
+        """Return the per-node ``(alpha_self, alpha_neigh)`` pairs (for analysis)."""
+        if not self.use_attention:
+            return np.ones((h.shape[0], 2))
+        with nn.no_grad():
+            h_neigh = nn.spmm(aggregator, h)
+            proj_self = h @ self.att_self
+            proj_neigh = h_neigh @ self.att_neigh
+            score_self = nn.concat([proj_self, proj_self], axis=1).tanh() @ self.p
+            score_neigh = nn.concat([proj_neigh, proj_self], axis=1).tanh() @ self.p
+            alphas = nn.stack([score_self, score_neigh], axis=1).softmax(axis=1)
+        return alphas.numpy()

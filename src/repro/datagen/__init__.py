@@ -1,0 +1,42 @@
+"""Synthetic data generation for the deposit-free leasing scenario.
+
+Substitute for the proprietary Jimi Store dataset; see DESIGN.md §2 for the
+substitution rationale.
+"""
+
+from .behavior_types import (
+    DETERMINISTIC_TYPES,
+    EDGE_TYPES,
+    PROBABILISTIC_TYPES,
+    BehaviorType,
+)
+from .config import GeneratorConfig
+from .entities import DAY, HOUR, MINUTE, SECOND, BehaviorLog, Dataset, Transaction, User
+from .datasets import DatasetStatistics, dataset_statistics, make_d1, make_d2
+from .drift import DriftPeriod, DriftScenario, generate_drift_scenario
+from .generator import LeasingPlatformSimulator, UserPersona
+
+__all__ = [
+    "BehaviorType",
+    "EDGE_TYPES",
+    "DETERMINISTIC_TYPES",
+    "PROBABILISTIC_TYPES",
+    "GeneratorConfig",
+    "LeasingPlatformSimulator",
+    "UserPersona",
+    "User",
+    "Transaction",
+    "BehaviorLog",
+    "Dataset",
+    "DatasetStatistics",
+    "dataset_statistics",
+    "make_d1",
+    "make_d2",
+    "DriftPeriod",
+    "DriftScenario",
+    "generate_drift_scenario",
+    "SECOND",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+]

@@ -1,0 +1,63 @@
+"""Behavior types of Table I and the canonical BN edge-type set.
+
+The paper's Table I lists ten behavior types; the constructed BN of Table II
+uses eight edge types (Fig. 7 names them: Device ID, IMEI, IMSI, IP, Wi-Fi
+MAC, GPS, GPS of delivery address, workplace).  Precise GPS coordinates
+essentially never collide between users, so — as in the paper — the
+co-occurrence edges for location use the 100-metre grid variants; we keep the
+precise variants in the enum for the feature pipeline.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["BehaviorType", "EDGE_TYPES", "DETERMINISTIC_TYPES", "PROBABILISTIC_TYPES"]
+
+
+class BehaviorType(str, Enum):
+    """A behavior-log type ``r`` in a log record ``[u, r, s, t]`` (Table I)."""
+
+    DEVICE_ID = "device_id"
+    IMEI = "imei"
+    IMSI = "imsi"
+    IPV4 = "ipv4"
+    WIFI_MAC = "wifi_mac"
+    GPS = "gps"
+    GPS_100 = "gps_100"
+    GPS_DEV = "gps_dev"
+    GPS_DEV_100 = "gps_dev_100"
+    WORKPLACE = "workplace"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: The eight edge types used to build BN (Table II reports ``# type == 8``).
+EDGE_TYPES: tuple[BehaviorType, ...] = (
+    BehaviorType.DEVICE_ID,
+    BehaviorType.IMEI,
+    BehaviorType.IMSI,
+    BehaviorType.IPV4,
+    BehaviorType.WIFI_MAC,
+    BehaviorType.GPS_100,
+    BehaviorType.GPS_DEV_100,
+    BehaviorType.WORKPLACE,
+)
+
+#: Types conveying near-certain relations (Section VI-C: "two people sharing
+#: the same device must be related to each other").
+DETERMINISTIC_TYPES: tuple[BehaviorType, ...] = (
+    BehaviorType.DEVICE_ID,
+    BehaviorType.IMEI,
+    BehaviorType.IMSI,
+)
+
+#: Types whose co-occurrence may be coincidental (public Wi-Fi, shared IP...).
+PROBABILISTIC_TYPES: tuple[BehaviorType, ...] = (
+    BehaviorType.IPV4,
+    BehaviorType.WIFI_MAC,
+    BehaviorType.GPS_100,
+    BehaviorType.GPS_DEV_100,
+    BehaviorType.WORKPLACE,
+)

@@ -1,0 +1,168 @@
+"""Configuration for the synthetic deposit-free leasing platform simulator.
+
+Every knob maps to one of the behavioural patterns the paper measures on the
+proprietary Jimi dataset (Section III-B), so that the synthetic data exhibits
+the same structure: time burst (Fig. 4a-b), temporal aggregation (Fig. 4c),
+homophily (Fig. 4d-g) and structural difference (Fig. 4h-i).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .entities import DAY, HOUR
+
+__all__ = ["GeneratorConfig"]
+
+
+@dataclass(slots=True)
+class GeneratorConfig:
+    """Knobs of :class:`~repro.datagen.generator.LeasingPlatformSimulator`.
+
+    Defaults produce a D1-like dataset scaled to laptop size: a population
+    dominated by normal users with a small fraudster minority organized in
+    rings.
+    """
+
+    # -- population ----------------------------------------------------
+    n_users: int = 3000
+    fraud_rate: float = 0.06
+    #: fraction of fraudsters organized in rings (the rest are lone wolves
+    #: whose graph footprint looks normal — only their features betray them).
+    ring_fraction: float = 0.85
+    mean_ring_size: float = 8.0
+    min_ring_size: int = 3
+    max_ring_size: int = 24
+
+    # -- timeline (Jan 2017 – Jun 2018 in the paper: ~540 days) ---------
+    span_days: float = 540.0
+
+    # -- normal user activity (uniform over the whole membership) -------
+    normal_sessions_mean: float = 20.0
+    normal_sessions_min: int = 6
+    p_second_device: float = 0.2
+    p_public_session: float = 0.08
+    p_work_session: float = 0.18
+    workplace_participation: float = 0.55
+    users_per_workplace: float = 18.0
+    normal_applications_mean: float = 1.3
+    #: users typically register *because* they want to lease: the first
+    #: application lands within this many days of registration.
+    first_application_within_days: float = 30.0
+    #: fraction of normal users living in multi-person households that share
+    #: Wi-Fi, IP, location and sometimes a device — dense legitimate cliques
+    #: that graph models must not mistake for fraud rings.
+    p_household_member: float = 0.45
+    household_size_max: int = 4
+    p_household_shared_device: float = 0.8
+    #: probability that another household member is also online at home when
+    #: one member has an evening home session.
+    p_household_copresence: float = 0.25
+    #: probability a normal-user group is a student dorm: 6–12 young users
+    #: with thin credit sharing Wi-Fi/IP/location — structurally and
+    #: feature-wise the hardest legitimate look-alike of a fraud ring.
+    p_dorm_group: float = 0.04
+    dorm_size_min: int = 6
+    dorm_size_max: int = 12
+    #: fraction of normal users routing part of their traffic through the
+    #: same proxy/VPN exits the device farms abuse.
+    p_normal_vpn_user: float = 0.1
+    p_vpn_session: float = 0.3
+    #: internet cafés: public sessions use a shared café device (with its
+    #: resident SIM) with this probability — legitimate device co-occurrence.
+    p_cafe_device: float = 0.5
+    n_cafe_devices: int = 40
+    #: carrier-grade NAT: a share of households sit behind an exit IP shared
+    #: with ~10 other households.
+    p_cgnat_household: float = 0.3
+    households_per_cgnat_ip: float = 10.0
+    #: dorms install shared lab computers used for a share of home sessions.
+    dorm_shared_devices: int = 2
+    #: not every ring bothers sharing SIM cards.
+    p_ring_shares_sims: float = 0.6
+    #: some rings operate out of a public place (internet café / mall): their
+    #: Wi-Fi and location clique then includes innocent bystanders — the
+    #: paper's canonical over-smoothing hazard ("a fraudster and a normal
+    #: user connected via a public Wi-Fi").
+    p_ring_in_public: float = 0.4
+    #: the label is *payment-based* (Section II-B): a ring affiliate who
+    #: keeps paying rent is not a fraudster, and a normal user who defaults
+    #: and keeps the goods is.  These two rates give the labels the same
+    #: graph-incoherent fringe real payment data has.
+    p_ring_member_pays: float = 0.05
+    p_normal_default: float = 0.006
+
+    # -- fraud ring activity (bursty, resource-sharing) ------------------
+    #: ring members register/apply within a window of this many days
+    #: (Fig. 4c: associated fraud behaviors fall in a 0–3 day window).
+    ring_window_days_max: float = 3.0
+    fraud_sessions_mean: float = 30.0
+    #: fraud behavior logs burst around the application time (Fig. 4b).
+    fraud_burst_before: float = 1.5 * DAY
+    fraud_burst_after: float = 1.0 * DAY
+    #: ring members per shared device (device farms reuse handsets).
+    members_per_ring_device: float = 3.0
+    members_per_ring_sim: float = 2.5
+    p_member_own_device: float = 0.2
+    p_shared_delivery: float = 0.45
+    #: fraction of ring fraudsters with a "packaged" identity whose profile
+    #: features are indistinguishable from normal users (grey-industry
+    #: credit packaging) — these are only detectable through the graph.
+    p_packaged_identity: float = 0.6
+    #: fraction of ring members on the periphery: they mostly use their own
+    #: devices and only occasionally touch ring resources, so their graph
+    #: signal is weak (caps the recall any graph model can reach).
+    p_peripheral_member: float = 0.3
+    #: fraction of fraudsters who are careful: they spread their behavior
+    #: over ~two weeks before the application instead of bursting.
+    p_careful_fraudster: float = 0.25
+    careful_spread_days: float = 14.0
+
+    # -- grey-industry shared infrastructure (cross-ring proxy exits) -----
+    n_farm_ips: int = 10
+    p_farm_proxy_session: float = 0.35
+    #: fraud campaigns arrive in waves: this many rings strike per wave,
+    #: within ``wave_spread_days`` of each other.
+    rings_per_wave: int = 3
+    wave_spread_days: float = 5.0
+
+    # -- shared public resources (the uncertainty in implicit relations) -
+    n_public_wifi: int = 25
+    n_public_ip: int = 30
+    n_public_gps: int = 20
+
+    # -- transaction economics -------------------------------------------
+    item_value_median: float = 3000.0
+    item_value_sigma: float = 0.45
+    fraud_item_value_boost: float = 1.15
+    lease_terms: tuple[int, ...] = (6, 12)
+
+    # -- D2-style rejected applicants -------------------------------------
+    #: if positive, add this fraction (of ``n_users``) of extra applicants
+    #: that Jimi's original rule system would reject; they count as positive
+    #: samples per the paper's D2 labeling.
+    rejected_applicant_fraction: float = 0.0
+
+    # -- log emission per session -----------------------------------------
+    logs_per_session_mean: float = 5.0
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on inconsistent settings."""
+        if self.n_users <= 0:
+            raise ValueError("n_users must be positive")
+        if not 0.0 <= self.fraud_rate < 1.0:
+            raise ValueError("fraud_rate must be in [0, 1)")
+        if not 0.0 <= self.ring_fraction <= 1.0:
+            raise ValueError("ring_fraction must be in [0, 1]")
+        if self.min_ring_size < 2:
+            raise ValueError("min_ring_size must be at least 2")
+        if self.max_ring_size < self.min_ring_size:
+            raise ValueError("max_ring_size must be >= min_ring_size")
+        if self.span_days <= 1:
+            raise ValueError("span_days must exceed one day")
+        if self.rejected_applicant_fraction < 0:
+            raise ValueError("rejected_applicant_fraction must be >= 0")
+
+    @property
+    def span_seconds(self) -> float:
+        return self.span_days * DAY

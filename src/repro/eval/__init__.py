@@ -1,0 +1,44 @@
+"""Evaluation: metrics, splits, experiment running, empirical analyses."""
+
+from .metrics import (
+    ClassificationReport,
+    classification_report,
+    confusion,
+    f1_score,
+    fbeta_score,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+    roc_curve,
+)
+from .calibration import OperatingPoint, threshold_for_fbeta, threshold_for_precision
+from .runner import (
+    ExperimentData,
+    MethodResult,
+    prepare_experiment,
+    repeat_method,
+    run_method,
+)
+from .splits import UidSplit, split_by_uid
+
+__all__ = [
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "fbeta_score",
+    "roc_auc_score",
+    "roc_curve",
+    "confusion",
+    "ClassificationReport",
+    "classification_report",
+    "UidSplit",
+    "split_by_uid",
+    "OperatingPoint",
+    "threshold_for_precision",
+    "threshold_for_fbeta",
+    "ExperimentData",
+    "MethodResult",
+    "prepare_experiment",
+    "run_method",
+    "repeat_method",
+]

@@ -1,0 +1,59 @@
+"""Plain-text table/series formatting shared by the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "format_percentiles"]
+
+
+def format_table(
+    rows: Mapping[str, Mapping[str, float]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    precision: int = 2,
+    name_header: str = "Method",
+) -> str:
+    """Render ``{row_name: {column: value}}`` as an aligned text table."""
+    if not rows:
+        raise ValueError("no rows to format")
+    if columns is None:
+        columns = list(next(iter(rows.values())))
+    name_width = max(len(name_header), max(len(name) for name in rows))
+    col_width = max(10, max(len(c) for c in columns) + 2)
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = f"{name_header:<{name_width}}" + "".join(
+        f"{c:>{col_width}}" for c in columns
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, values in rows.items():
+        cells = "".join(
+            f"{values.get(c, float('nan')):>{col_width}.{precision}f}" for c in columns
+        )
+        lines.append(f"{name:<{name_width}}{cells}")
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[float], ys: Sequence[float], precision: int = 3
+) -> str:
+    """Render one figure series as ``name: (x, y) ...`` pairs."""
+    pairs = "  ".join(f"({x:g}, {y:.{precision}f})" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def format_percentiles(
+    name: str, values_ms: Sequence[float], percentiles: Sequence[float] = (50, 99, 99.9)
+) -> str:
+    """Render latency percentiles in milliseconds."""
+    import numpy as np
+
+    stats = "  ".join(
+        f"p{p:g}={np.percentile(values_ms, p):.0f}ms" for p in percentiles
+    )
+    mean = float(np.mean(values_ms))
+    return f"{name}: mean={mean:.0f}ms  {stats}"

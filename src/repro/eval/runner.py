@@ -1,0 +1,166 @@
+"""Experiment orchestration: dataset -> BN -> features -> split -> methods.
+
+This is the offline-evaluation harness behind Tables III, IV and V: it
+prepares one :class:`ExperimentData` bundle per dataset and then trains and
+scores any registered method on it, with multi-seed repetition for the
+variance column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..datagen.behavior_types import EDGE_TYPES, BehaviorType
+from ..datagen.entities import Dataset
+from ..features import FeatureManager, StandardScaler
+from ..network import BehaviorNetwork, BNBuilder, FAST_WINDOWS, typed_adjacency
+from .metrics import ClassificationReport, classification_report
+from .splits import split_by_uid
+
+__all__ = ["ExperimentData", "prepare_experiment", "run_method", "repeat_method", "MethodResult"]
+
+MethodFn = Callable[["ExperimentData", int], np.ndarray]
+
+
+@dataclass(slots=True)
+class ExperimentData:
+    """Everything a detection method needs, prepared once per dataset."""
+
+    dataset: Dataset
+    bn: BehaviorNetwork
+    feature_manager: FeatureManager
+    nodes: list[int]
+    features: np.ndarray  # standardized with train statistics
+    features_raw: np.ndarray
+    labels: np.ndarray
+    adjacencies: dict[BehaviorType, sp.csr_matrix]
+    merged: sp.csr_matrix
+    edge_types: tuple[BehaviorType, ...]
+    train_idx: np.ndarray
+    val_idx: np.ndarray
+    test_idx: np.ndarray
+
+    @property
+    def fit_idx(self) -> np.ndarray:
+        """Train + validation rows (for methods without early stopping)."""
+        return np.concatenate([self.train_idx, self.val_idx])
+
+    def pos_weight(self) -> float:
+        """Moderate positive-class reweighting for imbalanced BCE."""
+        y = self.labels[self.fit_idx]
+        n_pos = max(1.0, float(y.sum()))
+        return float(np.sqrt(max(1.0, (len(y) - n_pos) / n_pos)))
+
+
+def prepare_experiment(
+    dataset: Dataset,
+    windows: Sequence[float] = FAST_WINDOWS,
+    edge_types: Sequence[BehaviorType] = EDGE_TYPES,
+    test_fraction: float = 0.2,
+    val_fraction: float = 0.2,
+    seed: int = 0,
+    bn: BehaviorNetwork | None = None,
+    include_stats: bool = False,
+) -> ExperimentData:
+    """Build BN, features and the 80/20 UID split for ``dataset``.
+
+    ``include_stats=False`` matches Table II, whose node feature is
+    ``X_{u+tau}``; the behavior statistics ``X_s`` belong to the deployed
+    system (Section V) and can be switched on for system-level experiments.
+    """
+    if bn is None:
+        bn = BNBuilder(windows=windows, edge_types=edge_types).build(dataset.logs)
+    feature_manager = FeatureManager(dataset, include_stats=include_stats)
+    labels_map = dataset.labels
+    nodes = sorted(labels_map)
+    labels = np.asarray([labels_map[u] for u in nodes])
+    features_raw = feature_manager.node_matrix(nodes)
+    adjacencies = typed_adjacency(bn, nodes, edge_types)
+    merged = sp.csr_matrix((len(nodes), len(nodes)))
+    for matrix in adjacencies.values():
+        merged = merged + matrix
+
+    rng = np.random.default_rng(seed)
+    split = split_by_uid(nodes, labels_map, test_fraction, rng)
+    non_test = np.flatnonzero(split.train_mask(nodes))
+    test_idx = np.flatnonzero(split.test_mask(nodes))
+    permuted = rng.permutation(non_test)
+    n_val = int(round(len(permuted) * val_fraction))
+    val_idx = np.sort(permuted[:n_val])
+    train_idx = np.sort(permuted[n_val:])
+
+    scaler = StandardScaler().fit(features_raw[train_idx])
+    features = scaler.transform(features_raw)
+    return ExperimentData(
+        dataset=dataset,
+        bn=bn,
+        feature_manager=feature_manager,
+        nodes=nodes,
+        features=features,
+        features_raw=features_raw,
+        labels=labels,
+        adjacencies=adjacencies,
+        merged=merged.tocsr(),
+        edge_types=tuple(edge_types),
+        train_idx=train_idx,
+        val_idx=val_idx,
+        test_idx=test_idx,
+    )
+
+
+@dataclass(slots=True)
+class MethodResult:
+    """Aggregated multi-seed outcome for one method."""
+
+    name: str
+    report: ClassificationReport
+    auc_variance: float
+    scores: np.ndarray  # from the last seed
+
+    def row(self) -> dict[str, float]:
+        """Percentage metrics plus the AUC variance column of Table III."""
+        row = self.report.as_percentages()
+        row["Variance"] = 100.0 * self.auc_variance
+        return row
+
+
+def run_method(
+    method: MethodFn, data: ExperimentData, seed: int = 0, threshold: float = 0.5
+) -> tuple[ClassificationReport, np.ndarray]:
+    """Train one method and score it on the held-out test rows."""
+    scores = np.asarray(method(data, seed), dtype=np.float64)
+    if scores.shape != data.labels.shape:
+        raise ValueError("method must return one score per node")
+    report = classification_report(
+        data.labels[data.test_idx], scores[data.test_idx], threshold
+    )
+    return report, scores
+
+
+def repeat_method(
+    name: str,
+    method: MethodFn,
+    data: ExperimentData,
+    seeds: Sequence[int] = (0, 1, 2),
+    threshold: float = 0.5,
+) -> MethodResult:
+    """Run a method over several seeds; mean metrics + AUC variance."""
+    reports = []
+    scores = np.zeros_like(data.labels, dtype=np.float64)
+    for seed in seeds:
+        report, scores = run_method(method, data, seed, threshold)
+        reports.append(report)
+    aucs = np.asarray([r.auc for r in reports])
+    mean = ClassificationReport(
+        precision=float(np.mean([r.precision for r in reports])),
+        recall=float(np.mean([r.recall for r in reports])),
+        f1=float(np.mean([r.f1 for r in reports])),
+        f2=float(np.mean([r.f2 for r in reports])),
+        auc=float(aucs.mean()),
+    )
+    variance = float(aucs.var()) if len(aucs) > 1 else 0.0
+    return MethodResult(name=name, report=mean, auc_variance=variance, scores=scores)

@@ -1,0 +1,37 @@
+"""Transaction (application) features ``X_tau`` (Section II-B)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datagen.entities import DAY, HOUR, Transaction, User
+
+__all__ = ["TRANSACTION_FEATURE_NAMES", "transaction_features"]
+
+TRANSACTION_FEATURE_NAMES: tuple[str, ...] = (
+    "log_item_value",
+    "lease_term",
+    "log_monthly_rent",
+    "rent_to_income",
+    "application_hour",
+    "application_weekday",
+)
+
+
+def transaction_features(txn: Transaction, user: User) -> np.ndarray:
+    """Vectorize ``X_tau`` for one application."""
+    # income_level is in "thousands per month" units in the simulator; guard
+    # against zero income to keep the ratio finite.
+    income = max(user.income_level, 0.1) * 1000.0
+    hour_of_day = (txn.created_at % DAY) / HOUR
+    weekday = (txn.created_at // DAY) % 7
+    return np.array(
+        [
+            np.log1p(txn.item_value),
+            float(txn.lease_term),
+            np.log1p(txn.monthly_rent),
+            txn.monthly_rent / income,
+            hour_of_day,
+            float(weekday),
+        ]
+    )

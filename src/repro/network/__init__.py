@@ -1,0 +1,29 @@
+"""Behavior Network (BN): construction, maintenance, export, sampling."""
+
+from .adjacency import gcn_normalize, merged_adjacency, row_normalize, typed_adjacency
+from .bn import DEFAULT_EDGE_TTL, BehaviorNetwork, EdgeRecord
+from .builder import BNBuilder
+from .io import load_bn, save_bn
+from .normalize import normalized_weight, type_weighted_degrees
+from .sampling import ComputationSubgraph, computation_subgraph
+from .windows import FAST_WINDOWS, PAPER_WINDOWS, validate_windows
+
+__all__ = [
+    "BehaviorNetwork",
+    "EdgeRecord",
+    "DEFAULT_EDGE_TTL",
+    "BNBuilder",
+    "save_bn",
+    "load_bn",
+    "typed_adjacency",
+    "merged_adjacency",
+    "row_normalize",
+    "gcn_normalize",
+    "normalized_weight",
+    "type_weighted_degrees",
+    "ComputationSubgraph",
+    "computation_subgraph",
+    "PAPER_WINDOWS",
+    "FAST_WINDOWS",
+    "validate_windows",
+]

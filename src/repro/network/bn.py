@@ -1,0 +1,217 @@
+"""The time-evolving heterogeneous Behavior Network (BN).
+
+BN is an undirected multigraph over user nodes: each edge carries a type
+``r`` (one of the behavior types), an accumulated weight ``w_r(u, v)``, and
+the timestamp of its last contribution (for TTL expiry, Section V: max TTL of
+60 days per edge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import networkx as nx
+
+from ..datagen.behavior_types import BehaviorType
+from ..datagen.entities import DAY
+
+__all__ = ["EdgeRecord", "BehaviorNetwork", "DEFAULT_EDGE_TTL"]
+
+#: Section V: "a max TTL is set to 60 days for each edge".
+DEFAULT_EDGE_TTL: float = 60.0 * DAY
+
+
+@dataclass(slots=True)
+class EdgeRecord:
+    """Accumulated weight and recency of one typed edge."""
+
+    weight: float = 0.0
+    last_update: float = 0.0
+
+
+def _key(u: int, v: int) -> tuple[int, int]:
+    return (u, v) if u < v else (v, u)
+
+
+class BehaviorNetwork:
+    """Typed, weighted, timestamped user-user multigraph.
+
+    Storage is a two-level dict: ``(min(u,v), max(u,v)) -> {type -> EdgeRecord}``
+    plus a per-node adjacency index for O(deg) neighbourhood queries, which is
+    what the BN server's subgraph sampling needs to be fast.
+    """
+
+    def __init__(self, ttl: float = DEFAULT_EDGE_TTL) -> None:
+        if ttl <= 0:
+            raise ValueError("ttl must be positive")
+        self.ttl = ttl
+        self._edges: dict[tuple[int, int], dict[BehaviorType, EdgeRecord]] = {}
+        self._adjacency: dict[int, set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_weight(
+        self, u: int, v: int, btype: BehaviorType, weight: float, timestamp: float
+    ) -> None:
+        """Accumulate ``weight`` onto the typed edge ``(u, v, btype)``."""
+        if u == v:
+            raise ValueError("self-loops are not part of BN")
+        if weight <= 0:
+            raise ValueError("edge weight contributions must be positive")
+        key = _key(u, v)
+        records = self._edges.setdefault(key, {})
+        record = records.setdefault(btype, EdgeRecord())
+        record.weight += weight
+        record.last_update = max(record.last_update, timestamp)
+        self._adjacency.setdefault(u, set()).add(v)
+        self._adjacency.setdefault(v, set()).add(u)
+
+    def add_node(self, uid: int) -> None:
+        """Register a node even if it has no edges yet."""
+        self._adjacency.setdefault(uid, set())
+
+    def expire_edges(self, now: float) -> int:
+        """Drop typed edges older than the TTL; returns how many were removed.
+
+        Mirrors the BN server's periodic cleanup that prevents the monotonous
+        increase of the graph (Section V).
+        """
+        cutoff = now - self.ttl
+        removed = 0
+        dead_pairs: list[tuple[int, int]] = []
+        for pair, records in self._edges.items():
+            stale = [t for t, rec in records.items() if rec.last_update < cutoff]
+            for t in stale:
+                del records[t]
+                removed += 1
+            if not records:
+                dead_pairs.append(pair)
+        for u, v in dead_pairs:
+            del self._edges[(u, v)]
+            self._adjacency[u].discard(v)
+            self._adjacency[v].discard(u)
+        return removed
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, uid: int) -> bool:
+        return uid in self._adjacency
+
+    def nodes(self) -> list[int]:
+        """All registered node ids."""
+        return list(self._adjacency)
+
+    def num_nodes(self) -> int:
+        """Number of registered nodes."""
+        return len(self._adjacency)
+
+    def num_edges(self) -> int:
+        """Number of typed edges (``(u, v, r)`` triples), as in Table II."""
+        return sum(len(records) for records in self._edges.values())
+
+    def num_pairs(self) -> int:
+        """Number of connected node pairs irrespective of type."""
+        return len(self._edges)
+
+    def edge_types(self) -> set[BehaviorType]:
+        """The set of edge types present in the network."""
+        types: set[BehaviorType] = set()
+        for records in self._edges.values():
+            types.update(records)
+        return types
+
+    def neighbors(self, uid: int, btype: BehaviorType | None = None) -> list[int]:
+        """Neighbours of ``uid``; restricted to edge type ``btype`` if given."""
+        if uid not in self._adjacency:
+            return []
+        if btype is None:
+            return list(self._adjacency[uid])
+        return [
+            v
+            for v in self._adjacency[uid]
+            if btype in self._edges[_key(uid, v)]
+        ]
+
+    def edge(self, u: int, v: int) -> dict[BehaviorType, EdgeRecord]:
+        """All typed records between ``u`` and ``v`` (empty dict if none)."""
+        return self._edges.get(_key(u, v), {})
+
+    def weight(self, u: int, v: int, btype: BehaviorType) -> float:
+        """Accumulated weight of the typed edge (0 if absent)."""
+        record = self._edges.get(_key(u, v), {}).get(btype)
+        return record.weight if record is not None else 0.0
+
+    def total_weight(self, u: int, v: int) -> float:
+        """Sum of the pair's weights over all edge types."""
+        return sum(rec.weight for rec in self._edges.get(_key(u, v), {}).values())
+
+    def weighted_degree(self, uid: int, btype: BehaviorType | None = None) -> float:
+        """Sum of (typed) edge weights incident to ``uid``."""
+        total = 0.0
+        for v in self._adjacency.get(uid, ()):
+            records = self._edges[_key(uid, v)]
+            if btype is None:
+                total += sum(rec.weight for rec in records.values())
+            elif btype in records:
+                total += records[btype].weight
+        return total
+
+    def degree(self, uid: int, btype: BehaviorType | None = None) -> int:
+        """Neighbour count, optionally restricted to one edge type."""
+        if btype is None:
+            return len(self._adjacency.get(uid, ()))
+        return len(self.neighbors(uid, btype))
+
+    def iter_edges(
+        self, btype: BehaviorType | None = None
+    ) -> Iterator[tuple[int, int, BehaviorType, EdgeRecord]]:
+        """Yield ``(u, v, type, record)`` with ``u < v``."""
+        for (u, v), records in self._edges.items():
+            for t, record in records.items():
+                if btype is None or t == btype:
+                    yield u, v, t, record
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def khop_neighborhood(
+        self, uid: int, hops: int, allowed: set[int] | None = None
+    ) -> dict[int, int]:
+        """Map node -> hop distance for nodes within ``hops`` of ``uid``.
+
+        ``allowed`` restricts the traversal (the paper's computation subgraph
+        only includes nodes having transactions).
+        """
+        if hops < 0:
+            raise ValueError("hops must be non-negative")
+        distances = {uid: 0}
+        frontier = [uid]
+        for depth in range(1, hops + 1):
+            next_frontier: list[int] = []
+            for node in frontier:
+                for neighbor in self._adjacency.get(node, ()):
+                    if neighbor in distances:
+                        continue
+                    if allowed is not None and neighbor not in allowed:
+                        continue
+                    distances[neighbor] = depth
+                    next_frontier.append(neighbor)
+            frontier = next_frontier
+        return distances
+
+    def to_networkx(self, nodes: Iterable[int] | None = None) -> nx.MultiGraph:
+        """Export (a node-induced part of) BN as a networkx multigraph."""
+        graph = nx.MultiGraph()
+        keep = set(nodes) if nodes is not None else None
+        for uid in self._adjacency:
+            if keep is None or uid in keep:
+                graph.add_node(uid)
+        for (u, v), records in self._edges.items():
+            if keep is not None and (u not in keep or v not in keep):
+                continue
+            for t, record in records.items():
+                graph.add_edge(u, v, key=t.value, btype=t, weight=record.weight)
+        return graph

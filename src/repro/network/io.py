@@ -1,0 +1,76 @@
+"""BN persistence: save/load the typed edge list.
+
+The production BN server keeps its global edge list in a local database so
+it survives restarts (Section V); offline pipelines equally need to hand a
+built BN from the construction job to training jobs.  The format is a
+single compressed ``.npz`` holding parallel arrays — compact, versioned,
+and loadable without any Python-object unpickling.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+import numpy as np
+
+from ..datagen.behavior_types import BehaviorType
+from .bn import BehaviorNetwork
+
+__all__ = ["save_bn", "load_bn"]
+
+_FORMAT_VERSION = 1
+
+
+def save_bn(bn: BehaviorNetwork, path: str | os.PathLike) -> None:
+    """Serialize ``bn`` (nodes, typed weighted timestamped edges) to ``path``."""
+    us: list[int] = []
+    vs: list[int] = []
+    type_codes: list[int] = []
+    weights: list[float] = []
+    timestamps: list[float] = []
+    types = sorted(bn.edge_types(), key=lambda t: t.value)
+    type_index = {t: i for i, t in enumerate(types)}
+    for u, v, btype, record in bn.iter_edges():
+        us.append(u)
+        vs.append(v)
+        type_codes.append(type_index[btype])
+        weights.append(record.weight)
+        timestamps.append(record.last_update)
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        ttl=np.float64(bn.ttl),
+        nodes=np.asarray(bn.nodes(), dtype=np.int64),
+        type_names=np.asarray([t.value for t in types], dtype=object),
+        u=np.asarray(us, dtype=np.int64),
+        v=np.asarray(vs, dtype=np.int64),
+        type_code=np.asarray(type_codes, dtype=np.int64),
+        weight=np.asarray(weights, dtype=np.float64),
+        last_update=np.asarray(timestamps, dtype=np.float64),
+    )
+
+
+def load_bn(path: str | os.PathLike) -> BehaviorNetwork:
+    """Load a network previously written by :func:`save_bn`."""
+    with np.load(path, allow_pickle=True) as archive:
+        version = int(archive["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported BN file version {version}")
+        bn = BehaviorNetwork(ttl=float(archive["ttl"]))
+        types: Sequence[BehaviorType] = [
+            BehaviorType(name) for name in archive["type_names"]
+        ]
+        for uid in archive["nodes"]:
+            bn.add_node(int(uid))
+        for u, v, code, weight, last_update in zip(
+            archive["u"],
+            archive["v"],
+            archive["type_code"],
+            archive["weight"],
+            archive["last_update"],
+        ):
+            bn.add_weight(
+                int(u), int(v), types[int(code)], float(weight), float(last_update)
+            )
+    return bn

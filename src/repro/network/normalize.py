@@ -1,0 +1,36 @@
+"""Per-type edge-weight normalization (Section III-A, Sampling & normalization).
+
+To account for the volume difference of edge types, the paper normalizes each
+edge weight symmetrically by the *weighted* degrees of its endpoints on that
+type::
+
+    w'_r(u, v) = w_r(u, v) * (deg'_r(u) * deg'_r(v)) ** -0.5
+    deg'_r(u)  = sum of type-r edge weights incident to u
+"""
+
+from __future__ import annotations
+
+from ..datagen.behavior_types import BehaviorType
+from .bn import BehaviorNetwork
+
+__all__ = ["normalized_weight", "type_weighted_degrees"]
+
+
+def type_weighted_degrees(
+    bn: BehaviorNetwork, btype: BehaviorType
+) -> dict[int, float]:
+    """Weighted degree ``deg'_r(u)`` for every node with type-``r`` edges."""
+    degrees: dict[int, float] = {}
+    for u, v, _t, record in bn.iter_edges(btype):
+        degrees[u] = degrees.get(u, 0.0) + record.weight
+        degrees[v] = degrees.get(v, 0.0) + record.weight
+    return degrees
+
+
+def normalized_weight(
+    weight: float, deg_u: float, deg_v: float
+) -> float:
+    """Apply the symmetric normalization; returns 0 for isolated endpoints."""
+    if deg_u <= 0.0 or deg_v <= 0.0:
+        return 0.0
+    return weight / (deg_u * deg_v) ** 0.5

@@ -1,0 +1,57 @@
+"""Minimal autograd + neural network substrate (numpy-only).
+
+The paper trains its models with a deep-learning framework; this package is
+the offline replacement.  It provides:
+
+* :class:`~repro.nn.tensor.Tensor` — reverse-mode autodiff over numpy arrays;
+* :mod:`~repro.nn.layers` — ``Module``/``Linear``/``MLP``/``Dropout``;
+* :mod:`~repro.nn.optim` — ``SGD`` and ``Adam``;
+* :mod:`~repro.nn.losses` — BCE-with-logits, hinge, MSE;
+* :func:`~repro.nn.sparse.spmm` — differentiable sparse @ dense products for
+  GNN neighbourhood aggregation.
+"""
+
+from .init import kaiming_uniform, normal, xavier_normal, xavier_uniform, zeros
+from .layers import MLP, Dropout, Linear, Module, ModuleList, Sequential
+from .losses import bce_with_logits, hinge_loss, mse_loss
+from .optim import SGD, Adam, Optimizer
+from .sparse import spmm
+from .tensor import (
+    Tensor,
+    as_tensor,
+    concat,
+    is_grad_enabled,
+    no_grad,
+    segment_sum,
+    stack,
+    where,
+)
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "concat",
+    "stack",
+    "segment_sum",
+    "where",
+    "no_grad",
+    "is_grad_enabled",
+    "Module",
+    "ModuleList",
+    "Linear",
+    "MLP",
+    "Dropout",
+    "Sequential",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "bce_with_logits",
+    "hinge_loss",
+    "mse_loss",
+    "spmm",
+    "xavier_uniform",
+    "xavier_normal",
+    "kaiming_uniform",
+    "normal",
+    "zeros",
+]

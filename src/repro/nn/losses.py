@@ -1,0 +1,46 @@
+"""Loss functions for binary fraud classification."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = ["bce_with_logits", "hinge_loss", "mse_loss"]
+
+
+def bce_with_logits(
+    logits: Tensor,
+    targets: np.ndarray,
+    pos_weight: float = 1.0,
+) -> Tensor:
+    """Numerically stable binary cross-entropy on raw logits.
+
+    Uses the log-sum-exp form ``max(x, 0) - x*y + log(1 + exp(-|x|))`` so no
+    intermediate sigmoid can saturate.  ``pos_weight`` rescales the positive
+    class, the standard remedy for the extreme class imbalance of the D1
+    dataset (918 fraudsters among 67 072 users in the paper).
+    """
+    targets = np.asarray(targets, dtype=np.float64)
+    x = logits
+    relu_x = x.relu()
+    softplus = (1.0 + (x.abs() * -1.0).exp()).log()
+    per_example = relu_x - x * Tensor(targets) + softplus
+    if pos_weight != 1.0:
+        weights = np.where(targets > 0.5, pos_weight, 1.0)
+        per_example = per_example * Tensor(weights)
+        return per_example.sum() * (1.0 / weights.sum())
+    return per_example.mean()
+
+
+def hinge_loss(scores: Tensor, targets: np.ndarray, margin: float = 1.0) -> Tensor:
+    """Mean hinge loss; ``targets`` in {0, 1} are mapped to {-1, +1}."""
+    signs = np.where(np.asarray(targets, dtype=np.float64) > 0.5, 1.0, -1.0)
+    slack = (as_tensor(margin) - scores * Tensor(signs)).relu()
+    return slack.mean()
+
+
+def mse_loss(predictions: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean squared error (used by embedding regressors in tests)."""
+    diff = predictions - Tensor(np.asarray(targets, dtype=np.float64))
+    return (diff * diff).mean()

@@ -1,0 +1,42 @@
+"""Differentiable sparse-dense products over ``scipy.sparse`` matrices.
+
+GNN layers aggregate neighbourhoods as ``A @ H`` where ``A`` is a (typically
+row-normalized) sparse adjacency matrix that is *constant* with respect to the
+loss.  Only the dense operand therefore needs a gradient, which keeps the op
+simple: ``d(A @ H)/dH = A^T @ grad``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .tensor import Tensor
+
+__all__ = ["spmm"]
+
+
+def spmm(matrix: sp.spmatrix, dense: Tensor) -> Tensor:
+    """Multiply a constant sparse ``matrix`` by a differentiable ``dense`` tensor.
+
+    Parameters
+    ----------
+    matrix:
+        ``(m, n)`` scipy sparse matrix, treated as a constant.
+    dense:
+        ``(n, d)`` or ``(n,)`` tensor.
+
+    Returns
+    -------
+    Tensor of shape ``(m, d)`` (or ``(m,)``).
+    """
+    if not sp.issparse(matrix):
+        raise TypeError(f"expected a scipy sparse matrix, got {type(matrix)!r}")
+    csr = matrix.tocsr()
+    out_data = np.asarray(csr @ dense.data)
+    csr_t = csr.T.tocsr()
+
+    def backward(g: np.ndarray) -> list[tuple[Tensor, np.ndarray]]:
+        return [(dense, np.asarray(csr_t @ g))]
+
+    return Tensor._make(out_data, (dense,), backward)

@@ -1,0 +1,572 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This module is the neural-network substrate of the reproduction: the paper
+trains HAG and its GNN baselines with a deep-learning framework, which is not
+available offline, so we implement a small but complete autograd engine.
+
+A :class:`Tensor` wraps a ``numpy.ndarray`` and records the operations applied
+to it.  Calling :meth:`Tensor.backward` on a scalar result propagates
+gradients to every ancestor created with ``requires_grad=True``.  All ops are
+broadcast-aware; gradients of broadcast operands are reduced back to the
+operand's shape.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables graph recording (like ``torch.no_grad``)."""
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._prev = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._prev
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations are currently recorded for autograd."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum out prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum along axes that were broadcast from size 1.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor with reverse-mode autograd.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; converted to ``float64`` ndarray.
+    requires_grad:
+        Whether gradients should be accumulated into ``self.grad``.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data: np.ndarray | float | int | Sequence,
+        requires_grad: bool = False,
+        _parents: tuple["Tensor", ...] = (),
+        _backward: Callable[[np.ndarray], None] | None = None,
+        name: str = "",
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: np.ndarray | None = None
+        self._parents = _parents if self.requires_grad or _parents else ()
+        self._backward = _backward
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        tag = f", name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad}{tag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying ndarray (not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the scalar payload as a Python float."""
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data)
+
+    def zero_grad(self) -> None:
+        """Clear the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Graph construction helper
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=np.float64, copy=True)
+        else:
+            self.grad = self.grad + grad
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor.
+
+        If ``grad`` is omitted the tensor must be scalar and a seed gradient
+        of 1.0 is used.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor without grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be supplied for non-scalar output")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+
+        # Topological order over the recorded graph.
+        order: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in seen:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        self._accumulate(grad)
+        for node in reversed(order):
+            g = grads.pop(id(node), None)
+            if g is None or node._backward is None:
+                continue
+            for parent, pg in node._backward(g):
+                if not parent.requires_grad:
+                    continue
+                if id(parent) in grads:
+                    grads[id(parent)] = grads[id(parent)] + pg
+                else:
+                    grads[id(parent)] = pg
+                parent._accumulate(pg)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: "Tensor | float") -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data + other.data
+
+        def backward(g: np.ndarray) -> list[tuple[Tensor, np.ndarray]]:
+            return [
+                (self, _unbroadcast(g, self.shape)),
+                (other, _unbroadcast(g, other.shape)),
+            ]
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __radd__(self, other: float) -> "Tensor":
+        return self.__add__(other)
+
+    def __neg__(self) -> "Tensor":
+        def backward(g: np.ndarray) -> list[tuple[Tensor, np.ndarray]]:
+            return [(self, -g)]
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: "Tensor | float") -> "Tensor":
+        return self.__add__(as_tensor(other).__neg__())
+
+    def __rsub__(self, other: float) -> "Tensor":
+        return as_tensor(other).__sub__(self)
+
+    def __mul__(self, other: "Tensor | float") -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data * other.data
+
+        def backward(g: np.ndarray) -> list[tuple[Tensor, np.ndarray]]:
+            return [
+                (self, _unbroadcast(g * other.data, self.shape)),
+                (other, _unbroadcast(g * self.data, other.shape)),
+            ]
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rmul__(self, other: float) -> "Tensor":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: "Tensor | float") -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data / other.data
+
+        def backward(g: np.ndarray) -> list[tuple[Tensor, np.ndarray]]:
+            return [
+                (self, _unbroadcast(g / other.data, self.shape)),
+                (
+                    other,
+                    _unbroadcast(-g * self.data / (other.data**2), other.shape),
+                ),
+            ]
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other: float) -> "Tensor":
+        return as_tensor(other).__truediv__(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data**exponent
+
+        def backward(g: np.ndarray) -> list[tuple[Tensor, np.ndarray]]:
+            return [(self, g * exponent * self.data ** (exponent - 1))]
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data @ other.data
+
+        def backward(g: np.ndarray) -> list[tuple[Tensor, np.ndarray]]:
+            grads: list[tuple[Tensor, np.ndarray]] = []
+            a, b = self.data, other.data
+            if a.ndim == 1 and b.ndim == 1:
+                grads.append((self, g * b))
+                grads.append((other, g * a))
+            elif a.ndim == 1:
+                # a: (k,), b: (..., k, m), out/g: (..., m)
+                ga = (b * g[..., None, :]).reshape(-1, b.shape[-2], b.shape[-1])
+                grads.append((self, ga.sum(axis=(0, 2))))
+                gb = a[:, None] * g[..., None, :]
+                grads.append((other, _unbroadcast(gb, b.shape)))
+            elif b.ndim == 1:
+                # a: (..., k), b: (k,), out/g: (...)
+                grads.append((self, g[..., None] * b))
+                gb = (a * g[..., None]).reshape(-1, a.shape[-1]).sum(axis=0)
+                grads.append((other, gb))
+            else:
+                ga = g @ np.swapaxes(b, -1, -2)
+                gb = np.swapaxes(a, -1, -2) @ g
+                grads.append((self, _unbroadcast(ga, a.shape)))
+                grads.append((other, _unbroadcast(gb, b.shape)))
+            return grads
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Elementwise nonlinearities
+    # ------------------------------------------------------------------
+    def relu(self) -> "Tensor":
+        """Elementwise ``max(x, 0)``."""
+        mask = self.data > 0
+        out_data = self.data * mask
+
+        def backward(g: np.ndarray) -> list[tuple[Tensor, np.ndarray]]:
+            return [(self, g * mask)]
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def leaky_relu(self, negative_slope: float = 0.2) -> "Tensor":
+        """Elementwise leaky ReLU with the given negative slope."""
+        mask = self.data > 0
+        out_data = np.where(mask, self.data, negative_slope * self.data)
+
+        def backward(g: np.ndarray) -> list[tuple[Tensor, np.ndarray]]:
+            return [(self, g * np.where(mask, 1.0, negative_slope))]
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        """Elementwise hyperbolic tangent."""
+        out_data = np.tanh(self.data)
+
+        def backward(g: np.ndarray) -> list[tuple[Tensor, np.ndarray]]:
+            return [(self, g * (1.0 - out_data**2))]
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        """Elementwise logistic sigmoid (input clipped for stability)."""
+        out_data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -500, 500)))
+
+        def backward(g: np.ndarray) -> list[tuple[Tensor, np.ndarray]]:
+            return [(self, g * out_data * (1.0 - out_data))]
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def exp(self) -> "Tensor":
+        """Elementwise exponential (input clipped for stability)."""
+        out_data = np.exp(np.clip(self.data, -500, 500))
+
+        def backward(g: np.ndarray) -> list[tuple[Tensor, np.ndarray]]:
+            return [(self, g * out_data)]
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        """Elementwise natural logarithm."""
+        out_data = np.log(self.data)
+
+        def backward(g: np.ndarray) -> list[tuple[Tensor, np.ndarray]]:
+            return [(self, g / self.data)]
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        """Elementwise absolute value (subgradient sign(x))."""
+        sign = np.sign(self.data)
+
+        def backward(g: np.ndarray) -> list[tuple[Tensor, np.ndarray]]:
+            return [(self, g * sign)]
+
+        return Tensor._make(np.abs(self.data), (self,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        """Clamp values to ``[low, high]``; gradient masked outside."""
+        mask = (self.data >= low) & (self.data <= high)
+        out_data = np.clip(self.data, low, high)
+
+        def backward(g: np.ndarray) -> list[tuple[Tensor, np.ndarray]]:
+            return [(self, g * mask)]
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions and shape ops
+    # ------------------------------------------------------------------
+    def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        """Sum over ``axis`` (all axes when ``None``)."""
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray) -> list[tuple[Tensor, np.ndarray]]:
+            g = np.asarray(g)
+            if axis is None:
+                return [(self, np.broadcast_to(g, self.shape).copy())]
+            if not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % self.ndim for a in axes)
+                g = np.expand_dims(g, axis=tuple(sorted(axes)))
+            return [(self, np.broadcast_to(g, self.shape).copy())]
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        """Arithmetic mean over ``axis`` (all axes when ``None``)."""
+        if axis is None:
+            count = self.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a % self.ndim] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        """Maximum over ``axis``; ties share the gradient equally."""
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray) -> list[tuple[Tensor, np.ndarray]]:
+            g = np.asarray(g)
+            if axis is None:
+                mask = self.data == out_data
+                return [(self, g * mask / mask.sum())]
+            expanded = out_data if keepdims else np.expand_dims(out_data, axis)
+            mask = self.data == expanded
+            counts = mask.sum(axis=axis, keepdims=True)
+            g_exp = g if keepdims else np.expand_dims(g, axis)
+            return [(self, g_exp * mask / counts)]
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        """Return a view with the requested shape (supports ``-1``)."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        original = self.shape
+
+        def backward(g: np.ndarray) -> list[tuple[Tensor, np.ndarray]]:
+            return [(self, g.reshape(original))]
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def flatten(self) -> "Tensor":
+        """Reshape to one dimension."""
+        return self.reshape(-1)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        """Permute axes (reversed order when none are given)."""
+        axes_t = tuple(axes) if axes else tuple(reversed(range(self.ndim)))
+        out_data = self.data.transpose(axes_t)
+        inverse = tuple(np.argsort(axes_t))
+
+        def backward(g: np.ndarray) -> list[tuple[Tensor, np.ndarray]]:
+            return [(self, g.transpose(inverse))]
+
+        return Tensor._make(out_data, (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, key) -> "Tensor":
+        out_data = self.data[key]
+
+        def backward(g: np.ndarray) -> list[tuple[Tensor, np.ndarray]]:
+            full = np.zeros_like(self.data)
+            np.add.at(full, key, g)
+            return [(self, full)]
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def index_select(self, indices: np.ndarray) -> "Tensor":
+        """Gather rows by integer index (with repeats), differentiable."""
+        indices = np.asarray(indices, dtype=np.int64)
+        out_data = self.data[indices]
+
+        def backward(g: np.ndarray) -> list[tuple[Tensor, np.ndarray]]:
+            full = np.zeros_like(self.data)
+            np.add.at(full, indices, g)
+            return [(self, full)]
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Softmax family (implemented as primitives for numerical stability)
+    # ------------------------------------------------------------------
+    def softmax(self, axis: int = -1) -> "Tensor":
+        """Numerically stable softmax along ``axis``."""
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        e = np.exp(shifted)
+        out_data = e / e.sum(axis=axis, keepdims=True)
+
+        def backward(g: np.ndarray) -> list[tuple[Tensor, np.ndarray]]:
+            dot = (g * out_data).sum(axis=axis, keepdims=True)
+            return [(self, out_data * (g - dot))]
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        """Numerically stable log-softmax along ``axis``."""
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out_data = shifted - log_z
+        soft = np.exp(out_data)
+
+        def backward(g: np.ndarray) -> list[tuple[Tensor, np.ndarray]]:
+            return [(self, g - soft * g.sum(axis=axis, keepdims=True))]
+
+        return Tensor._make(out_data, (self,), backward)
+
+
+def as_tensor(value: "Tensor | np.ndarray | float | int | Sequence") -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` (no-op if already one)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def concat(tensors: Iterable[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g: np.ndarray) -> list[tuple[Tensor, np.ndarray]]:
+        grads = []
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            index = [slice(None)] * g.ndim
+            index[axis] = slice(start, stop)
+            grads.append((t, g[tuple(index)]))
+        return grads
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient routing."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g: np.ndarray) -> list[tuple[Tensor, np.ndarray]]:
+        slabs = np.split(g, len(tensors), axis=axis)
+        return [(t, np.squeeze(s, axis=axis)) for t, s in zip(tensors, slabs)]
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def segment_sum(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Sum ``values`` rows into ``num_segments`` buckets given by ``segment_ids``.
+
+    The inverse of :meth:`Tensor.index_select`; together they implement
+    sparse gather/scatter message passing (used by the GAT baseline and the
+    edge-level operators).
+    """
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    out_shape = (num_segments,) + values.shape[1:]
+    out_data = np.zeros(out_shape, dtype=np.float64)
+    np.add.at(out_data, segment_ids, values.data)
+
+    def backward(g: np.ndarray) -> list[tuple[Tensor, np.ndarray]]:
+        return [(values, g[segment_ids])]
+
+    return Tensor._make(out_data, (values,), backward)
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise select between two tensors by a boolean ndarray mask."""
+    a, b = as_tensor(a), as_tensor(b)
+    condition = np.asarray(condition, dtype=bool)
+    out_data = np.where(condition, a.data, b.data)
+
+    def backward(g: np.ndarray) -> list[tuple[Tensor, np.ndarray]]:
+        return [
+            (a, _unbroadcast(np.where(condition, g, 0.0), a.shape)),
+            (b, _unbroadcast(np.where(condition, 0.0, g), b.shape)),
+        ]
+
+    return Tensor._make(out_data, (a, b), backward)

@@ -1,0 +1,34 @@
+"""The Turbo online system: servers, storage, latency simulation, A/B test."""
+
+from .abtest import ABTestResult, run_ab_test
+from .bn_server import BNServer
+from .clock import SimulatedClock
+from .feature_server import FeatureServer
+from .latency import LatencyBreakdown, LatencyModel
+from .model_management import ModelManager, ModelVersion
+from .monitoring import LatencyHistogram, SystemMonitor
+from .prediction_server import PredictionServer
+from .storage import InMemoryCache, LocalDatabase, ReplicatedStore, StorageError
+from .turbo import Turbo, TurboResponse, deploy_turbo
+
+__all__ = [
+    "SimulatedClock",
+    "LatencyModel",
+    "LatencyBreakdown",
+    "LocalDatabase",
+    "InMemoryCache",
+    "ReplicatedStore",
+    "StorageError",
+    "BNServer",
+    "FeatureServer",
+    "PredictionServer",
+    "ModelManager",
+    "ModelVersion",
+    "SystemMonitor",
+    "LatencyHistogram",
+    "Turbo",
+    "TurboResponse",
+    "deploy_turbo",
+    "ABTestResult",
+    "run_ab_test",
+]

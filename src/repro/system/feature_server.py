@@ -1,0 +1,96 @@
+"""Feature management module of the online system.
+
+Section V: the node features consist of profile features ``X_u``,
+application features ``X_tau`` and behavior statistics ``X_s``.  Jimi had no
+streaming infrastructure, so ``X_s`` was computed *on demand* from the raw
+logs — the dominant share of prediction latency.  The Redis cache cut the
+average request from 6.8 s to 0.8 s; this module reproduces both paths.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..datagen.entities import Transaction
+from ..features.pipeline import FeatureManager
+from .latency import LatencyModel
+from .storage import InMemoryCache, LocalDatabase
+
+__all__ = ["FeatureServer"]
+
+
+class FeatureServer:
+    """Assembles the feature matrix for a computation subgraph's nodes."""
+
+    def __init__(
+        self,
+        feature_manager: FeatureManager,
+        latency: LatencyModel,
+        database: LocalDatabase | None = None,
+        cache: InMemoryCache | None = None,
+        stat_windows: int = 5,
+        cache_ttl: float = 6 * 3600.0,
+    ) -> None:
+        self.feature_manager = feature_manager
+        self.latency = latency
+        self.database = database or LocalDatabase(latency)
+        self.cache = cache
+        self.stat_windows = stat_windows
+        self.cache_ttl = cache_ttl
+        self._latest_txn = {
+            txn.uid: txn for txn in feature_manager.latest_transactions()
+        }
+
+    def features_for(
+        self,
+        nodes: Sequence[int],
+        target_txn: Transaction,
+        now: float,
+    ) -> tuple[np.ndarray, float]:
+        """Feature rows for ``nodes`` (``nodes[0]`` is the request target).
+
+        The target row uses the transaction under audit; context nodes use
+        their latest application.  Returns ``(matrix, seconds_charged)``.
+        """
+        seconds = self.latency.charge_network()
+        rows: list[np.ndarray] = []
+        for position, uid in enumerate(nodes):
+            txn = target_txn if position == 0 else self._latest_txn.get(uid)
+            if txn is None:
+                rows.append(np.zeros(self.feature_manager.dim))
+                continue
+            as_of = now if position == 0 else None
+            rows.append(self.feature_manager.vector(txn, as_of=as_of))
+            seconds += self._charge_node(uid, now)
+        return np.stack(rows), seconds
+
+    def _charge_node(self, uid: int, now: float) -> float:
+        """Latency of assembling one node's features.
+
+        ``X_s`` is computed on demand in both modes (Jimi had no streaming
+        aggregation); the cache moves the scan from disk-backed queries to
+        in-memory log slices — the optimization that cut the average request
+        from 6.8 s to 0.8 s in Section V.
+        """
+        seconds = 0.0
+        n_logs = len(self.feature_manager.log_index.logs_before(uid, now))
+        if self.cache is not None and self.cache.available:
+            # Profile + transaction rows come from the in-memory store; the
+            # statistics windows scan the cached log slice.
+            _value, hit, cost = self.cache.get(("logs", uid), now)
+            seconds += cost + self.latency.charge_cache_get()
+            if not hit:
+                _rows, query_cost = self.database.query("logs", uid)
+                seconds += query_cost
+                seconds += self.cache.set(("logs", uid), True, now, ttl=self.cache_ttl)
+            for _ in range(self.stat_windows):
+                seconds += self.latency.charge_mem_scan(n_logs)
+        else:
+            # Profile + transaction queries, then the expensive on-demand
+            # statistics scan over the user's raw logs, window by window.
+            seconds += self.latency.charge_db_query(1) * 2
+            for _ in range(self.stat_windows):
+                seconds += self.latency.charge_db_query(max(1, n_logs))
+        return seconds

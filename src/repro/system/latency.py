@@ -1,0 +1,106 @@
+"""Deterministic latency model for the storage and serving substrate.
+
+Operation costs approximate a production MySQL + Redis deployment: disk-backed
+queries cost milliseconds and scale with rows touched; in-memory cache reads
+cost tens of microseconds.  A multiplicative lognormal jitter gives realistic
+tail percentiles (p99/p999 in Section V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["LatencyModel", "LatencyBreakdown"]
+
+
+@dataclass(slots=True)
+class LatencyModel:
+    """Per-operation base costs in seconds, plus tail jitter.
+
+    ``charge`` returns a sampled duration for one operation; callers
+    accumulate the durations into a request's latency breakdown.
+    """
+
+    db_query: float = 0.0072
+    db_row: float = 2.4e-5
+    db_write: float = 0.004
+    cache_get: float = 0.00012
+    cache_set: float = 0.00015
+    #: in-memory aggregation over cached logs (per window scan / per log row).
+    mem_scan_base: float = 0.00022
+    mem_row: float = 1.1e-6
+    #: per-node cost of assembling a sampled subgraph from cached adjacency.
+    sample_per_node: float = 0.0006
+    network_rtt: float = 0.002
+    model_forward_base: float = 0.13
+    model_forward_per_node: float = 0.0008
+    jitter_sigma: float = 0.35
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False, default=None)
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def _jitter(self) -> float:
+        if self.jitter_sigma <= 0:
+            return 1.0
+        return float(self._rng.lognormal(0.0, self.jitter_sigma))
+
+    def charge_db_query(self, rows: int = 1) -> float:
+        """Cost of one disk-backed query touching ``rows`` rows."""
+        return (self.db_query + self.db_row * max(0, rows)) * self._jitter()
+
+    def charge_db_write(self, rows: int = 1) -> float:
+        """Cost of one disk-backed write of ``rows`` rows."""
+        return (self.db_write + 0.5 * self.db_row * max(0, rows)) * self._jitter()
+
+    def charge_cache_get(self) -> float:
+        """Cost of one in-memory cache read."""
+        return self.cache_get * self._jitter()
+
+    def charge_cache_set(self) -> float:
+        """Cost of one in-memory cache write."""
+        return self.cache_set * self._jitter()
+
+    def charge_mem_scan(self, rows: int = 1) -> float:
+        """Cost of aggregating ``rows`` cached rows in memory."""
+        return (self.mem_scan_base + self.mem_row * max(0, rows)) * self._jitter()
+
+    def charge_sample_node(self) -> float:
+        """Cost of assembling one sampled node's adjacency."""
+        return self.sample_per_node * self._jitter()
+
+    def charge_network(self) -> float:
+        """Cost of one network round-trip."""
+        return self.network_rtt * self._jitter()
+
+    def charge_model_forward(self, n_nodes: int) -> float:
+        """Cost of one model forward over an ``n_nodes`` subgraph."""
+        return (
+            self.model_forward_base + self.model_forward_per_node * max(1, n_nodes)
+        ) * self._jitter()
+
+
+@dataclass(slots=True)
+class LatencyBreakdown:
+    """Per-module latency of one prediction request (Fig. 8a's series)."""
+
+    sampling: float = 0.0
+    features: float = 0.0
+    prediction: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """End-to-end request latency in seconds."""
+        return self.sampling + self.features + self.prediction
+
+    def as_millis(self) -> dict[str, float]:
+        """Per-module latencies in milliseconds."""
+        return {
+            "subgraph_sampling_ms": 1000.0 * self.sampling,
+            "feature_ms": 1000.0 * self.features,
+            "prediction_ms": 1000.0 * self.prediction,
+            "total_ms": 1000.0 * self.total,
+        }

@@ -1,0 +1,90 @@
+"""Model management: versioned registry with activation and rollback.
+
+The paper retrains HAG offline on a daily basis and swaps it into the
+prediction server; this module provides the registry that makes the swap
+(and an emergency rollback) an O(1) pointer move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..core.hag import HAG
+
+__all__ = ["ModelVersion", "ModelManager"]
+
+
+@dataclass(slots=True)
+class ModelVersion:
+    """One registered model snapshot."""
+
+    version: int
+    state: dict[str, np.ndarray]
+    trained_at: float
+    metrics: dict[str, float] = field(default_factory=dict)
+
+
+class ModelManager:
+    """Keeps model snapshots; materializes the active one on demand."""
+
+    def __init__(self, model_factory: Callable[[], HAG]) -> None:
+        self._factory = model_factory
+        self._versions: dict[int, ModelVersion] = {}
+        self._active: int | None = None
+        self._previous: int | None = None
+        self._next_version = 1
+
+    def register(
+        self,
+        state: dict[str, np.ndarray],
+        trained_at: float,
+        metrics: dict[str, float] | None = None,
+        activate: bool = True,
+    ) -> int:
+        """Store a trained state dict; optionally make it the active model."""
+        version = self._next_version
+        self._next_version += 1
+        self._versions[version] = ModelVersion(
+            version=version,
+            state={k: v.copy() for k, v in state.items()},
+            trained_at=trained_at,
+            metrics=dict(metrics or {}),
+        )
+        if activate:
+            self.activate(version)
+        return version
+
+    def activate(self, version: int) -> None:
+        """Make ``version`` the serving model (remembers the previous one)."""
+        if version not in self._versions:
+            raise KeyError(f"unknown model version {version}")
+        if self._active is not None and self._active != version:
+            self._previous = self._active
+        self._active = version
+
+    def rollback(self) -> int:
+        """Re-activate the previously active version."""
+        if self._previous is None:
+            raise RuntimeError("no previous version to roll back to")
+        self._active, self._previous = self._previous, self._active
+        return self._active
+
+    @property
+    def active_version(self) -> int | None:
+        return self._active
+
+    def versions(self) -> list[ModelVersion]:
+        """All registered versions, oldest first."""
+        return sorted(self._versions.values(), key=lambda v: v.version)
+
+    def materialize_active(self) -> HAG:
+        """Build a model instance loaded with the active version's weights."""
+        if self._active is None:
+            raise RuntimeError("no active model version")
+        model = self._factory()
+        model.load_state_dict(self._versions[self._active].state)
+        model.eval()
+        return model

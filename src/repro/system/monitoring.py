@@ -1,0 +1,121 @@
+"""Operational telemetry for the online system.
+
+Production risk systems live and die by their dashboards; this module
+collects the counters and latency histograms behind Fig. 8-style monitoring:
+request counts, per-module latency distributions, block rate, cache hit
+rates and error counts, with percentile queries and a plain-text report.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .latency import LatencyBreakdown
+
+__all__ = ["LatencyHistogram", "SystemMonitor"]
+
+
+class LatencyHistogram:
+    """Reservoir of latency samples with percentile queries (seconds in/ms out)."""
+
+    def __init__(self, max_samples: int = 100_000) -> None:
+        if max_samples < 1:
+            raise ValueError("max_samples must be positive")
+        self.max_samples = max_samples
+        self._samples: list[float] = []
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency sample (seconds)."""
+        if seconds < 0:
+            raise ValueError("latency cannot be negative")
+        self.count += 1
+        self.total += seconds
+        if len(self._samples) < self.max_samples:
+            self._samples.append(seconds)
+
+    @property
+    def mean_ms(self) -> float:
+        return 1000.0 * self.total / self.count if self.count else 0.0
+
+    def percentile_ms(self, percentile: float) -> float:
+        """Latency percentile in milliseconds over the retained samples."""
+        if not self._samples:
+            return 0.0
+        return float(1000.0 * np.percentile(self._samples, percentile))
+
+    def summary(self) -> dict[str, float]:
+        """Count, mean and tail percentiles in milliseconds."""
+        return {
+            "count": float(self.count),
+            "mean_ms": self.mean_ms,
+            "p50_ms": self.percentile_ms(50),
+            "p99_ms": self.percentile_ms(99),
+            "p999_ms": self.percentile_ms(99.9),
+        }
+
+
+@dataclass
+class SystemMonitor:
+    """Aggregates request-level telemetry across the Turbo pipeline."""
+
+    sampling: LatencyHistogram = field(default_factory=LatencyHistogram)
+    features: LatencyHistogram = field(default_factory=LatencyHistogram)
+    prediction: LatencyHistogram = field(default_factory=LatencyHistogram)
+    total: LatencyHistogram = field(default_factory=LatencyHistogram)
+    requests: int = 0
+    blocked: int = 0
+    errors: Counter = field(default_factory=Counter)
+    subgraph_sizes: list[int] = field(default_factory=list)
+
+    def record_request(
+        self, breakdown: LatencyBreakdown, blocked: bool, subgraph_size: int
+    ) -> None:
+        """Record one served request's latency, outcome and subgraph size."""
+        self.requests += 1
+        if blocked:
+            self.blocked += 1
+        self.sampling.observe(breakdown.sampling)
+        self.features.observe(breakdown.features)
+        self.prediction.observe(breakdown.prediction)
+        self.total.observe(breakdown.total)
+        self.subgraph_sizes.append(subgraph_size)
+
+    def record_error(self, kind: str) -> None:
+        """Count one error of the given kind."""
+        self.errors[kind] += 1
+
+    @property
+    def block_rate(self) -> float:
+        return self.blocked / self.requests if self.requests else 0.0
+
+    def report(self) -> str:
+        """Dashboard-style plain-text summary."""
+        lines = [
+            f"requests={self.requests}  blocked={self.blocked}"
+            f" ({100 * self.block_rate:.1f}%)  errors={sum(self.errors.values())}",
+        ]
+        for name, histogram in (
+            ("sampling", self.sampling),
+            ("features", self.features),
+            ("prediction", self.prediction),
+            ("total", self.total),
+        ):
+            s = histogram.summary()
+            lines.append(
+                f"  {name:<10} mean={s['mean_ms']:7.1f}ms  p50={s['p50_ms']:7.1f}ms"
+                f"  p99={s['p99_ms']:7.1f}ms  p999={s['p999_ms']:7.1f}ms"
+            )
+        if self.subgraph_sizes:
+            lines.append(
+                f"  subgraph   mean={np.mean(self.subgraph_sizes):6.1f} nodes"
+                f"  max={max(self.subgraph_sizes)}"
+            )
+        if self.errors:
+            for kind, count in self.errors.most_common():
+                lines.append(f"  error[{kind}] = {count}")
+        return "\n".join(lines)

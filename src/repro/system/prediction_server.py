@@ -1,0 +1,45 @@
+"""Real-time prediction server: runs HAG on a sampled computation subgraph."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.hag import HAG
+from ..datagen.behavior_types import BehaviorType
+from ..features.pipeline import StandardScaler
+from ..network.sampling import ComputationSubgraph
+from .latency import LatencyModel
+
+__all__ = ["PredictionServer"]
+
+
+class PredictionServer:
+    """Holds the active model + scaler and serves inductive predictions."""
+
+    def __init__(
+        self,
+        model: HAG,
+        scaler: StandardScaler,
+        edge_type_order: Sequence[BehaviorType],
+        latency: LatencyModel,
+    ) -> None:
+        self.model = model
+        self.scaler = scaler
+        self.edge_type_order = tuple(edge_type_order)
+        self.latency = latency
+        self.requests_served = 0
+
+    def predict(
+        self, subgraph: ComputationSubgraph, features: np.ndarray
+    ) -> tuple[float, float]:
+        """Fraud probability for the subgraph target; ``(probability, seconds)``."""
+        if features.shape[0] != subgraph.num_nodes:
+            raise ValueError("feature rows must align with subgraph nodes")
+        scaled = self.scaler.transform(features)
+        probability = self.model.predict_subgraph(
+            subgraph, scaled, edge_type_order=self.edge_type_order
+        )
+        self.requests_served += 1
+        return probability, self.latency.charge_model_forward(subgraph.num_nodes)

@@ -1,0 +1,202 @@
+"""Storage substrate: a local database, an in-memory cache, and replication.
+
+Models the deployment of Section V: a MySQL cluster holds the ground truth
+(logs, profiles, the global edge list); a Redis cluster caches the graph,
+features and behavior logs; both have primary-and-replica switching so the
+system survives a primary crash.  Costs are charged through the latency
+model instead of performing real I/O.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable
+
+from .latency import LatencyModel
+
+__all__ = ["LocalDatabase", "InMemoryCache", "ReplicatedStore", "StorageError"]
+
+
+class StorageError(RuntimeError):
+    """Raised when no replica can serve a request."""
+
+
+class LocalDatabase:
+    """Disk-backed key-value/table store (MySQL stand-in).
+
+    Tables are dicts of key -> row-list; every access charges DB latency.
+    """
+
+    def __init__(self, latency: LatencyModel) -> None:
+        self.latency = latency
+        self._tables: dict[str, dict[Hashable, list[Any]]] = {}
+        self.query_count = 0
+        self.write_count = 0
+        self.available = True
+
+    def _table(self, name: str) -> dict[Hashable, list[Any]]:
+        return self._tables.setdefault(name, {})
+
+    def insert(self, table: str, key: Hashable, row: Any) -> float:
+        """Append a row under ``key``; returns charged seconds."""
+        self._ensure_up()
+        self._table(table).setdefault(key, []).append(row)
+        self.write_count += 1
+        return self.latency.charge_db_write(1)
+
+    def insert_many(self, table: str, items: Iterable[tuple[Hashable, Any]]) -> float:
+        """Bulk-append rows in one write; returns charged seconds."""
+        self._ensure_up()
+        count = 0
+        tbl = self._table(table)
+        for key, row in items:
+            tbl.setdefault(key, []).append(row)
+            count += 1
+        self.write_count += 1
+        return self.latency.charge_db_write(count)
+
+    def put(self, table: str, key: Hashable, value: Any) -> float:
+        """Replace the full row-list for ``key`` (single-value semantics)."""
+        self._ensure_up()
+        self._table(table)[key] = [value]
+        self.write_count += 1
+        return self.latency.charge_db_write(1)
+
+    def query(self, table: str, key: Hashable) -> tuple[list[Any], float]:
+        """Return ``(rows, seconds)``; rows is empty if the key is absent."""
+        self._ensure_up()
+        rows = self._table(table).get(key, [])
+        self.query_count += 1
+        return rows, self.latency.charge_db_query(len(rows))
+
+    def scan(self, table: str) -> tuple[list[tuple[Hashable, list[Any]]], float]:
+        """Full-table scan; returns ``(items, seconds)``."""
+        self._ensure_up()
+        tbl = self._table(table)
+        self.query_count += 1
+        total_rows = sum(len(rows) for rows in tbl.values())
+        return list(tbl.items()), self.latency.charge_db_query(total_rows)
+
+    def crash(self) -> None:
+        """Simulate an instance crash: requests fail until recovery."""
+        self.available = False
+
+    def recover(self) -> None:
+        """Bring the instance back (durable contents intact)."""
+        self.available = True
+
+    def _ensure_up(self) -> None:
+        if not self.available:
+            raise StorageError("database instance is down")
+
+    def snapshot(self) -> dict[str, dict[Hashable, list[Any]]]:
+        """Deep-ish copy used to seed replicas."""
+        return {t: {k: list(v) for k, v in rows.items()} for t, rows in self._tables.items()}
+
+    def load_snapshot(self, snapshot: dict[str, dict[Hashable, list[Any]]]) -> None:
+        """Replace the contents with a snapshot (replica seeding)."""
+        self._tables = {t: {k: list(v) for k, v in rows.items()} for t, rows in snapshot.items()}
+
+
+class InMemoryCache:
+    """Redis stand-in: TTL-aware key-value cache with hit/miss accounting."""
+
+    def __init__(self, latency: LatencyModel, default_ttl: float | None = None) -> None:
+        self.latency = latency
+        self.default_ttl = default_ttl
+        self._store: dict[Hashable, tuple[Any, float | None]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.available = True
+
+    def get(self, key: Hashable, now: float = 0.0) -> tuple[Any | None, bool, float]:
+        """Return ``(value, hit, seconds)``."""
+        self._ensure_up()
+        seconds = self.latency.charge_cache_get()
+        entry = self._store.get(key)
+        if entry is None:
+            self.misses += 1
+            return None, False, seconds
+        value, expires = entry
+        if expires is not None and now > expires:
+            del self._store[key]
+            self.misses += 1
+            return None, False, seconds
+        self.hits += 1
+        return value, True, seconds
+
+    def set(
+        self, key: Hashable, value: Any, now: float = 0.0, ttl: float | None = None
+    ) -> float:
+        """Store ``value`` under ``key`` (optionally with a TTL); returns seconds."""
+        self._ensure_up()
+        ttl = ttl if ttl is not None else self.default_ttl
+        expires = now + ttl if ttl is not None else None
+        self._store[key] = (value, expires)
+        return self.latency.charge_cache_set()
+
+    def invalidate(self, key: Hashable) -> None:
+        """Remove one key if present."""
+        self._store.pop(key, None)
+
+    def clear(self) -> None:
+        """Drop every cached entry."""
+        self._store.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def crash(self) -> None:
+        """Simulate a cache-instance crash (contents are lost)."""
+        self.available = False
+        self._store.clear()
+
+    def recover(self) -> None:
+        """Bring the cache back online (empty)."""
+        self.available = True
+
+    def _ensure_up(self) -> None:
+        if not self.available:
+            raise StorageError("cache instance is down")
+
+
+@dataclass
+class ReplicatedStore:
+    """Primary/replica pair with automatic failover (disaster backup).
+
+    Writes go to both; reads go to the primary and fail over to the replica
+    when the primary is down (charging one extra network round-trip).
+    """
+
+    primary: LocalDatabase
+    replica: LocalDatabase
+    latency: LatencyModel
+    failovers: int = field(default=0)
+
+    def insert(self, table: str, key: Hashable, row: Any) -> float:
+        """Write to every available replica; returns charged seconds."""
+        seconds = 0.0
+        wrote = False
+        for node in (self.primary, self.replica):
+            if node.available:
+                seconds += node.insert(table, key, row)
+                wrote = True
+        if not wrote:
+            raise StorageError("no database replica available for write")
+        return seconds
+
+    def query(self, table: str, key: Hashable) -> tuple[list[Any], float]:
+        """Read from the primary, failing over to the replica."""
+        if self.primary.available:
+            return self.primary.query(table, key)
+        if self.replica.available:
+            self.failovers += 1
+            rows, seconds = self.replica.query(table, key)
+            return rows, seconds + self.latency.charge_network()
+        raise StorageError("no database replica available for read")
+
+    def promote_replica(self) -> None:
+        """Primary-and-replica switch after a crash."""
+        self.primary, self.replica = self.replica, self.primary

@@ -1,0 +1,114 @@
+"""BLP baseline tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import BLPClassifier, BLPFeatureExtractor
+from repro.baselines.blp import BLP_FEATURE_NAMES
+from repro.datagen import BehaviorLog, BehaviorType
+
+DEV = BehaviorType.DEVICE_ID
+WIFI = BehaviorType.WIFI_MAC
+
+
+def ring_logs():
+    """Three users on one device (fraud ring), two singletons."""
+    logs = []
+    for i, uid in enumerate((1, 2, 3)):
+        logs.append(BehaviorLog(uid, DEV, "ring_dev", float(i)))
+    logs.append(BehaviorLog(4, DEV, "own_a", 10.0))
+    logs.append(BehaviorLog(5, DEV, "own_b", 11.0))
+    return logs
+
+
+def mixed_logs():
+    """Device co-occurrence is label-coherent; Wi-Fi is not."""
+    logs = ring_logs()
+    # Public wifi shared by fraud and normal users alike.
+    for i, uid in enumerate((1, 4, 5)):
+        logs.append(BehaviorLog(uid, WIFI, "cafe", 20.0 + i))
+    return logs
+
+
+LABELS = {1: 1, 2: 1, 3: 1, 4: 0, 5: 0}
+
+
+class TestHomophilyTest:
+    def test_coherent_type_kept(self):
+        extractor = BLPFeatureExtractor().fit(ring_logs(), LABELS)
+        assert DEV in extractor.kept_types
+
+    def test_incoherent_type_dropped(self):
+        extractor = BLPFeatureExtractor(homophily_threshold=0.6).fit(
+            mixed_logs(), LABELS
+        )
+        assert DEV in extractor.kept_types
+        # "cafe" pairs: (1,4),(1,5) different + (4,5) same -> 1/3 < 0.6.
+        assert WIFI not in extractor.kept_types
+
+    def test_dropped_type_contributes_no_edges(self):
+        extractor = BLPFeatureExtractor(homophily_threshold=0.6).fit(
+            mixed_logs(), LABELS
+        )
+        names = list(BLP_FEATURE_NAMES)
+        # User 4 only co-occurs via the dropped café wifi -> isolated.
+        assert extractor.features(4)[names.index("projected_degree")] == 0.0
+
+
+class TestExtractor:
+    def test_feature_vector_length(self):
+        extractor = BLPFeatureExtractor().fit(ring_logs(), LABELS)
+        assert extractor.features(1).shape == (len(BLP_FEATURE_NAMES),)
+
+    def test_unseen_user_zero_vector(self):
+        extractor = BLPFeatureExtractor().fit(ring_logs(), LABELS)
+        np.testing.assert_allclose(extractor.features(99), 0.0)
+
+    def test_ring_member_has_higher_degree(self):
+        extractor = BLPFeatureExtractor().fit(ring_logs(), LABELS)
+        names = list(BLP_FEATURE_NAMES)
+        degree_index = names.index("projected_degree")
+        assert extractor.features(1)[degree_index] > extractor.features(4)[degree_index]
+
+    def test_clustering_in_clique(self):
+        extractor = BLPFeatureExtractor().fit(ring_logs(), LABELS)
+        names = list(BLP_FEATURE_NAMES)
+        cc = extractor.features(1)[names.index("clustering_coefficient")]
+        assert cc > 0.5  # ring projection is a triangle
+
+    def test_matrix_stacks_rows(self):
+        extractor = BLPFeatureExtractor().fit(ring_logs(), LABELS)
+        matrix = extractor.matrix([1, 4, 99])
+        assert matrix.shape == (3, len(BLP_FEATURE_NAMES))
+
+
+class TestClassifier:
+    def test_end_to_end_on_tiny_dataset(self, tiny_experiment):
+        data = tiny_experiment
+        idx = data.fit_idx
+        uids = [data.nodes[i] for i in idx]
+        model = BLPClassifier(gbdt_params={"n_estimators": 20, "seed": 0})
+        model.fit(data.dataset.logs, uids, data.labels[idx], data.features_raw[idx])
+        scores = model.predict_proba(data.nodes, data.features_raw)
+        assert scores.shape == (len(data.nodes),)
+        assert ((scores >= 0) & (scores <= 1)).all()
+
+    def test_requires_fit_before_predict(self):
+        with pytest.raises(RuntimeError):
+            BLPClassifier().predict_proba([1], np.zeros((1, 2)))
+
+    def test_original_features_required_when_enabled(self):
+        model = BLPClassifier(use_original_features=True)
+        with pytest.raises(ValueError):
+            model.fit(ring_logs(), [1, 4], np.array([1, 0]), None)
+
+    def test_graph_only_mode(self):
+        model = BLPClassifier(
+            use_original_features=False,
+            gbdt_params={"n_estimators": 5, "min_samples_leaf": 1},
+        )
+        model.fit(ring_logs(), [1, 2, 3, 4, 5], np.array([1, 1, 1, 0, 0]))
+        scores = model.predict_proba([1, 4])
+        assert scores.shape == (2,)

@@ -1,0 +1,126 @@
+"""GBDT tests: tree splitting, boosting convergence, invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import GradientBoostingClassifier, RegressionTree
+
+
+class TestRegressionTree:
+    def test_finds_obvious_split(self):
+        x = np.array([[0.0], [1.0], [2.0], [3.0], [10.0], [11.0], [12.0], [13.0]])
+        gradients = np.array([-1.0] * 4 + [1.0] * 4)
+        hessians = np.ones(8)
+        tree = RegressionTree(max_depth=2, min_samples_leaf=2).fit(x, gradients, hessians)
+        predictions = tree.predict(x)
+        assert predictions[0] > 0 > predictions[-1]  # Newton step: -G/(H+λ)
+        assert tree.depth() >= 1
+
+    def test_respects_min_samples_leaf(self):
+        x = np.arange(6.0).reshape(-1, 1)
+        gradients = np.array([-1.0, -1, -1, 1, 1, 1])
+        tree = RegressionTree(max_depth=3, min_samples_leaf=4).fit(
+            x, gradients, np.ones(6)
+        )
+        assert tree.depth() == 0  # cannot split: both sides would be < 4
+
+    def test_constant_feature_no_split(self):
+        x = np.ones((10, 1))
+        gradients = np.linspace(-1, 1, 10)
+        tree = RegressionTree().fit(x, gradients, np.ones(10))
+        assert tree.depth() == 0
+
+    def test_feature_subset_respected(self):
+        rng = np.random.default_rng(0)
+        x = np.hstack([rng.normal(size=(50, 1)), np.linspace(-1, 1, 50)[:, None]])
+        gradients = np.sign(x[:, 1])
+        tree = RegressionTree(max_depth=1, min_samples_leaf=5).fit(
+            x, gradients, np.ones(50), feature_indices=np.array([0])
+        )
+        # Only the noise feature was allowed; the informative split on
+        # feature 1 must not appear.
+        assert tree.root.feature in (-1, 0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict(np.zeros((2, 2)))
+
+    @pytest.mark.parametrize("kwargs", [{"max_depth": 0}, {"min_samples_leaf": 0}])
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(ValueError):
+            RegressionTree(**kwargs)
+
+
+class TestGradientBoosting:
+    def test_learns_nonlinear_boundary(self, rng):
+        x = rng.normal(size=(600, 2))
+        y = ((x[:, 0] ** 2 + x[:, 1] ** 2) < 1.0).astype(float)  # circle
+        model = GradientBoostingClassifier(n_estimators=60, seed=0).fit(x, y)
+        accuracy = ((model.predict_proba(x) > 0.5) == y.astype(bool)).mean()
+        assert accuracy > 0.9
+
+    def test_staged_train_loss_decreases(self, rng):
+        x = rng.normal(size=(300, 3))
+        y = (x[:, 0] > 0).astype(float)
+        model = GradientBoostingClassifier(
+            n_estimators=30, subsample=1.0, colsample=1.0, seed=0
+        ).fit(x, y)
+        losses = model.staged_train_loss(x, y)
+        assert losses[-1] < losses[0]
+        # Full-batch second-order boosting: train loss is near-monotone.
+        violations = sum(b > a + 1e-9 for a, b in zip(losses, losses[1:]))
+        assert violations <= len(losses) // 10
+
+    def test_base_score_is_prior_log_odds(self, rng):
+        x = rng.normal(size=(100, 2))
+        y = np.zeros(100)
+        y[:25] = 1
+        model = GradientBoostingClassifier(n_estimators=1, seed=0).fit(x, y)
+        np.testing.assert_allclose(model.base_score_, np.log(0.25 / 0.75), rtol=1e-9)
+
+    def test_deterministic_given_seed(self, rng):
+        x = rng.normal(size=(150, 3))
+        y = (x[:, 1] > 0).astype(float)
+        a = GradientBoostingClassifier(n_estimators=10, seed=4).fit(x, y)
+        b = GradientBoostingClassifier(n_estimators=10, seed=4).fit(x, y)
+        np.testing.assert_allclose(a.predict_proba(x), b.predict_proba(x))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostingClassifier().predict_proba(np.zeros((2, 2)))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_estimators": 0},
+            {"learning_rate": 0.0},
+            {"subsample": 0.0},
+            {"colsample": 1.5},
+        ],
+    )
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(**kwargs)
+
+    def test_row_count_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier().fit(np.zeros((5, 2)), np.zeros(4))
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_property_more_trees_never_hurt_train_fit(seed):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(200, 3))
+    y = (x[:, 0] + 0.5 * x[:, 1] > 0).astype(float)
+    few = GradientBoostingClassifier(
+        n_estimators=5, subsample=1.0, colsample=1.0, seed=0
+    ).fit(x, y)
+    many = GradientBoostingClassifier(
+        n_estimators=40, subsample=1.0, colsample=1.0, seed=0
+    ).fit(x, y)
+    assert many.staged_train_loss(x, y)[-1] <= few.staged_train_loss(x, y)[-1] + 1e-9

@@ -1,0 +1,134 @@
+"""GCN / GraphSAGE / GAT / DNN baseline tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.baselines import (
+    GAT,
+    GCN,
+    DNNClassifier,
+    GraphSAGE,
+    gat_edges,
+    gcn_aggregator,
+    sage_aggregator,
+)
+from repro.nn import Tensor
+
+
+def two_cluster_graph(rng, n_per=20):
+    """Two communities with distinct features; labels follow community."""
+    n = 2 * n_per
+    dense = np.zeros((n, n))
+    for block in (slice(0, n_per), slice(n_per, n)):
+        sub = rng.random((n_per, n_per)) < 0.3
+        dense[block, block] = np.triu(sub, 1)
+    dense = dense + dense.T
+    adjacency = sp.csr_matrix(dense)
+    x = rng.normal(size=(n, 4))
+    x[:n_per] += 1.0
+    y = np.zeros(n)
+    y[:n_per] = 1
+    return adjacency, x, y
+
+
+class TestAggregators:
+    def test_gcn_aggregator_has_self_loops(self):
+        adjacency = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        agg = gcn_aggregator(adjacency).toarray()
+        assert agg[0, 0] > 0
+
+    def test_sage_aggregator_excludes_self(self):
+        adjacency = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        agg = sage_aggregator(adjacency).toarray()
+        assert agg[0, 0] == 0.0
+        np.testing.assert_allclose(agg.sum(axis=1), 1.0)
+
+    def test_gat_edges_include_self_loops(self):
+        adjacency = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        rows, cols = gat_edges(adjacency)
+        assert (0, 0) in set(zip(rows.tolist(), cols.tolist()))
+
+
+class TestForwardShapes:
+    def test_gcn(self, rng):
+        adjacency, x, _ = two_cluster_graph(rng, n_per=6)
+        model = GCN(4, rng, hidden=(8, 4), mlp_hidden=(4,))
+        logits = model(Tensor(x), gcn_aggregator(adjacency))
+        assert logits.shape == (12,)
+
+    def test_graphsage(self, rng):
+        adjacency, x, _ = two_cluster_graph(rng, n_per=6)
+        model = GraphSAGE(4, rng, hidden=(8, 4), mlp_hidden=(4,))
+        assert model(Tensor(x), sage_aggregator(adjacency)).shape == (12,)
+
+    def test_gat(self, rng):
+        adjacency, x, _ = two_cluster_graph(rng, n_per=6)
+        model = GAT(4, rng, hidden=(8, 4), mlp_hidden=(4,), heads=2)
+        assert model(Tensor(x), gat_edges(adjacency)).shape == (12,)
+
+    def test_gat_head_divisibility(self, rng):
+        with pytest.raises(ValueError):
+            GAT(4, rng, hidden=(7,), heads=2)
+
+
+class TestLearning:
+    def train(self, model, forward, x, y):
+        from repro.core import TrainConfig, train_node_classifier
+
+        train_node_classifier(
+            model,
+            forward,
+            x,
+            y,
+            np.arange(len(y)),
+            None,
+            TrainConfig(epochs=60, lr=0.01, patience=60),
+        )
+
+    def test_gcn_learns_communities(self, rng):
+        adjacency, x, y = two_cluster_graph(rng)
+        model = GCN(4, rng, hidden=(8, 4), mlp_hidden=(4,))
+        agg = gcn_aggregator(adjacency)
+        self.train(model, lambda t: model(t, agg), x, y)
+        accuracy = ((model.predict_proba(x, agg) > 0.5) == y.astype(bool)).mean()
+        assert accuracy > 0.9
+
+    def test_graphsage_learns_communities(self, rng):
+        adjacency, x, y = two_cluster_graph(rng)
+        model = GraphSAGE(4, rng, hidden=(8, 4), mlp_hidden=(4,))
+        agg = sage_aggregator(adjacency)
+        self.train(model, lambda t: model(t, agg), x, y)
+        accuracy = ((model.predict_proba(x, agg) > 0.5) == y.astype(bool)).mean()
+        assert accuracy > 0.9
+
+    def test_gat_learns_communities(self, rng):
+        adjacency, x, y = two_cluster_graph(rng)
+        model = GAT(4, rng, hidden=(8, 4), mlp_hidden=(4,), heads=2)
+        edges = gat_edges(adjacency)
+        self.train(model, lambda t: model(t, edges), x, y)
+        accuracy = ((model.predict_proba(x, edges) > 0.5) == y.astype(bool)).mean()
+        assert accuracy > 0.9
+
+
+class TestDNN:
+    def test_fit_predict(self, rng):
+        x = rng.normal(size=(200, 5))
+        y = (x[:, 0] > 0).astype(float)
+        model = DNNClassifier(hidden=(16,), epochs=150, seed=0).fit(x, y)
+        probs = model.predict_proba(x)
+        assert ((probs >= 0) & (probs <= 1)).all()
+        assert ((probs > 0.5) == y.astype(bool)).mean() > 0.85
+
+    def test_validation_path(self, rng):
+        x = rng.normal(size=(120, 5))
+        y = (x[:, 0] > 0).astype(float)
+        model = DNNClassifier(hidden=(8,), epochs=10, seed=0)
+        model.fit(x[:100], y[:100], x[100:], y[100:])
+        assert model.predict_proba(x).shape == (120,)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DNNClassifier().predict_proba(np.zeros((2, 5)))

@@ -1,0 +1,45 @@
+"""Logistic regression baseline tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import LogisticRegression
+
+
+class TestLogisticRegression:
+    def test_learns_linear_boundary(self, rng):
+        x = rng.normal(size=(500, 4))
+        w = np.array([2.0, -1.0, 0.5, 0.0])
+        y = (x @ w > 0).astype(float)
+        model = LogisticRegression().fit(x, y)
+        accuracy = ((model.predict_proba(x) > 0.5) == y.astype(bool)).mean()
+        assert accuracy > 0.95
+
+    def test_probabilities_in_unit_interval(self, rng):
+        x = rng.normal(size=(100, 3))
+        y = (x[:, 0] > 0).astype(float)
+        probs = LogisticRegression().fit(x, y).predict_proba(x)
+        assert ((probs >= 0) & (probs <= 1)).all()
+
+    def test_l2_shrinks_coefficients(self, rng):
+        x = rng.normal(size=(200, 3))
+        y = (x[:, 0] > 0).astype(float)
+        weak = LogisticRegression(l2=1e-4).fit(x, y)
+        strong = LogisticRegression(l2=1.0).fit(x, y)
+        assert np.linalg.norm(strong.coef_) < np.linalg.norm(weak.coef_)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict_proba(np.zeros((2, 2)))
+
+    def test_negative_l2_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(l2=-1.0)
+
+    def test_extreme_inputs_stable(self, rng):
+        x = rng.normal(size=(50, 2)) * 1000
+        y = (x[:, 0] > 0).astype(float)
+        probs = LogisticRegression().fit(x, y).predict_proba(x)
+        assert np.isfinite(probs).all()

@@ -1,0 +1,30 @@
+"""Registry end-to-end runs for the heavier graph methods (tiny scale)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import METHODS
+from repro.eval import run_method
+
+
+@pytest.mark.parametrize("name", ["GAT", "DTX1", "DTX2", "BLP", "DNN"])
+def test_graph_and_embedding_methods_run(name, tiny_experiment):
+    report, scores = run_method(METHODS[name], tiny_experiment, seed=0)
+    assert len(scores) == len(tiny_experiment.nodes)
+    assert np.isfinite(scores).all()
+    assert ((scores >= 0) & (scores <= 1)).all()
+    assert 0.0 <= report.auc <= 1.0
+
+
+def test_hag_ablation_variants_run(tiny_experiment):
+    for name in ("HAG-SAO(-)", "HAG-CFO(-)", "HAG-Both(-)"):
+        report, _scores = run_method(METHODS[name], tiny_experiment, seed=0)
+        assert 0.0 <= report.auc <= 1.0
+
+
+def test_methods_are_deterministic_given_seed(tiny_experiment):
+    _, first = run_method(METHODS["GBDT"], tiny_experiment, seed=5)
+    _, second = run_method(METHODS["GBDT"], tiny_experiment, seed=5)
+    np.testing.assert_allclose(first, second)

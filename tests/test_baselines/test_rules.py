@@ -1,0 +1,114 @@
+"""Scorecard and block-list (hard-coded production baselines) tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import Blocklist, Scorecard, ScorecardRule, default_scorecard
+from repro.datagen import DAY, BehaviorLog, BehaviorType, Transaction, User
+
+DEV = BehaviorType.DEVICE_ID
+IP = BehaviorType.IPV4
+
+
+def good_user() -> User:
+    return User(
+        uid=1,
+        registered_at=0.0,
+        age=35,
+        credit_score=750,
+        income_level=4.0,
+        phone_verified=True,
+        id_verified=True,
+        third_party_score=0.9,
+        historical_leases=3,
+    )
+
+
+def bad_user() -> User:
+    return User(
+        uid=2,
+        registered_at=99 * DAY,
+        age=19,
+        credit_score=500,
+        income_level=1.0,
+        phone_verified=False,
+        id_verified=False,
+        third_party_score=0.1,
+        historical_leases=0,
+    )
+
+
+def txn(uid: int, created: float = 100 * DAY) -> Transaction:
+    return Transaction(txn_id=0, uid=uid, created_at=created, monthly_rent=250.0, item_value=3000.0)
+
+
+class TestScorecard:
+    def test_bad_profile_scores_higher(self):
+        card = default_scorecard()
+        assert card.score(bad_user(), txn(2)) > card.score(good_user(), txn(1))
+
+    def test_score_in_unit_interval(self):
+        card = default_scorecard()
+        for user in (good_user(), bad_user()):
+            assert 0.0 <= card.score(user, txn(user.uid)) <= 1.0
+
+    def test_decision_threshold(self):
+        card = default_scorecard(decision_threshold=0.5)
+        assert card.predict(bad_user(), txn(2))
+        assert not card.predict(good_user(), txn(1))
+
+    def test_empty_scorecard_rejected(self):
+        with pytest.raises(ValueError):
+            Scorecard(rules=[]).score(good_user(), txn(1))
+
+    def test_scores_vectorized(self):
+        card = default_scorecard()
+        scores = card.scores([(good_user(), txn(1)), (bad_user(), txn(2))])
+        assert scores.shape == (2,)
+
+    def test_custom_rule(self):
+        card = Scorecard(
+            rules=[ScorecardRule("always", 1.0, lambda u, t: True)],
+            decision_threshold=0.5,
+        )
+        assert card.score(good_user(), txn(1)) == 1.0
+
+
+class TestBlocklist:
+    def logs(self):
+        return [
+            BehaviorLog(1, DEV, "fraud_dev", 0.0),
+            BehaviorLog(2, DEV, "fraud_dev", 1.0),
+            BehaviorLog(3, DEV, "clean_dev", 2.0),
+            BehaviorLog(1, IP, "ip_x", 3.0),
+        ]
+
+    def test_fit_collects_fraud_values(self):
+        blocklist = Blocklist().fit(self.logs(), fraud_uids={1})
+        assert len(blocklist) >= 1
+        assert blocklist.is_blocked(self.logs(), 2)  # shares fraud_dev
+        assert not blocklist.is_blocked(self.logs(), 3)
+
+    def test_only_watched_types_collected(self):
+        blocklist = Blocklist(watched_types=(DEV,)).fit(self.logs(), {1})
+        assert (IP, "ip_x") not in blocklist._blocked
+
+    def test_scores_fractional(self):
+        blocklist = Blocklist().fit(self.logs(), {1})
+        scores = blocklist.predict_proba(self.logs(), [1, 2, 3, 4])
+        assert scores[1] > 0.0
+        assert scores[2] == 0.0
+        assert scores[3] == 0.0  # no logs at all
+
+    def test_manual_add(self):
+        blocklist = Blocklist()
+        blocklist.add(DEV, "evil")
+        assert blocklist.is_blocked([BehaviorLog(9, DEV, "evil", 0.0)], 9)
+
+    def test_blocklist_misses_unseen_fraud(self):
+        """The structural weakness motivating Turbo: new rings evade it."""
+        blocklist = Blocklist().fit(self.logs(), fraud_uids={1})
+        new_ring = [BehaviorLog(50, DEV, "new_ring_dev", 0.0)]
+        assert not blocklist.is_blocked(new_ring, 50)

@@ -1,0 +1,53 @@
+"""Linear SVM baseline tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import LinearSVM
+
+
+class TestLinearSVM:
+    def test_separates_linear_data(self, rng):
+        x = rng.normal(size=(400, 3))
+        y = (x[:, 0] - x[:, 1] > 0).astype(float)
+        model = LinearSVM(seed=0).fit(x, y)
+        accuracy = ((model.decision_function(x) > 0) == y.astype(bool)).mean()
+        assert accuracy > 0.9
+
+    def test_probability_monotone_in_margin(self, rng):
+        x = rng.normal(size=(200, 2))
+        y = (x[:, 0] > 0).astype(float)
+        model = LinearSVM(seed=0).fit(x, y)
+        margins = model.decision_function(x)
+        probs = model.predict_proba(x)
+        order = np.argsort(margins)
+        assert (np.diff(probs[order]) >= -1e-12).all()
+
+    def test_class_weight_lifts_minority_recall(self, rng):
+        x = rng.normal(size=(500, 3))
+        y = np.zeros(500)
+        y[:40] = 1
+        x[:40] += 1.0
+
+        def recall(weight):
+            model = LinearSVM(class_weight=weight, seed=0).fit(x, y)
+            return (model.decision_function(x[:40]) > 0).mean()
+
+        assert recall(10.0) >= recall(1.0)
+
+    def test_invalid_c(self):
+        with pytest.raises(ValueError):
+            LinearSVM(c=0.0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearSVM().decision_function(np.zeros((2, 2)))
+
+    def test_deterministic_given_seed(self, rng):
+        x = rng.normal(size=(100, 2))
+        y = (x[:, 0] > 0).astype(float)
+        a = LinearSVM(seed=3).fit(x, y)
+        b = LinearSVM(seed=3).fit(x, y)
+        np.testing.assert_allclose(a.coef_, b.coef_)

@@ -1,0 +1,51 @@
+"""Command-line interface tests (direct main() invocation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["stats"])
+        assert args.scale == 0.3
+        assert args.command == "stats"
+
+    def test_evaluate_options(self):
+        args = build_parser().parse_args(
+            ["--scale", "0.1", "evaluate", "--methods", "LR", "--seeds", "0,1"]
+        )
+        assert args.scale == 0.1
+        assert args.methods == "LR"
+
+
+class TestCommands:
+    def test_stats_command(self, capsys):
+        assert main(["--scale", "0.06", "--seed", "3", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "# node" in out
+        assert "behavior logs" in out
+
+    def test_empirical_command(self, capsys):
+        assert main(["--scale", "0.06", "--seed", "3", "empirical"]) == 0
+        out = capsys.readouterr().out
+        assert "near-application" in out
+        assert "hop-1/2 fraud ratio" in out
+
+    def test_evaluate_command(self, capsys):
+        code = main(
+            ["--scale", "0.06", "--seed", "3", "evaluate", "--methods", "LR,GBDT"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LR" in out and "GBDT" in out and "AUC" in out
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(KeyError):
+            main(["--scale", "0.06", "evaluate", "--methods", "NOPE"])

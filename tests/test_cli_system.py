@@ -1,0 +1,41 @@
+"""CLI tests for the system-level commands (tiny scale, slowish)."""
+
+from __future__ import annotations
+
+from repro.cli import main
+
+
+class TestServeCommand:
+    def test_serve_prints_telemetry(self, capsys):
+        code = main(
+            ["--scale", "0.06", "--seed", "3", "serve", "--requests", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "requests=5" in out
+        assert "prediction" in out
+
+    def test_serve_without_cache(self, capsys):
+        code = main(
+            [
+                "--scale",
+                "0.06",
+                "--seed",
+                "3",
+                "serve",
+                "--requests",
+                "3",
+                "--no-cache",
+            ]
+        )
+        assert code == 0
+        assert "requests=3" in capsys.readouterr().out
+
+
+class TestAbtestCommand:
+    def test_abtest_prints_ratios(self, capsys):
+        code = main(["--scale", "0.06", "--seed", "3", "abtest"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "baseline fraud ratio" in out
+        assert "online precision" in out

@@ -1,0 +1,66 @@
+"""CFO operator tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CFOLayer
+from repro.nn import Tensor
+
+
+class TestCFOLayer:
+    def make(self, rng, n_types=3, d=4, out=2) -> CFOLayer:
+        return CFOLayer(n_types=n_types, embed_dim=d, att_dim=3, out_dim=out, rng=rng)
+
+    def test_output_dim(self, rng):
+        layer = self.make(rng)
+        assert layer.output_dim == 2 * 3
+
+    def test_forward_shape(self, rng):
+        layer = self.make(rng)
+        gen = np.random.default_rng(0)
+        embeddings = [Tensor(gen.normal(size=(5, 4))) for _ in range(3)]
+        assert layer(embeddings).shape == (5, 6)
+
+    def test_wrong_type_count_rejected(self, rng):
+        layer = self.make(rng)
+        with pytest.raises(ValueError):
+            layer([Tensor(np.zeros((5, 4)))])
+
+    def test_zero_types_rejected(self, rng):
+        with pytest.raises(ValueError):
+            CFOLayer(n_types=0, embed_dim=4, att_dim=3, out_dim=2, rng=rng)
+
+    def test_attention_matrix_rows_normalized(self, rng):
+        layer = self.make(rng)
+        gen = np.random.default_rng(1)
+        embeddings = [Tensor(gen.normal(size=(6, 4))) for _ in range(3)]
+        alpha = layer.attention_matrix(embeddings)
+        assert alpha.shape == (6, 3, 3)
+        np.testing.assert_allclose(alpha.sum(axis=2), 1.0, atol=1e-9)
+
+    def test_node_wise_attention_differs_across_nodes(self, rng):
+        """Micro-level adaptivity: different nodes get different mixes."""
+        layer = self.make(rng)
+        gen = np.random.default_rng(2)
+        embeddings = [Tensor(gen.normal(size=(8, 4)) * (r + 1)) for r in range(3)]
+        alpha = layer.attention_matrix(embeddings)
+        assert alpha.std(axis=0).max() > 1e-4
+
+    def test_gradients_reach_type_parameters(self, rng):
+        layer = self.make(rng)
+        gen = np.random.default_rng(3)
+        embeddings = [
+            Tensor(gen.normal(size=(5, 4)), requires_grad=True) for _ in range(3)
+        ]
+        layer(embeddings).sum().backward()
+        for param in layer.parameters():
+            assert param.grad is not None
+        for emb in embeddings:
+            assert emb.grad is not None
+
+    def test_single_type_degenerates_gracefully(self, rng):
+        layer = CFOLayer(n_types=1, embed_dim=4, att_dim=3, out_dim=2, rng=rng)
+        out = layer([Tensor(np.random.default_rng(4).normal(size=(5, 4)))])
+        assert out.shape == (5, 2)

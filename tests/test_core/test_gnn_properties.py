@@ -1,0 +1,104 @@
+"""Property-style invariants across the GNN family."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.baselines.gat import GATLayer, gat_edges
+from repro.core import HAG, prepare_aggregators
+from repro.nn import Tensor, segment_sum
+
+
+def random_graph(n: int, seed: int) -> sp.csr_matrix:
+    rng = np.random.default_rng(seed)
+    dense = np.triu(rng.random((n, n)) < 0.3, 1).astype(float)
+    return sp.csr_matrix(dense + dense.T)
+
+
+class TestGATInternals:
+    def test_attention_weights_sum_to_one_per_node(self, rng):
+        """The segment softmax must produce a distribution per target node."""
+        n = 8
+        adjacency = random_graph(n, 0)
+        rows, cols = gat_edges(adjacency)
+        layer = GATLayer(4, 4, rng, heads=1)
+        h = Tensor(np.random.default_rng(1).normal(size=(n, 4)))
+        # Recompute the attention exactly as the layer does.
+        z = h @ layer.w[0]
+        scores = (
+            z.index_select(rows) @ layer.a_src[0]
+            + z.index_select(cols) @ layer.a_dst[0]
+        ).leaky_relu(0.2)
+        max_per_node = np.full(n, -np.inf)
+        np.maximum.at(max_per_node, rows, scores.numpy())
+        shifted = scores - Tensor(max_per_node[rows])
+        exp_scores = shifted.exp()
+        denom = segment_sum(exp_scores.reshape(-1, 1), rows, n)
+        alpha = (exp_scores / (denom.index_select(rows).flatten() + 1e-12)).numpy()
+        sums = np.zeros(n)
+        np.add.at(sums, rows, alpha)
+        np.testing.assert_allclose(sums, 1.0, atol=1e-9)
+
+
+class TestHAGInvariances:
+    def make_model(self, seed=0, **kwargs):
+        return HAG(
+            5,
+            2,
+            np.random.default_rng(seed),
+            hidden=(8, 4),
+            att_dim=4,
+            cfo_att_dim=4,
+            cfo_out_dim=2,
+            mlp_hidden=(4,),
+            **kwargs,
+        )
+
+    def test_state_roundtrip_reproduces_outputs(self):
+        adjacencies = [random_graph(6, s) for s in (1, 2)]
+        aggregators = prepare_aggregators(adjacencies)
+        x = np.random.default_rng(3).normal(size=(6, 5))
+        a = self.make_model(seed=0)
+        b = self.make_model(seed=99)
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(
+            a.predict_proba(x, aggregators), b.predict_proba(x, aggregators)
+        )
+
+    def test_isolated_node_unaffected_by_graph(self):
+        """A node with no edges of any type only sees its own features."""
+        n = 5
+        empty = [sp.csr_matrix((n, n)) for _ in range(2)]
+        aggregators = prepare_aggregators(empty)
+        model = self.make_model()
+        x = np.random.default_rng(4).normal(size=(n, 5))
+        base = model.predict_proba(x, aggregators)
+        shuffled = x.copy()
+        shuffled[1:] = shuffled[1:][::-1]  # permute everyone except node 0
+        after = model.predict_proba(shuffled, aggregators)
+        np.testing.assert_allclose(base[0], after[0], rtol=1e-9)
+
+    def test_node_permutation_equivariance(self):
+        """Relabeling nodes permutes the outputs correspondingly."""
+        n = 7
+        adjacencies = [random_graph(n, s) for s in (5, 6)]
+        model = self.make_model()
+        x = np.random.default_rng(7).normal(size=(n, 5))
+        base = model.predict_proba(x, prepare_aggregators(adjacencies))
+
+        perm = np.random.default_rng(8).permutation(n)
+        p = sp.csr_matrix((np.ones(n), (np.arange(n), perm)), shape=(n, n))
+        permuted_adj = [p @ a @ p.T for a in adjacencies]
+        permuted = model.predict_proba(x[perm], prepare_aggregators(permuted_adj))
+        np.testing.assert_allclose(permuted, base[perm], rtol=1e-8)
+
+    def test_scores_deterministic_in_eval(self):
+        adjacencies = [random_graph(6, 9)]
+        model = self.make_model(use_cfo=False)
+        aggregators = prepare_aggregators(adjacencies)
+        x = np.random.default_rng(10).normal(size=(6, 5))
+        np.testing.assert_allclose(
+            model.predict_proba(x, aggregators), model.predict_proba(x, aggregators)
+        )

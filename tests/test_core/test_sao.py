@@ -1,0 +1,103 @@
+"""SAO operator tests, including the Theorem 1 over-smoothing contrast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import SAOLayer, neighbor_mean_matrix
+from repro.nn import Tensor
+
+
+def clique_adjacency(n: int) -> sp.csr_matrix:
+    dense = np.ones((n, n)) - np.eye(n)
+    return sp.csr_matrix(dense)
+
+
+class TestNeighborMeanMatrix:
+    def test_rows_sum_to_one(self):
+        agg = neighbor_mean_matrix(clique_adjacency(4))
+        np.testing.assert_allclose(np.asarray(agg.sum(axis=1)).ravel(), 1.0)
+
+    def test_isolated_row_stays_zero(self):
+        matrix = sp.csr_matrix(np.array([[0.0, 1.0, 0.0], [1.0, 0.0, 0.0], [0.0, 0.0, 0.0]]))
+        agg = neighbor_mean_matrix(matrix)
+        np.testing.assert_allclose(agg.toarray()[2], 0.0)
+
+    def test_weights_preserved_relatively(self):
+        matrix = sp.csr_matrix(np.array([[0.0, 1.0, 3.0], [1.0, 0.0, 0.0], [3.0, 0.0, 0.0]]))
+        agg = neighbor_mean_matrix(matrix).toarray()
+        assert agg[0, 2] == pytest.approx(3 * agg[0, 1])
+
+
+class TestSAOLayer:
+    def test_output_shape(self, rng):
+        layer = SAOLayer(6, 4, att_dim=3, rng=rng)
+        agg = neighbor_mean_matrix(clique_adjacency(5))
+        out = layer(Tensor(np.random.default_rng(0).normal(size=(5, 6))), agg)
+        assert out.shape == (5, 4)
+
+    def test_attention_coefficients_simplex(self, rng):
+        layer = SAOLayer(6, 4, att_dim=3, rng=rng)
+        agg = neighbor_mean_matrix(clique_adjacency(5))
+        alphas = layer.attention_coefficients(
+            Tensor(np.random.default_rng(0).normal(size=(5, 6))), agg
+        )
+        assert alphas.shape == (5, 2)
+        np.testing.assert_allclose(alphas.sum(axis=1), 1.0)
+        assert (alphas >= 0).all()
+
+    def test_no_attention_coefficients_are_ones(self, rng):
+        layer = SAOLayer(6, 4, att_dim=3, rng=rng, use_attention=False)
+        agg = neighbor_mean_matrix(clique_adjacency(5))
+        alphas = layer.attention_coefficients(Tensor(np.zeros((5, 6))), agg)
+        np.testing.assert_allclose(alphas, 1.0)
+
+    def test_gradients_flow_to_all_parameters(self, rng):
+        layer = SAOLayer(4, 3, att_dim=2, rng=rng)
+        agg = neighbor_mean_matrix(clique_adjacency(4))
+        x = Tensor(np.random.default_rng(1).normal(size=(4, 4)))
+        layer(x, agg).sum().backward()
+        for param in layer.parameters():
+            assert param.grad is not None
+
+
+class TestOverSmoothing:
+    """Theorem 1: GCN-style aggregation collapses a clique; SAO does not."""
+
+    @staticmethod
+    def _spread(embeddings: np.ndarray) -> float:
+        return float(np.linalg.norm(embeddings - embeddings.mean(axis=0)))
+
+    def test_gcn_collapses_clique_sao_preserves(self, rng):
+        n = 8
+        features = np.random.default_rng(0).normal(size=(n, 6))
+        clique = clique_adjacency(n)
+
+        # GCN-style: aggregate over N ∪ {v} with no self/neighbour split.
+        from repro.network.adjacency import row_normalize
+
+        gcn_agg = row_normalize(clique + sp.eye(n, format="csr"))
+        collapsed = np.asarray(gcn_agg @ features)
+        # After one aggregation every clique node sees (almost) the same
+        # neighbourhood: spread shrinks by ~n/(n-1) factors toward zero, and
+        # a second round eliminates what is left.
+        twice = np.asarray(gcn_agg @ collapsed)
+        assert self._spread(twice) < 0.1 * self._spread(features)
+
+        layer = SAOLayer(6, 6, att_dim=4, rng=rng)
+        agg = neighbor_mean_matrix(clique)
+        sao_once = layer(Tensor(features), agg).numpy()
+        sao_layer2 = SAOLayer(6, 6, att_dim=4, rng=rng)
+        sao_twice = sao_layer2(Tensor(sao_once), agg).numpy()
+        # SAO keeps the self path: node identity survives two rounds.
+        assert self._spread(sao_twice) > 0.1 * self._spread(features)
+
+    def test_clique_neighborhood_identical_for_all_nodes(self):
+        agg = neighbor_mean_matrix(clique_adjacency(5))
+        features = np.random.default_rng(1).normal(size=(5, 3))
+        neighbor_means = np.asarray(agg @ features)
+        # In a uniform clique, h_N differs only by the excluded self row.
+        spread = neighbor_means.std(axis=0).max()
+        assert spread < features.std(axis=0).max()

@@ -1,0 +1,38 @@
+"""GeneratorConfig validation tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import GeneratorConfig
+
+
+class TestValidation:
+    def test_default_config_is_valid(self):
+        GeneratorConfig().validate()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("n_users", 0),
+            ("fraud_rate", -0.1),
+            ("fraud_rate", 1.0),
+            ("ring_fraction", 1.5),
+            ("min_ring_size", 1),
+            ("span_days", 0.5),
+            ("rejected_applicant_fraction", -1.0),
+        ],
+    )
+    def test_invalid_values_raise(self, field, value):
+        config = GeneratorConfig()
+        setattr(config, field, value)
+        with pytest.raises(ValueError):
+            config.validate()
+
+    def test_max_ring_below_min_raises(self):
+        config = GeneratorConfig(min_ring_size=5, max_ring_size=4)
+        with pytest.raises(ValueError):
+            config.validate()
+
+    def test_span_seconds(self):
+        assert GeneratorConfig(span_days=2.0).span_seconds == 2 * 86400.0

@@ -1,0 +1,43 @@
+"""Dataset preset tests (Table II shapes)."""
+
+from __future__ import annotations
+
+from repro.datagen import dataset_statistics, make_d1, make_d2
+from repro.network import BNBuilder, FAST_WINDOWS
+
+
+class TestPresets:
+    def test_d1_is_normal_majority(self):
+        dataset = make_d1(scale=0.06)
+        labels = dataset.labels
+        rate = sum(labels.values()) / len(labels)
+        assert rate < 0.2
+
+    def test_d2_is_positive_majority(self):
+        dataset = make_d2(scale=0.1)
+        labels = dataset.labels
+        rate = sum(labels.values()) / len(labels)
+        assert rate > 0.7
+
+    def test_scale_grows_population(self):
+        small = make_d1(scale=0.06)
+        large = make_d1(scale=0.12)
+        assert len(large.users) > len(small.users)
+
+    def test_overrides_forwarded(self):
+        dataset = make_d1(scale=0.06, fraud_rate=0.3)
+        labels = dataset.labels
+        assert sum(labels.values()) / len(labels) > 0.2
+
+
+class TestStatistics:
+    def test_table2_row(self):
+        dataset = make_d1(scale=0.06)
+        bn = BNBuilder(windows=FAST_WINDOWS).build(dataset.logs)
+        stats = dataset_statistics(dataset, bn)
+        assert stats.name == "D1"
+        assert stats.n_nodes == len(dataset.labels)
+        assert stats.n_positive == sum(dataset.labels.values())
+        assert stats.n_edges == bn.num_edges()
+        assert 1 <= stats.n_types <= 8
+        assert "D1" in stats.as_row()

@@ -1,0 +1,48 @@
+"""Entity/dataset container tests."""
+
+from __future__ import annotations
+
+from repro.datagen import DAY, BehaviorLog, BehaviorType, Dataset, Transaction, User
+
+
+class TestTransaction:
+    def test_audit_is_one_day_later(self):
+        txn = Transaction(txn_id=0, uid=1, created_at=1000.0)
+        assert txn.audit_at == 1000.0 + DAY
+
+
+class TestDataset:
+    def make(self) -> Dataset:
+        dataset = Dataset(name="x")
+        dataset.users = [
+            User(uid=1, registered_at=0.0, is_fraud=True),
+            User(uid=2, registered_at=0.0),
+            User(uid=3, registered_at=0.0),  # no transaction -> unlabeled
+        ]
+        dataset.transactions = [
+            Transaction(txn_id=0, uid=1, created_at=10.0, is_fraud=True),
+            Transaction(txn_id=1, uid=2, created_at=20.0),
+            Transaction(txn_id=2, uid=2, created_at=30.0),
+        ]
+        dataset.logs = [
+            BehaviorLog(1, BehaviorType.IPV4, "ip_1", 5.0),
+            BehaviorLog(2, BehaviorType.IPV4, "ip_2", 6.0),
+            BehaviorLog(1, BehaviorType.GPS_100, "g_1", 7.0),
+        ]
+        return dataset
+
+    def test_labels_only_for_users_with_transactions(self):
+        labels = self.make().labels
+        assert labels == {1: 1, 2: 0}
+
+    def test_transactions_by_user_groups(self):
+        grouped = self.make().transactions_by_user()
+        assert len(grouped[2]) == 2
+
+    def test_logs_by_user_groups(self):
+        grouped = self.make().logs_by_user()
+        assert len(grouped[1]) == 2
+        assert len(grouped[2]) == 1
+
+    def test_user_by_id(self):
+        assert self.make().user_by_id()[1].is_fraud

@@ -1,0 +1,125 @@
+"""Simulator tests: determinism, population structure, behavioural patterns."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    DAY,
+    BehaviorType,
+    GeneratorConfig,
+    LeasingPlatformSimulator,
+)
+from tests.conftest import tiny_generator_config
+
+
+class TestPopulation:
+    def test_user_count_close_to_config(self, tiny_dataset):
+        # Ring rounding can add a couple of users beyond n_users.
+        assert 220 <= len(tiny_dataset.users) <= 235
+
+    def test_fraud_rate_close_to_config(self, tiny_dataset):
+        labels = tiny_dataset.labels
+        rate = sum(labels.values()) / len(labels)
+        assert 0.08 <= rate <= 0.17
+
+    def test_every_user_has_a_transaction(self, tiny_dataset):
+        with_txn = {t.uid for t in tiny_dataset.transactions}
+        assert {u.uid for u in tiny_dataset.users} <= with_txn
+
+    def test_ring_members_share_ring_id(self, tiny_dataset):
+        rings: dict[int, int] = {}
+        for user in tiny_dataset.users:
+            if user.ring_id is not None:
+                rings[user.ring_id] = rings.get(user.ring_id, 0) + 1
+        assert rings, "expected at least one ring"
+        assert all(size >= 2 for size in rings.values())
+
+    def test_fraudster_transactions_underpay(self, tiny_dataset):
+        for txn in tiny_dataset.transactions:
+            if txn.is_fraud:
+                assert txn.paid_periods <= 2
+            else:
+                assert txn.paid_periods == txn.lease_term
+
+    def test_logs_sorted_by_time(self, tiny_dataset):
+        times = [log.timestamp for log in tiny_dataset.logs]
+        assert times == sorted(times)
+
+    def test_logs_within_span(self, tiny_dataset):
+        for log in tiny_dataset.logs[:2000]:
+            assert 0.0 <= log.timestamp <= tiny_dataset.end_time
+
+
+class TestDeterminism:
+    def test_same_seed_same_output(self):
+        config = tiny_generator_config(n_users=80)
+        a = LeasingPlatformSimulator(config, seed=7).generate()
+        b = LeasingPlatformSimulator(tiny_generator_config(n_users=80), seed=7).generate()
+        assert len(a.logs) == len(b.logs)
+        assert [u.credit_score for u in a.users] == [u.credit_score for u in b.users]
+        assert [(l.uid, l.value) for l in a.logs[:100]] == [
+            (l.uid, l.value) for l in b.logs[:100]
+        ]
+
+    def test_different_seed_differs(self):
+        a = LeasingPlatformSimulator(tiny_generator_config(n_users=80), seed=1).generate()
+        b = LeasingPlatformSimulator(tiny_generator_config(n_users=80), seed=2).generate()
+        assert [u.credit_score for u in a.users] != [u.credit_score for u in b.users]
+
+
+class TestBehaviouralPatterns:
+    """The four Fig. 4 patterns must hold in generated data."""
+
+    @pytest.fixture(scope="class")
+    def pattern_dataset(self):
+        config = GeneratorConfig(n_users=900, fraud_rate=0.1, span_days=200.0)
+        return LeasingPlatformSimulator(config, seed=11).generate()
+
+    def test_time_burst(self, pattern_dataset):
+        """Fraud logs concentrate near the application; normal logs spread."""
+        from repro.eval.empirical import time_burst_summary
+
+        fraud = time_burst_summary(pattern_dataset, fraud=True)
+        normal = time_burst_summary(pattern_dataset, fraud=False)
+        assert fraud.near_application_fraction > 2 * normal.near_application_fraction
+        assert fraud.mean_std_days < normal.mean_std_days
+
+    def test_ring_members_apply_within_window(self, pattern_dataset):
+        by_ring: dict[int, list[float]] = {}
+        users = pattern_dataset.user_by_id()
+        for txn in pattern_dataset.transactions:
+            ring = users[txn.uid].ring_id
+            if ring is not None:
+                by_ring.setdefault(ring, []).append(txn.created_at)
+        spans = [max(ts) - min(ts) for ts in by_ring.values() if len(ts) >= 2]
+        assert spans and np.median(spans) <= 4 * DAY
+
+    def test_rings_share_deterministic_resources(self, pattern_dataset):
+        users = pattern_dataset.user_by_id()
+        device_users: dict[tuple[int, str], set[int]] = {}
+        members_by_ring: dict[int, set[int]] = {}
+        for log in pattern_dataset.logs:
+            ring = users[log.uid].ring_id
+            if ring is None or log.btype != BehaviorType.DEVICE_ID:
+                continue
+            device_users.setdefault((ring, log.value), set()).add(log.uid)
+            members_by_ring.setdefault(ring, set()).add(log.uid)
+        shared_rings = {
+            ring for (ring, _dev), members in device_users.items() if len(members) >= 2
+        }
+        sizeable = {r for r, members in members_by_ring.items() if len(members) >= 4}
+        # Most sizeable rings have at least one device used by 2+ members.
+        assert sizeable and len(shared_rings & sizeable) / len(sizeable) > 0.5
+
+
+class TestRejectedApplicants:
+    def test_rejected_fraction_adds_positives(self):
+        config = tiny_generator_config(
+            n_users=100, rejected_applicant_fraction=1.0, fraud_rate=0.1
+        )
+        dataset = LeasingPlatformSimulator(config, seed=5).generate()
+        labels = dataset.labels
+        assert sum(labels.values()) / len(labels) > 0.4
+        assert any(t.rejected_by_rules for t in dataset.transactions)

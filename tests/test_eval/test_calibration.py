@@ -1,0 +1,72 @@
+"""Threshold calibration tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval import threshold_for_fbeta, threshold_for_precision
+from repro.eval.metrics import precision_score, recall_score
+
+
+def scored_problem():
+    labels = np.array([1, 1, 1, 1, 0, 0, 0, 0, 1, 0])
+    scores = np.array([0.95, 0.9, 0.8, 0.7, 0.65, 0.4, 0.3, 0.2, 0.15, 0.1])
+    return labels, scores
+
+
+class TestThresholdForPrecision:
+    def test_meets_precision_floor(self):
+        labels, scores = scored_problem()
+        point = threshold_for_precision(labels, scores, min_precision=0.9)
+        predicted = (scores >= point.threshold).astype(int)
+        assert precision_score(labels, predicted) >= 0.9
+
+    def test_maximizes_recall_at_floor(self):
+        labels, scores = scored_problem()
+        point = threshold_for_precision(labels, scores, min_precision=1.0)
+        # Perfect precision is achievable down to 0.7 (4 positives).
+        assert point.recall == pytest.approx(4 / 5)
+        assert point.threshold == pytest.approx(0.7)
+
+    def test_falls_back_to_most_conservative(self):
+        labels = np.array([0, 1])
+        scores = np.array([0.9, 0.1])  # top-scored example is negative
+        point = threshold_for_precision(labels, scores, min_precision=0.99)
+        assert point.threshold == pytest.approx(0.9)
+
+    def test_invalid_floor(self):
+        labels, scores = scored_problem()
+        with pytest.raises(ValueError):
+            threshold_for_precision(labels, scores, min_precision=0.0)
+
+    def test_reported_metrics_match_reality(self):
+        labels, scores = scored_problem()
+        point = threshold_for_precision(labels, scores, min_precision=0.75)
+        predicted = (scores >= point.threshold).astype(int)
+        assert point.precision == pytest.approx(precision_score(labels, predicted))
+        assert point.recall == pytest.approx(recall_score(labels, predicted))
+
+
+class TestThresholdForFbeta:
+    def test_maximizes_f1(self):
+        labels, scores = scored_problem()
+        point = threshold_for_fbeta(labels, scores, beta=1.0)
+        # Check no other cut does better.
+        from repro.eval.metrics import fbeta_score
+
+        best = fbeta_score(labels, (scores >= point.threshold).astype(int), 1.0)
+        for cut in np.unique(scores):
+            other = fbeta_score(labels, (scores >= cut).astype(int), 1.0)
+            assert best >= other - 1e-12
+
+    def test_beta_shifts_toward_recall(self):
+        labels, scores = scored_problem()
+        f1_point = threshold_for_fbeta(labels, scores, beta=1.0)
+        f4_point = threshold_for_fbeta(labels, scores, beta=4.0)
+        assert f4_point.recall >= f1_point.recall
+
+    def test_invalid_beta(self):
+        labels, scores = scored_problem()
+        with pytest.raises(ValueError):
+            threshold_for_fbeta(labels, scores, beta=0.0)

@@ -1,0 +1,73 @@
+"""Empirical-study (Fig. 4) analysis tests on the tiny dataset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen import BehaviorType
+from repro.eval.empirical import (
+    hop_degrees,
+    hop_fraud_ratios,
+    temporal_aggregation_intervals,
+    time_burst_summary,
+)
+
+
+class TestTimeBurst:
+    def test_summaries_computed_for_both_classes(self, tiny_dataset):
+        fraud = time_burst_summary(tiny_dataset, fraud=True)
+        normal = time_burst_summary(tiny_dataset, fraud=False)
+        assert fraud.n_users > 0 and normal.n_users > 0
+        assert 0.0 <= fraud.near_application_fraction <= 1.0
+
+    def test_fraud_more_concentrated(self, tiny_dataset):
+        fraud = time_burst_summary(tiny_dataset, fraud=True)
+        normal = time_burst_summary(tiny_dataset, fraud=False)
+        assert fraud.near_application_fraction > normal.near_application_fraction
+
+
+class TestTemporalAggregation:
+    def test_intervals_nonnegative(self, tiny_dataset):
+        intervals = temporal_aggregation_intervals(
+            tiny_dataset, BehaviorType.DEVICE_ID, fraud_pairs=True
+        )
+        assert (intervals >= 0).all()
+
+    def test_fraud_intervals_shorter(self, tiny_dataset):
+        fraud = temporal_aggregation_intervals(
+            tiny_dataset, BehaviorType.DEVICE_ID, fraud_pairs=True
+        )
+        normal = temporal_aggregation_intervals(
+            tiny_dataset, BehaviorType.WIFI_MAC, fraud_pairs=False
+        )
+        if len(fraud) > 5 and len(normal) > 5:
+            assert np.median(fraud) < np.median(normal)
+
+
+class TestHomophily:
+    def test_fraud_neighborhood_more_fraudulent(self, tiny_dataset, tiny_bn):
+        labels = tiny_dataset.labels
+        fraud_ratios = hop_fraud_ratios(tiny_bn, labels, fraud=True, max_hops=2)
+        normal_ratios = hop_fraud_ratios(tiny_bn, labels, fraud=False, max_hops=2)
+        assert fraud_ratios[0] > normal_ratios[0]
+
+    def test_per_type_restriction_runs(self, tiny_dataset, tiny_bn):
+        labels = tiny_dataset.labels
+        ratios = hop_fraud_ratios(
+            tiny_bn, labels, fraud=True, max_hops=2, btype=BehaviorType.DEVICE_ID
+        )
+        assert len(ratios) == 2
+
+
+class TestStructure:
+    def test_hop_degree_lengths(self, tiny_dataset, tiny_bn):
+        labels = tiny_dataset.labels
+        degrees = hop_degrees(tiny_bn, labels, fraud=True, max_hops=2)
+        assert len(degrees) == 3  # hops 0..2
+
+    def test_weighted_degree_separation(self, tiny_dataset, tiny_bn):
+        labels = tiny_dataset.labels
+        fraud_w = hop_degrees(tiny_bn, labels, fraud=True, weighted=True)[0]
+        normal_w = hop_degrees(tiny_bn, labels, fraud=False, weighted=True)[0]
+        assert np.isfinite(fraud_w) and np.isfinite(normal_w)

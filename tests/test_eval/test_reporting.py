@@ -1,0 +1,42 @@
+"""Reporting helper tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.reporting import format_percentiles, format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        text = format_table(
+            {"HAG": {"AUC": 83.13, "F1": 77.91}},
+            columns=["AUC", "F1"],
+            title="Table III",
+        )
+        assert "Table III" in text
+        assert "HAG" in text
+        assert "83.13" in text
+
+    def test_missing_cell_is_nan(self):
+        text = format_table({"X": {"A": 1.0}}, columns=["A", "B"])
+        assert "nan" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_table({})
+
+    def test_columns_inferred(self):
+        text = format_table({"X": {"A": 1.0, "B": 2.0}})
+        assert "A" in text and "B" in text
+
+
+class TestSeriesAndPercentiles:
+    def test_series_pairs(self):
+        text = format_series("hop ratio", [1, 2], [0.5, 0.25])
+        assert "(1, 0.500)" in text and "(2, 0.250)" in text
+
+    def test_percentiles(self):
+        text = format_percentiles("total", [100.0] * 99 + [1000.0])
+        assert "p50=100ms" in text
+        assert "mean=" in text

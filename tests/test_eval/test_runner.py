@@ -1,0 +1,79 @@
+"""Experiment runner tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval import prepare_experiment, repeat_method, run_method
+
+
+class TestPrepareExperiment:
+    def test_bundle_shapes(self, tiny_experiment):
+        data = tiny_experiment
+        n = len(data.nodes)
+        assert data.features.shape[0] == n
+        assert data.labels.shape == (n,)
+        assert data.merged.shape == (n, n)
+        for matrix in data.adjacencies.values():
+            assert matrix.shape == (n, n)
+
+    def test_split_partitions_rows(self, tiny_experiment):
+        data = tiny_experiment
+        combined = np.concatenate([data.train_idx, data.val_idx, data.test_idx])
+        assert len(combined) == len(data.nodes)
+        assert len(set(combined.tolist())) == len(data.nodes)
+
+    def test_features_standardized_on_train(self, tiny_experiment):
+        data = tiny_experiment
+        means = data.features[data.train_idx].mean(axis=0)
+        np.testing.assert_allclose(means, 0.0, atol=1e-8)
+
+    def test_test_set_has_both_classes(self, tiny_experiment):
+        labels = tiny_experiment.labels[tiny_experiment.test_idx]
+        assert 0 < labels.sum() < len(labels)
+
+    def test_pos_weight_at_least_one(self, tiny_experiment):
+        assert tiny_experiment.pos_weight() >= 1.0
+
+    def test_include_stats_widens_features(
+        self, tiny_experiment, tiny_experiment_with_stats
+    ):
+        assert (
+            tiny_experiment_with_stats.features.shape[1]
+            > tiny_experiment.features.shape[1]
+        )
+
+
+class TestRunMethod:
+    @staticmethod
+    def constant_method(data, seed):
+        return np.full(len(data.nodes), 0.5)
+
+    @staticmethod
+    def oracle_method(data, seed):
+        return data.labels.astype(float)
+
+    def test_oracle_scores_perfectly(self, tiny_experiment):
+        report, scores = run_method(self.oracle_method, tiny_experiment)
+        assert report.auc == 1.0
+        assert report.recall == 1.0
+        assert len(scores) == len(tiny_experiment.nodes)
+
+    def test_wrong_score_length_rejected(self, tiny_experiment):
+        with pytest.raises(ValueError):
+            run_method(lambda d, s: np.zeros(3), tiny_experiment)
+
+    def test_repeat_method_aggregates(self, tiny_experiment):
+        calls = []
+
+        def noisy(data, seed):
+            calls.append(seed)
+            rng = np.random.default_rng(seed)
+            return data.labels * 0.5 + rng.uniform(0, 0.5, size=len(data.nodes))
+
+        result = repeat_method("noisy", noisy, tiny_experiment, seeds=(0, 1, 2))
+        assert calls == [0, 1, 2]
+        assert result.auc_variance >= 0.0
+        row = result.row()
+        assert "Variance" in row and "AUC" in row

@@ -1,0 +1,63 @@
+"""UID split tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import split_by_uid
+
+
+class TestSplitByUid:
+    def test_partition(self):
+        uids = list(range(50))
+        split = split_by_uid(uids, test_fraction=0.2, rng=np.random.default_rng(0))
+        assert split.train_uids | split.test_uids == set(uids)
+        assert not split.train_uids & split.test_uids
+
+    def test_stratification_keeps_positives_in_both(self):
+        uids = list(range(100))
+        labels = {u: int(u < 10) for u in uids}
+        split = split_by_uid(uids, labels, 0.2, np.random.default_rng(0))
+        assert any(labels[u] for u in split.test_uids)
+        assert any(labels[u] for u in split.train_uids)
+
+    def test_duplicate_uids_deduped(self):
+        split = split_by_uid([1, 1, 2, 2, 3, 4, 5], test_fraction=0.4)
+        assert split.train_uids | split.test_uids == {1, 2, 3, 4, 5}
+
+    def test_masks_align(self):
+        uids = list(range(20))
+        split = split_by_uid(uids, test_fraction=0.25, rng=np.random.default_rng(1))
+        train_mask = split.train_mask(uids)
+        test_mask = split.test_mask(uids)
+        assert (train_mask ^ test_mask).all()
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            split_by_uid([1, 2, 3], test_fraction=1.0)
+
+    def test_too_few_uids(self):
+        with pytest.raises(ValueError):
+            split_by_uid([1], test_fraction=0.5)
+
+    def test_deterministic_given_rng(self):
+        uids = list(range(30))
+        a = split_by_uid(uids, test_fraction=0.3, rng=np.random.default_rng(5))
+        b = split_by_uid(uids, test_fraction=0.3, rng=np.random.default_rng(5))
+        assert a.test_uids == b.test_uids
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(5, 200),
+    fraction=st.floats(0.05, 0.5),
+    seed=st.integers(0, 10**6),
+)
+def test_property_split_sizes_reasonable(n, fraction, seed):
+    uids = list(range(n))
+    split = split_by_uid(uids, test_fraction=fraction, rng=np.random.default_rng(seed))
+    assert 1 <= len(split.test_uids) < n
+    assert len(split.train_uids) + len(split.test_uids) == n

@@ -1,0 +1,94 @@
+"""FeatureManager / StandardScaler tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.features import FeatureManager, StandardScaler
+
+
+class TestStandardScaler:
+    def test_fit_transform_standardizes(self, rng):
+        matrix = rng.normal(5.0, 3.0, size=(200, 4))
+        scaled = StandardScaler().fit_transform(matrix)
+        np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_not_divided_by_zero(self):
+        matrix = np.ones((10, 2))
+        scaled = StandardScaler().fit_transform(matrix)
+        assert np.isfinite(scaled).all()
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_fit_rejects_empty(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros((0, 3)))
+
+
+class TestFeatureManager:
+    def test_dim_matches_names(self, tiny_dataset):
+        fm = FeatureManager(tiny_dataset)
+        assert fm.dim == len(fm.feature_names)
+
+    def test_include_stats_toggles_dimension(self, tiny_dataset):
+        with_stats = FeatureManager(tiny_dataset, include_stats=True)
+        without = FeatureManager(tiny_dataset, include_stats=False)
+        assert with_stats.dim > without.dim
+
+    def test_vector_shape(self, tiny_dataset):
+        fm = FeatureManager(tiny_dataset)
+        txn = tiny_dataset.transactions[0]
+        assert fm.vector(txn).shape == (fm.dim,)
+
+    def test_unknown_user_raises(self, tiny_dataset):
+        fm = FeatureManager(tiny_dataset)
+        txn = tiny_dataset.transactions[0]
+        bad = type(txn)(txn_id=-1, uid=10**9, created_at=0.0)
+        with pytest.raises(KeyError):
+            fm.vector(bad)
+
+    def test_matrix_aligned_with_labels(self, tiny_dataset):
+        fm = FeatureManager(tiny_dataset)
+        txns = tiny_dataset.transactions[:20]
+        labeled = fm.matrix(txns)
+        assert labeled.features.shape == (20, fm.dim)
+        np.testing.assert_array_equal(
+            labeled.labels, [int(t.is_fraud) for t in txns]
+        )
+        np.testing.assert_array_equal(labeled.uids, [t.uid for t in txns])
+
+    def test_matrix_rejects_empty(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            FeatureManager(tiny_dataset).matrix([])
+
+    def test_latest_transactions_one_per_user(self, tiny_dataset):
+        fm = FeatureManager(tiny_dataset)
+        latest = fm.latest_transactions()
+        uids = [t.uid for t in latest]
+        assert len(uids) == len(set(uids))
+        by_user = tiny_dataset.transactions_by_user()
+        for txn in latest[:20]:
+            assert txn.created_at == max(t.created_at for t in by_user[txn.uid])
+
+    def test_node_matrix_row_order(self, tiny_dataset):
+        fm = FeatureManager(tiny_dataset)
+        uids = sorted(tiny_dataset.labels)[:10]
+        matrix = fm.node_matrix(uids)
+        assert matrix.shape == (10, fm.dim)
+
+    def test_node_matrix_unknown_user(self, tiny_dataset):
+        fm = FeatureManager(tiny_dataset)
+        with pytest.raises(KeyError):
+            fm.node_matrix([10**9])
+
+    def test_features_observed_at_audit_time(self, tiny_dataset):
+        """Changing as_of changes the statistical features (no future leak)."""
+        fm = FeatureManager(tiny_dataset, include_stats=True)
+        txn = max(tiny_dataset.transactions, key=lambda t: t.created_at)
+        early = fm.vector(txn, as_of=tiny_dataset.start_time + 1.0)
+        late = fm.vector(txn, as_of=tiny_dataset.end_time)
+        assert not np.allclose(early, late)

@@ -1,0 +1,93 @@
+"""Behavior statistical feature (X_s) tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datagen import DAY, HOUR, BehaviorLog, BehaviorType
+from repro.features import (
+    UserLogIndex,
+    statistical_feature_names,
+    statistical_features,
+)
+
+DEV = BehaviorType.DEVICE_ID
+IP = BehaviorType.IPV4
+
+
+def make_index() -> UserLogIndex:
+    logs = [
+        BehaviorLog(1, DEV, "d1", 10.0),
+        BehaviorLog(1, DEV, "d2", 30 * 60.0),
+        BehaviorLog(1, IP, "ip1", 40 * 60.0),
+        BehaviorLog(1, DEV, "d1", 2 * DAY),
+        BehaviorLog(2, DEV, "x", 100.0),
+    ]
+    return UserLogIndex(logs)
+
+
+class TestUserLogIndex:
+    def test_logs_before_cutoff(self):
+        index = make_index()
+        assert len(index.logs_before(1, HOUR)) == 3
+        assert len(index.logs_before(1, 5.0)) == 0
+
+    def test_logs_in_window(self):
+        index = make_index()
+        window_logs = index.logs_in_window(1, HOUR, HOUR)
+        assert len(window_logs) == 3
+
+    def test_unknown_user_empty(self):
+        assert make_index().logs_before(99, 1e9) == []
+
+    def test_users_listed(self):
+        assert set(make_index().users()) == {1, 2}
+
+
+class TestStatisticalFeatures:
+    def test_length_matches_names(self):
+        vector = statistical_features(make_index(), 1, as_of=DAY)
+        assert vector.shape == (len(statistical_feature_names()),)
+
+    def test_window_counts(self):
+        names = statistical_feature_names()
+        vector = statistical_features(make_index(), 1, as_of=HOUR)
+        assert vector[names.index("logs_1h")] == 3.0
+        assert vector[names.index("distinct_device_id_1h")] == 2.0
+        assert vector[names.index("distinct_ipv4_1h")] == 1.0
+
+    def test_total_logs_and_span(self):
+        names = statistical_feature_names()
+        vector = statistical_features(make_index(), 1, as_of=3 * DAY)
+        assert vector[names.index("total_logs")] == 4.0
+        np.testing.assert_allclose(
+            vector[names.index("span_days")], (2 * DAY - 10.0) / DAY
+        )
+
+    def test_empty_user_is_zero_vector(self):
+        vector = statistical_features(make_index(), 99, as_of=DAY)
+        np.testing.assert_allclose(vector, 0.0)
+
+    def test_burstiness_bounds(self):
+        rng = np.random.default_rng(0)
+        logs = [
+            BehaviorLog(5, DEV, "d", float(t))
+            for t in np.sort(rng.uniform(0, 30 * DAY, size=60))
+        ]
+        vector = statistical_features(UserLogIndex(logs), 5, as_of=31 * DAY)
+        burst = vector[statistical_feature_names().index("gap_burstiness")]
+        assert -1.0 <= burst <= 1.0
+
+    def test_bursty_user_scores_higher_than_regular(self):
+        names = statistical_feature_names()
+        regular = [BehaviorLog(1, DEV, "d", i * HOUR) for i in range(50)]
+        bursty = [BehaviorLog(2, DEV, "d", float(t)) for t in
+                  sorted([i * 10.0 for i in range(25)] + [DAY + i * 10.0 for i in range(25)])]
+        index = UserLogIndex(regular + bursty)
+        b_regular = statistical_features(index, 1, as_of=10 * DAY)[
+            names.index("gap_burstiness")
+        ]
+        b_bursty = statistical_features(index, 2, as_of=10 * DAY)[
+            names.index("gap_burstiness")
+        ]
+        assert b_bursty > b_regular

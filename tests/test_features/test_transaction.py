@@ -1,0 +1,45 @@
+"""Transaction feature (X_tau) tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datagen import DAY, HOUR, Transaction, User
+from repro.features import TRANSACTION_FEATURE_NAMES, transaction_features
+
+
+def make_pair(**txn_kwargs):
+    user = User(uid=1, registered_at=0.0, income_level=3.0)
+    defaults = dict(txn_id=0, uid=1, created_at=2 * DAY + 14 * HOUR)
+    defaults.update(txn_kwargs)
+    return Transaction(**defaults), user
+
+
+class TestTransactionFeatures:
+    def test_length_matches_names(self):
+        txn, user = make_pair()
+        assert transaction_features(txn, user).shape == (
+            len(TRANSACTION_FEATURE_NAMES),
+        )
+
+    def test_log_scaling(self):
+        txn, user = make_pair(item_value=999.0)
+        vector = transaction_features(txn, user)
+        idx = TRANSACTION_FEATURE_NAMES.index("log_item_value")
+        np.testing.assert_allclose(vector[idx], np.log1p(999.0))
+
+    def test_application_hour(self):
+        txn, user = make_pair()
+        idx = TRANSACTION_FEATURE_NAMES.index("application_hour")
+        np.testing.assert_allclose(transaction_features(txn, user)[idx], 14.0)
+
+    def test_rent_to_income_guards_zero_income(self):
+        txn, user = make_pair(monthly_rent=100.0)
+        user.income_level = 0.0
+        vector = transaction_features(txn, user)
+        assert np.isfinite(vector).all()
+
+    def test_weekday_in_range(self):
+        txn, user = make_pair()
+        idx = TRANSACTION_FEATURE_NAMES.index("application_weekday")
+        assert 0 <= transaction_features(txn, user)[idx] < 7

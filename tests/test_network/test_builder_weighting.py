@@ -1,0 +1,37 @@
+"""Tests for the builder's weighting-scheme ablation option."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import HOUR, BehaviorLog, BehaviorType
+from repro.network import BNBuilder
+
+DEV = BehaviorType.DEVICE_ID
+
+
+def group_logs(n: int):
+    return [BehaviorLog(u, DEV, "d", 100.0 + u) for u in range(n)]
+
+
+class TestWeightingOption:
+    def test_uniform_gives_unit_share(self):
+        bn = BNBuilder(windows=(HOUR,), weighting="uniform").build(group_logs(5))
+        assert bn.weight(0, 1, DEV) == pytest.approx(1.0)
+
+    def test_inverse_gives_reciprocal_share(self):
+        bn = BNBuilder(windows=(HOUR,), weighting="inverse").build(group_logs(5))
+        assert bn.weight(0, 1, DEV) == pytest.approx(0.2)
+
+    def test_invalid_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            BNBuilder(weighting="nope")
+
+    def test_uniform_incremental_matches_batch(self):
+        from repro.network import BehaviorNetwork
+
+        builder = BNBuilder(windows=(HOUR,), weighting="uniform")
+        online = BehaviorNetwork()
+        builder.run_window_job(online, group_logs(4), HOUR, job_end=HOUR)
+        batch = builder.build(group_logs(4))
+        assert online.weight(0, 1, DEV) == pytest.approx(batch.weight(0, 1, DEV))

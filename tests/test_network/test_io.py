@@ -1,0 +1,72 @@
+"""BN save/load round-trip tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network import BehaviorNetwork
+from repro.network.io import load_bn, save_bn
+from repro.datagen import BehaviorType
+
+DEV = BehaviorType.DEVICE_ID
+IP = BehaviorType.IPV4
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_everything(self, tmp_path, tiny_bn):
+        path = tmp_path / "bn.npz"
+        save_bn(tiny_bn, path)
+        loaded = load_bn(path)
+        assert loaded.num_nodes() == tiny_bn.num_nodes()
+        assert loaded.num_edges() == tiny_bn.num_edges()
+        assert loaded.edge_types() == tiny_bn.edge_types()
+        assert loaded.ttl == tiny_bn.ttl
+        for u, v, btype, record in list(tiny_bn.iter_edges())[:200]:
+            assert loaded.weight(u, v, btype) == pytest.approx(record.weight)
+            assert loaded.edge(u, v)[btype].last_update == pytest.approx(
+                record.last_update
+            )
+
+    def test_isolated_nodes_survive(self, tmp_path):
+        bn = BehaviorNetwork()
+        bn.add_node(7)
+        bn.add_weight(1, 2, DEV, 0.5, 10.0)
+        path = tmp_path / "bn.npz"
+        save_bn(bn, path)
+        loaded = load_bn(path)
+        assert 7 in loaded
+        assert loaded.degree(7) == 0
+
+    def test_empty_network(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_bn(BehaviorNetwork(), path)
+        loaded = load_bn(path)
+        assert loaded.num_nodes() == 0
+        assert loaded.num_edges() == 0
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez_compressed(
+            path,
+            version=np.int64(99),
+            ttl=np.float64(1.0),
+            nodes=np.asarray([], dtype=np.int64),
+            type_names=np.asarray([], dtype=object),
+            u=np.asarray([], dtype=np.int64),
+            v=np.asarray([], dtype=np.int64),
+            type_code=np.asarray([], dtype=np.int64),
+            weight=np.asarray([], dtype=np.float64),
+            last_update=np.asarray([], dtype=np.float64),
+        )
+        with pytest.raises(ValueError):
+            load_bn(path)
+
+    def test_loaded_network_is_mutable(self, tmp_path):
+        bn = BehaviorNetwork()
+        bn.add_weight(1, 2, DEV, 0.5, 10.0)
+        path = tmp_path / "bn.npz"
+        save_bn(bn, path)
+        loaded = load_bn(path)
+        loaded.add_weight(2, 3, IP, 1.0, 20.0)
+        assert loaded.num_edges() == 2

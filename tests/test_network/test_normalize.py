@@ -1,0 +1,47 @@
+"""Per-type normalization tests (Section III-A)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import BehaviorType
+from repro.network import BehaviorNetwork, normalized_weight, type_weighted_degrees
+
+DEV = BehaviorType.DEVICE_ID
+IP = BehaviorType.IPV4
+
+
+class TestWeightedDegrees:
+    def test_degrees_sum_incident_weights(self):
+        bn = BehaviorNetwork()
+        bn.add_weight(1, 2, DEV, 0.5, 0.0)
+        bn.add_weight(1, 3, DEV, 1.5, 0.0)
+        bn.add_weight(1, 3, IP, 9.0, 0.0)  # other type: excluded
+        degrees = type_weighted_degrees(bn, DEV)
+        assert degrees[1] == pytest.approx(2.0)
+        assert degrees[2] == pytest.approx(0.5)
+        assert degrees[3] == pytest.approx(1.5)
+
+    def test_missing_type_is_empty(self):
+        bn = BehaviorNetwork()
+        bn.add_weight(1, 2, DEV, 0.5, 0.0)
+        assert type_weighted_degrees(bn, IP) == {}
+
+
+class TestNormalizedWeight:
+    def test_formula(self):
+        assert normalized_weight(2.0, 4.0, 1.0) == pytest.approx(1.0)
+
+    def test_zero_degree_is_zero(self):
+        assert normalized_weight(1.0, 0.0, 2.0) == 0.0
+
+    def test_symmetric_in_degrees(self):
+        assert normalized_weight(1.0, 2.0, 8.0) == pytest.approx(
+            normalized_weight(1.0, 8.0, 2.0)
+        )
+
+    def test_high_degree_hub_downweighted(self):
+        """A public-Wi-Fi hub's edges shrink relative to a private pair's."""
+        private = normalized_weight(1.0, 1.0, 1.0)
+        hub = normalized_weight(1.0, 100.0, 1.0)
+        assert hub < private

@@ -1,0 +1,71 @@
+"""Property-based tests for TTL expiry and weight accumulation invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen import DAY, BehaviorType
+from repro.network import BehaviorNetwork
+
+DEV = BehaviorType.DEVICE_ID
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    updates=st.lists(
+        st.tuples(
+            st.integers(0, 5),  # u
+            st.integers(0, 5),  # v
+            st.floats(0.01, 5.0),  # weight
+            st.floats(0.0, 100.0),  # timestamp (days)
+        ),
+        min_size=1,
+        max_size=30,
+    ),
+    now_days=st.floats(0.0, 200.0),
+)
+def test_property_ttl_keeps_exactly_fresh_edges(updates, now_days):
+    ttl_days = 30.0
+    bn = BehaviorNetwork(ttl=ttl_days * DAY)
+    freshest: dict[tuple[int, int], float] = {}
+    for u, v, w, t_days in updates:
+        if u == v:
+            continue
+        bn.add_weight(u, v, DEV, w, t_days * DAY)
+        key = (min(u, v), max(u, v))
+        freshest[key] = max(freshest.get(key, -np.inf), t_days)
+    bn.expire_edges(now_days * DAY)
+    for (u, v), last in freshest.items():
+        surviving = bn.weight(u, v, DEV) > 0
+        should_survive = last >= now_days - ttl_days
+        assert surviving == should_survive
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    weights=st.lists(st.floats(0.01, 2.0), min_size=1, max_size=20),
+)
+def test_property_weight_accumulation_is_sum(weights):
+    bn = BehaviorNetwork()
+    for w in weights:
+        bn.add_weight(1, 2, DEV, w, 0.0)
+    assert bn.weight(1, 2, DEV) == pytest.approx(sum(weights))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_neighbors=st.integers(1, 10),
+    weight=st.floats(0.1, 3.0),
+)
+def test_property_weighted_degree_consistency(n_neighbors, weight):
+    """Node degree bookkeeping stays consistent with the edge iterator."""
+    bn = BehaviorNetwork()
+    for v in range(1, n_neighbors + 1):
+        bn.add_weight(0, v, DEV, weight, 0.0)
+    assert bn.degree(0) == n_neighbors
+    assert bn.weighted_degree(0) == pytest.approx(n_neighbors * weight)
+    total_from_iter = sum(rec.weight for _u, _v, _t, rec in bn.iter_edges(DEV))
+    assert total_from_iter == pytest.approx(n_neighbors * weight)

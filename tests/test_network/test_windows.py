@@ -1,0 +1,33 @@
+"""Hierarchical window validation tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import DAY, HOUR
+from repro.network import FAST_WINDOWS, PAPER_WINDOWS, validate_windows
+
+
+class TestWindows:
+    def test_paper_windows_match_section3(self):
+        assert PAPER_WINDOWS[0] == HOUR
+        assert PAPER_WINDOWS[-1] == DAY
+        assert len(PAPER_WINDOWS) == 13  # 1..12 hours + 1 day
+
+    def test_fast_windows_are_valid(self):
+        assert validate_windows(FAST_WINDOWS) == FAST_WINDOWS
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            validate_windows(())
+
+    def test_non_increasing_rejected(self):
+        with pytest.raises(ValueError):
+            validate_windows((HOUR, HOUR))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            validate_windows((-1.0, HOUR))
+
+    def test_coerces_to_floats(self):
+        assert validate_windows([1, 2]) == (1.0, 2.0)

@@ -1,0 +1,75 @@
+"""Optimizer tests: convergence on convex problems, option handling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Tensor
+
+
+def quadratic_loss(w: Tensor) -> Tensor:
+    target = Tensor(np.array([3.0, -2.0]))
+    diff = w - target
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        w = Tensor(np.zeros(2), requires_grad=True)
+        optimizer = SGD([w], lr=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            quadratic_loss(w).backward()
+            optimizer.step()
+        np.testing.assert_allclose(w.numpy(), [3.0, -2.0], atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        losses = {}
+        for momentum in (0.0, 0.9):
+            w = Tensor(np.zeros(2), requires_grad=True)
+            optimizer = SGD([w], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                optimizer.zero_grad()
+                loss = quadratic_loss(w)
+                loss.backward()
+                optimizer.step()
+            losses[momentum] = quadratic_loss(w).item()
+        assert losses[0.9] < losses[0.0]
+
+    def test_weight_decay_shrinks(self):
+        w = Tensor(np.array([10.0]), requires_grad=True)
+        optimizer = SGD([w], lr=0.1, weight_decay=1.0)
+        for _ in range(100):
+            optimizer.zero_grad()
+            (w * 0.0).sum().backward()  # zero data gradient
+            optimizer.step()
+        assert abs(w.numpy()[0]) < 1.0
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Tensor([1.0], requires_grad=True)], lr=0.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        w = Tensor(np.zeros(2), requires_grad=True)
+        optimizer = Adam([w], lr=0.1)
+        for _ in range(300):
+            optimizer.zero_grad()
+            quadratic_loss(w).backward()
+            optimizer.step()
+        np.testing.assert_allclose(w.numpy(), [3.0, -2.0], atol=1e-3)
+
+    def test_skips_params_without_grad(self):
+        w = Tensor(np.ones(2), requires_grad=True)
+        optimizer = Adam([w], lr=0.1)
+        optimizer.step()  # no backward yet: must not move or crash
+        np.testing.assert_allclose(w.numpy(), [1.0, 1.0])
+
+    def test_zero_grad_resets(self):
+        w = Tensor(np.zeros(2), requires_grad=True)
+        optimizer = Adam([w], lr=0.1)
+        quadratic_loss(w).backward()
+        optimizer.zero_grad()
+        assert w.grad is None

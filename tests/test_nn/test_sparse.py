@@ -1,0 +1,41 @@
+"""Sparse matmul op tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.nn import Tensor, spmm
+
+
+class TestSpmm:
+    def test_forward_matches_dense(self, rng):
+        matrix = sp.random(6, 5, density=0.4, random_state=0, format="csr")
+        dense = rng.normal(size=(5, 3))
+        out = spmm(matrix, Tensor(dense))
+        np.testing.assert_allclose(out.numpy(), matrix.toarray() @ dense)
+
+    def test_gradient_is_transpose_product(self, rng):
+        matrix = sp.random(6, 5, density=0.4, random_state=1, format="csr")
+        dense = Tensor(rng.normal(size=(5, 2)), requires_grad=True)
+        spmm(matrix, dense).sum().backward()
+        expected = matrix.T.toarray() @ np.ones((6, 2))
+        np.testing.assert_allclose(dense.grad, expected)
+
+    def test_rejects_dense_matrix(self):
+        with pytest.raises(TypeError):
+            spmm(np.ones((2, 2)), Tensor(np.ones((2, 2))))
+
+    def test_composes_with_autograd(self, rng):
+        matrix = sp.random(4, 4, density=0.5, random_state=2, format="csr")
+        x = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        loss = spmm(matrix, x.tanh()).relu().sum()
+        loss.backward()
+        assert x.grad is not None
+        assert np.isfinite(x.grad).all()
+
+    def test_empty_matrix_gives_zero(self):
+        matrix = sp.csr_matrix((3, 3))
+        out = spmm(matrix, Tensor(np.ones((3, 2))))
+        np.testing.assert_allclose(out.numpy(), 0.0)

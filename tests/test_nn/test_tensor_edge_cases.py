@@ -1,0 +1,92 @@
+"""Additional autograd edge-case tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, concat, stack
+
+
+class TestShapeEdgeCases:
+    def test_stack_middle_axis(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.zeros((2, 3)), requires_grad=True)
+        out = stack([a, b], axis=1)
+        assert out.shape == (2, 2, 3)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+
+    def test_concat_axis0(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones((4, 3)), requires_grad=True)
+        out = concat([a, b], axis=0)
+        assert out.shape == (6, 3)
+        (out * 3.0).sum().backward()
+        np.testing.assert_allclose(b.grad, np.full((4, 3), 3.0))
+
+    def test_reshape_minus_one(self):
+        t = Tensor(np.arange(12.0), requires_grad=True)
+        out = t.reshape(3, -1)
+        assert out.shape == (3, 4)
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones(12))
+
+    def test_transpose_3d_axes(self):
+        t = Tensor(np.arange(24.0).reshape(2, 3, 4), requires_grad=True)
+        out = t.transpose(2, 0, 1)
+        assert out.shape == (4, 2, 3)
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones((2, 3, 4)))
+
+    def test_flatten(self):
+        t = Tensor(np.ones((2, 5)))
+        assert t.flatten().shape == (10,)
+
+    def test_len_and_size(self):
+        t = Tensor(np.ones((3, 4)))
+        assert len(t) == 3
+        assert t.size == 12
+        assert t.ndim == 2
+
+    def test_repr_mentions_shape(self):
+        text = repr(Tensor(np.ones((2, 2)), requires_grad=True))
+        assert "(2, 2)" in text
+
+
+class TestNumericalEdgeCases:
+    def test_sigmoid_extreme_values_finite(self):
+        t = Tensor(np.array([-1e6, 1e6]))
+        out = t.sigmoid().numpy()
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out, [0.0, 1.0], atol=1e-12)
+
+    def test_exp_clipped_no_overflow(self):
+        out = Tensor(np.array([1e4])).exp().numpy()
+        assert np.isfinite(out).all()
+
+    def test_softmax_single_element(self):
+        out = Tensor(np.array([[5.0]])).softmax(axis=1).numpy()
+        np.testing.assert_allclose(out, [[1.0]])
+
+    def test_mean_over_all_axes(self):
+        t = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        t.mean().backward()
+        np.testing.assert_allclose(t.grad, np.full((2, 3), 1 / 6))
+
+    def test_sum_tuple_axis(self):
+        t = Tensor(np.ones((2, 3, 4)), requires_grad=True)
+        out = t.sum(axis=(0, 2))
+        assert out.shape == (3,)
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones((2, 3, 4)))
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([2.0]) ** Tensor([2.0])
+
+    def test_scalar_arithmetic_chain(self):
+        t = Tensor([2.0], requires_grad=True)
+        y = (3.0 * t - 1.0) / 5.0 + 2.0
+        y.sum().backward()
+        np.testing.assert_allclose(t.grad, [0.6])

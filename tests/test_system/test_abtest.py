@@ -1,0 +1,64 @@
+"""Online A/B replay tests (Section VI-E)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import default_scorecard
+from repro.network import FAST_WINDOWS
+from repro.system import deploy_turbo, run_ab_test
+from repro.system.abtest import ABTestResult
+
+
+@pytest.fixture(scope="module")
+def deployed(tiny_dataset):
+    return deploy_turbo(
+        tiny_dataset, windows=FAST_WINDOWS, train_epochs=15, hidden=(16, 8), seed=0
+    )
+
+
+class TestABTest:
+    def test_result_fields_consistent(self, deployed, tiny_dataset):
+        turbo, data = deployed
+        test_uids = {data.nodes[i] for i in data.test_idx}
+        txns = [t for t in tiny_dataset.transactions if t.uid in test_uids]
+        result = run_ab_test(
+            turbo, default_scorecard(0.6), tiny_dataset, txns, np.random.default_rng(0)
+        )
+        assert result.n_baseline + result.n_test == len(txns)
+        assert 0.0 <= result.baseline_fraud_ratio <= 1.0
+        assert 0.0 <= result.test_fraud_ratio <= 1.0
+        assert 0.0 <= result.online_precision <= 1.0
+        assert 0.0 <= result.online_recall <= 1.0
+
+    def test_turbo_reduces_fraud_ratio(self, deployed, tiny_dataset):
+        turbo, data = deployed
+        test_uids = {data.nodes[i] for i in data.test_idx}
+        txns = [t for t in tiny_dataset.transactions if t.uid in test_uids]
+        result = run_ab_test(
+            turbo, default_scorecard(0.6), tiny_dataset, txns, np.random.default_rng(1)
+        )
+        assert result.test_fraud_ratio <= result.baseline_fraud_ratio
+
+    def test_empty_transactions_rejected(self, deployed, tiny_dataset):
+        turbo, _ = deployed
+        with pytest.raises(ValueError):
+            run_ab_test(turbo, default_scorecard(), tiny_dataset, [])
+
+    def test_reduction_property(self):
+        result = ABTestResult(
+            n_baseline=10,
+            n_test=10,
+            baseline_accepted=8,
+            test_accepted=7,
+            baseline_fraud_ratio=0.2,
+            test_fraud_ratio=0.1,
+            online_precision=0.9,
+            online_recall=0.5,
+        )
+        assert result.fraud_ratio_reduction == pytest.approx(0.5)
+
+    def test_reduction_zero_baseline(self):
+        result = ABTestResult(1, 1, 1, 1, 0.0, 0.0, 0.0, 0.0)
+        assert result.fraud_ratio_reduction == 0.0

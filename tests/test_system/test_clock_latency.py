@@ -1,0 +1,59 @@
+"""SimulatedClock + LatencyModel tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.system import LatencyBreakdown, LatencyModel, SimulatedClock
+
+
+class TestSimulatedClock:
+    def test_advance(self):
+        clock = SimulatedClock(start=10.0)
+        assert clock.advance(5.0) == 15.0
+        assert clock.now() == 15.0
+
+    def test_advance_backwards_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().advance(-1.0)
+
+    def test_advance_to_is_monotone(self):
+        clock = SimulatedClock(start=10.0)
+        clock.advance_to(5.0)
+        assert clock.now() == 10.0
+        clock.advance_to(20.0)
+        assert clock.now() == 20.0
+
+
+class TestLatencyModel:
+    def test_costs_positive_and_scale_with_rows(self):
+        model = LatencyModel(jitter_sigma=0.0, seed=0)
+        assert model.charge_db_query(1000) > model.charge_db_query(1)
+        assert model.charge_cache_get() < model.charge_db_query(1)
+
+    def test_no_jitter_deterministic(self):
+        model = LatencyModel(jitter_sigma=0.0, seed=0)
+        assert model.charge_db_query(5) == model.charge_db_query(5)
+
+    def test_jitter_produces_spread(self):
+        model = LatencyModel(seed=0)
+        samples = [model.charge_db_query(10) for _ in range(200)]
+        assert np.std(samples) > 0.0
+
+    def test_model_forward_scales_with_nodes(self):
+        model = LatencyModel(jitter_sigma=0.0)
+        assert model.charge_model_forward(500) > model.charge_model_forward(10)
+
+    def test_mem_scan_cheaper_than_db(self):
+        model = LatencyModel(jitter_sigma=0.0)
+        assert model.charge_mem_scan(200) < model.charge_db_query(200)
+
+
+class TestBreakdown:
+    def test_total_and_millis(self):
+        breakdown = LatencyBreakdown(sampling=0.1, features=0.5, prediction=0.2)
+        assert breakdown.total == pytest.approx(0.8)
+        millis = breakdown.as_millis()
+        assert millis["total_ms"] == pytest.approx(800.0)
+        assert millis["feature_ms"] == pytest.approx(500.0)

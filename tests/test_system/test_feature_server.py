@@ -1,0 +1,55 @@
+"""Feature server tests: assembly correctness + cache economics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.features import FeatureManager
+from repro.system import FeatureServer, InMemoryCache, LatencyModel
+
+
+def build(tiny_dataset, cache: bool):
+    latency = LatencyModel(jitter_sigma=0.0, seed=0)
+    manager = FeatureManager(tiny_dataset, include_stats=True)
+    server = FeatureServer(
+        manager,
+        latency,
+        cache=InMemoryCache(latency) if cache else None,
+    )
+    return server, manager
+
+
+class TestFeatureServer:
+    def test_rows_align_with_nodes(self, tiny_dataset):
+        server, manager = build(tiny_dataset, cache=False)
+        txn = tiny_dataset.transactions[0]
+        nodes = [txn.uid] + [u.uid for u in tiny_dataset.users[:3] if u.uid != txn.uid]
+        matrix, seconds = server.features_for(nodes, txn, now=txn.audit_at)
+        assert matrix.shape == (len(nodes), manager.dim)
+        assert seconds > 0
+
+    def test_target_row_uses_target_transaction(self, tiny_dataset):
+        server, manager = build(tiny_dataset, cache=False)
+        by_user = tiny_dataset.transactions_by_user()
+        uid, txns = next((u, t) for u, t in by_user.items() if len(t) >= 2)
+        early, late = sorted(txns, key=lambda t: t.created_at)[:2]
+        row_early, _ = server.features_for([uid], early, now=early.audit_at)
+        row_late, _ = server.features_for([uid], late, now=late.audit_at)
+        assert not np.allclose(row_early, row_late)
+
+    def test_unknown_context_node_zero_row(self, tiny_dataset):
+        server, manager = build(tiny_dataset, cache=False)
+        txn = tiny_dataset.transactions[0]
+        matrix, _ = server.features_for([txn.uid, 10**9], txn, now=txn.audit_at)
+        np.testing.assert_allclose(matrix[1], 0.0)
+
+    def test_cache_cuts_latency(self, tiny_dataset):
+        cached, _ = build(tiny_dataset, cache=True)
+        uncached, _ = build(tiny_dataset, cache=False)
+        txn = tiny_dataset.transactions[0]
+        nodes = [txn.uid] + [u.uid for u in tiny_dataset.users[:10] if u.uid != txn.uid]
+        _, cold = cached.features_for(nodes, txn, now=txn.audit_at)
+        _, warm = cached.features_for(nodes, txn, now=txn.audit_at)
+        _, disk = uncached.features_for(nodes, txn, now=txn.audit_at)
+        assert warm < disk
+        assert warm <= cold

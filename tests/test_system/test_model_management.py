@@ -1,0 +1,71 @@
+"""Model manager tests: registration, activation, rollback."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import HAG
+from repro.system import ModelManager
+
+
+def factory_for(seed: int = 0):
+    def factory() -> HAG:
+        return HAG(
+            4, 2, np.random.default_rng(seed), hidden=(6, 4), cfo_out_dim=2, mlp_hidden=(4,)
+        )
+
+    return factory
+
+
+class TestModelManager:
+    def test_register_and_materialize(self):
+        manager = ModelManager(factory_for())
+        trained = factory_for(7)()
+        version = manager.register(trained.state_dict(), trained_at=100.0)
+        assert manager.active_version == version
+        restored = manager.materialize_active()
+        for a, b in zip(restored.parameters(), trained.parameters()):
+            np.testing.assert_allclose(a.numpy(), b.numpy())
+
+    def test_daily_retrain_swaps_active(self):
+        manager = ModelManager(factory_for())
+        v1 = manager.register(factory_for(1)().state_dict(), trained_at=0.0)
+        v2 = manager.register(factory_for(2)().state_dict(), trained_at=86400.0)
+        assert manager.active_version == v2
+        assert [v.version for v in manager.versions()] == [v1, v2]
+
+    def test_rollback(self):
+        manager = ModelManager(factory_for())
+        v1 = manager.register(factory_for(1)().state_dict(), trained_at=0.0)
+        manager.register(factory_for(2)().state_dict(), trained_at=1.0)
+        assert manager.rollback() == v1
+        assert manager.active_version == v1
+
+    def test_rollback_without_history(self):
+        manager = ModelManager(factory_for())
+        manager.register(factory_for(1)().state_dict(), trained_at=0.0)
+        with pytest.raises(RuntimeError):
+            manager.rollback()
+
+    def test_activate_unknown_version(self):
+        manager = ModelManager(factory_for())
+        with pytest.raises(KeyError):
+            manager.activate(99)
+
+    def test_materialize_without_active(self):
+        with pytest.raises(RuntimeError):
+            ModelManager(factory_for()).materialize_active()
+
+    def test_register_without_activation(self):
+        manager = ModelManager(factory_for())
+        v1 = manager.register(factory_for(1)().state_dict(), trained_at=0.0)
+        manager.register(factory_for(2)().state_dict(), trained_at=1.0, activate=False)
+        assert manager.active_version == v1
+
+    def test_metrics_stored(self):
+        manager = ModelManager(factory_for())
+        manager.register(
+            factory_for(1)().state_dict(), trained_at=0.0, metrics={"auc": 0.9}
+        )
+        assert manager.versions()[0].metrics["auc"] == 0.9

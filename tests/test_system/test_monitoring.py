@@ -1,0 +1,90 @@
+"""System telemetry tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.system import LatencyHistogram, SystemMonitor
+from repro.system.latency import LatencyBreakdown
+
+
+class TestLatencyHistogram:
+    def test_mean_and_percentiles(self):
+        histogram = LatencyHistogram()
+        for value in (0.1, 0.2, 0.3, 0.4):
+            histogram.observe(value)
+        assert histogram.mean_ms == pytest.approx(250.0)
+        assert histogram.percentile_ms(50) == pytest.approx(250.0)
+        assert histogram.count == 4
+
+    def test_empty_histogram(self):
+        histogram = LatencyHistogram()
+        assert histogram.mean_ms == 0.0
+        assert histogram.percentile_ms(99) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().observe(-1.0)
+
+    def test_reservoir_cap(self):
+        histogram = LatencyHistogram(max_samples=10)
+        for i in range(100):
+            histogram.observe(float(i))
+        assert histogram.count == 100
+        assert len(histogram._samples) == 10
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(max_samples=0)
+
+    def test_summary_keys(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.5)
+        assert set(histogram.summary()) == {"count", "mean_ms", "p50_ms", "p99_ms", "p999_ms"}
+
+
+class TestSystemMonitor:
+    def breakdown(self) -> LatencyBreakdown:
+        return LatencyBreakdown(sampling=0.05, features=0.4, prediction=0.2)
+
+    def test_record_request(self):
+        monitor = SystemMonitor()
+        monitor.record_request(self.breakdown(), blocked=True, subgraph_size=42)
+        monitor.record_request(self.breakdown(), blocked=False, subgraph_size=10)
+        assert monitor.requests == 2
+        assert monitor.blocked == 1
+        assert monitor.block_rate == 0.5
+        assert monitor.total.count == 2
+
+    def test_errors_counted(self):
+        monitor = SystemMonitor()
+        monitor.record_error("cache_down")
+        monitor.record_error("cache_down")
+        assert monitor.errors["cache_down"] == 2
+
+    def test_report_renders(self):
+        monitor = SystemMonitor()
+        monitor.record_request(self.breakdown(), blocked=False, subgraph_size=5)
+        monitor.record_error("db_timeout")
+        text = monitor.report()
+        assert "requests=1" in text
+        assert "prediction" in text
+        assert "db_timeout" in text
+
+    def test_block_rate_empty(self):
+        assert SystemMonitor().block_rate == 0.0
+
+
+class TestTurboIntegration:
+    def test_turbo_populates_monitor(self, tiny_dataset):
+        from repro.network import FAST_WINDOWS
+        from repro.system import deploy_turbo
+
+        turbo, data = deploy_turbo(
+            tiny_dataset, windows=FAST_WINDOWS, train_epochs=5, hidden=(8, 4), seed=0
+        )
+        txn = tiny_dataset.transactions[0]
+        turbo.handle_request(txn, now=txn.audit_at)
+        assert turbo.monitor.requests == 1
+        assert turbo.monitor.total.count == 1
+        assert "requests=1" in turbo.monitor.report()

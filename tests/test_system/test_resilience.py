@@ -1,0 +1,51 @@
+"""Failure-injection tests: the online system degrades, it does not die."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network import FAST_WINDOWS
+from repro.system import deploy_turbo
+
+
+@pytest.fixture(scope="module")
+def deployed(tiny_dataset):
+    return deploy_turbo(
+        tiny_dataset, windows=FAST_WINDOWS, train_epochs=5, hidden=(8, 4), seed=0
+    )
+
+
+class TestCacheCrash:
+    def test_service_survives_cache_outage(self, deployed):
+        """When Redis dies, requests fall back to the database path."""
+        turbo, data = deployed
+        transactions = data.dataset.transactions
+
+        warm = turbo.handle_request(transactions[0], now=transactions[0].audit_at)
+
+        cache = turbo.bn_server.cache
+        assert cache is not None
+        cache.crash()
+        try:
+            degraded = turbo.handle_request(
+                transactions[1], now=transactions[1].audit_at
+            )
+        finally:
+            cache.recover()
+
+        # The request still succeeds with a valid probability...
+        assert 0.0 <= degraded.probability <= 1.0
+        # ...and the degraded path is slower than the cached path by a
+        # visible margin (it pays database scans for everything).
+        assert degraded.breakdown.features > warm.breakdown.features
+
+    def test_recovered_cache_serves_again(self, deployed):
+        turbo, data = deployed
+        cache = turbo.bn_server.cache
+        cache.crash()
+        cache.recover()
+        txn = data.dataset.transactions[2]
+        response = turbo.handle_request(txn, now=txn.audit_at)
+        assert 0.0 <= response.probability <= 1.0
+        # Cache repopulates after recovery.
+        assert cache.hits + cache.misses > 0

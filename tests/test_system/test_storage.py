@@ -1,0 +1,147 @@
+"""Storage substrate tests, including crash/failover injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.system import (
+    InMemoryCache,
+    LatencyModel,
+    LocalDatabase,
+    ReplicatedStore,
+    StorageError,
+)
+
+
+def latency() -> LatencyModel:
+    return LatencyModel(jitter_sigma=0.0, seed=0)
+
+
+class TestLocalDatabase:
+    def test_insert_and_query(self):
+        db = LocalDatabase(latency())
+        db.insert("logs", 1, "a")
+        db.insert("logs", 1, "b")
+        rows, seconds = db.query("logs", 1)
+        assert rows == ["a", "b"]
+        assert seconds > 0
+
+    def test_put_replaces(self):
+        db = LocalDatabase(latency())
+        db.put("profile", 1, {"age": 30})
+        db.put("profile", 1, {"age": 31})
+        rows, _ = db.query("profile", 1)
+        assert rows == [{"age": 31}]
+
+    def test_missing_key_empty(self):
+        rows, _ = LocalDatabase(latency()).query("logs", 99)
+        assert rows == []
+
+    def test_scan(self):
+        db = LocalDatabase(latency())
+        db.insert("t", 1, "x")
+        db.insert("t", 2, "y")
+        items, _ = db.scan("t")
+        assert dict(items) == {1: ["x"], 2: ["y"]}
+
+    def test_crash_blocks_access(self):
+        db = LocalDatabase(latency())
+        db.crash()
+        with pytest.raises(StorageError):
+            db.query("t", 1)
+        db.recover()
+        db.query("t", 1)
+
+    def test_snapshot_roundtrip(self):
+        db = LocalDatabase(latency())
+        db.insert("t", 1, "x")
+        clone = LocalDatabase(latency())
+        clone.load_snapshot(db.snapshot())
+        rows, _ = clone.query("t", 1)
+        assert rows == ["x"]
+
+
+class TestInMemoryCache:
+    def test_set_get_hit(self):
+        cache = InMemoryCache(latency())
+        cache.set("k", 42, now=0.0)
+        value, hit, _ = cache.get("k", now=1.0)
+        assert hit and value == 42
+        assert cache.hit_rate == 1.0
+
+    def test_miss_counted(self):
+        cache = InMemoryCache(latency())
+        _value, hit, _ = cache.get("absent")
+        assert not hit
+        assert cache.misses == 1
+
+    def test_ttl_expiry(self):
+        cache = InMemoryCache(latency())
+        cache.set("k", 1, now=0.0, ttl=10.0)
+        assert cache.get("k", now=5.0)[1]
+        assert not cache.get("k", now=11.0)[1]
+
+    def test_default_ttl(self):
+        cache = InMemoryCache(latency(), default_ttl=5.0)
+        cache.set("k", 1, now=0.0)
+        assert not cache.get("k", now=6.0)[1]
+
+    def test_invalidate(self):
+        cache = InMemoryCache(latency())
+        cache.set("k", 1)
+        cache.invalidate("k")
+        assert not cache.get("k")[1]
+
+    def test_crash_clears_and_blocks(self):
+        cache = InMemoryCache(latency())
+        cache.set("k", 1)
+        cache.crash()
+        with pytest.raises(StorageError):
+            cache.get("k")
+        cache.recover()
+        assert not cache.get("k")[1]  # contents lost, service restored
+
+
+class TestReplicatedStore:
+    def make(self):
+        model = latency()
+        return ReplicatedStore(LocalDatabase(model), LocalDatabase(model), model)
+
+    def test_writes_go_to_both(self):
+        store = self.make()
+        store.insert("t", 1, "x")
+        assert store.primary.query("t", 1)[0] == ["x"]
+        assert store.replica.query("t", 1)[0] == ["x"]
+
+    def test_failover_on_primary_crash(self):
+        store = self.make()
+        store.insert("t", 1, "x")
+        store.primary.crash()
+        rows, _ = store.query("t", 1)
+        assert rows == ["x"]
+        assert store.failovers == 1
+
+    def test_total_outage_raises(self):
+        store = self.make()
+        store.primary.crash()
+        store.replica.crash()
+        with pytest.raises(StorageError):
+            store.query("t", 1)
+        with pytest.raises(StorageError):
+            store.insert("t", 1, "x")
+
+    def test_promote_replica_switch(self):
+        store = self.make()
+        store.insert("t", 1, "x")
+        store.primary.crash()
+        store.promote_replica()
+        rows, _ = store.query("t", 1)  # new primary serves directly
+        assert rows == ["x"]
+        assert store.failovers == 0
+
+    def test_writes_survive_single_crash(self):
+        store = self.make()
+        store.primary.crash()
+        store.insert("t", 2, "y")  # lands on replica only
+        store.primary.recover()
+        assert store.replica.query("t", 2)[0] == ["y"]

@@ -1,0 +1,79 @@
+"""End-to-end Turbo system tests (on the tiny dataset; slow-ish)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network import FAST_WINDOWS
+from repro.system import deploy_turbo
+
+
+@pytest.fixture(scope="module")
+def deployed(tiny_dataset):
+    turbo, data = deploy_turbo(
+        tiny_dataset,
+        windows=FAST_WINDOWS,
+        train_epochs=15,
+        hidden=(16, 8),
+        seed=0,
+    )
+    return turbo, data
+
+
+class TestTurboRequests:
+    def test_response_fields(self, deployed):
+        turbo, data = deployed
+        dataset = data.dataset
+        txn = dataset.transactions[0]
+        response = turbo.handle_request(txn, now=txn.audit_at)
+        assert response.uid == txn.uid
+        assert 0.0 <= response.probability <= 1.0
+        assert response.breakdown.total > 0
+        assert response.subgraph_size >= 1
+        assert response.blocked == (response.probability >= turbo.threshold)
+
+    def test_clock_advances_with_requests(self, deployed):
+        turbo, data = deployed
+        before = turbo.clock.now()
+        txn = data.dataset.transactions[1]
+        turbo.handle_request(txn, now=txn.audit_at)
+        assert turbo.clock.now() > before
+
+    def test_latency_breakdown_components_positive(self, deployed):
+        turbo, data = deployed
+        txn = data.dataset.transactions[2]
+        response = turbo.handle_request(txn, now=txn.audit_at)
+        assert response.breakdown.sampling > 0
+        assert response.breakdown.features > 0
+        assert response.breakdown.prediction > 0
+
+    def test_detects_fraud_better_than_chance(self, deployed):
+        """Online scores on held-out users must beat random ranking."""
+        from repro.eval import roc_auc_score
+
+        turbo, data = deployed
+        test_uids = {data.nodes[i] for i in data.test_idx}
+        latest = {t.uid: t for t in data.feature_manager.latest_transactions()}
+        labels, scores = [], []
+        label_map = data.dataset.labels
+        for uid in sorted(test_uids):
+            txn = latest[uid]
+            response = turbo.handle_request(txn, now=txn.audit_at)
+            labels.append(label_map[uid])
+            scores.append(response.probability)
+        auc = roc_auc_score(np.asarray(labels), np.asarray(scores))
+        assert auc > 0.6
+
+    def test_invalid_threshold_rejected(self, deployed):
+        from repro.system import Turbo
+
+        turbo, _ = deployed
+        with pytest.raises(ValueError):
+            Turbo(
+                turbo.bn_server,
+                turbo.feature_server,
+                turbo.prediction_server,
+                turbo.clock,
+                threshold=1.5,
+            )
