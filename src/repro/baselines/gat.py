@@ -19,9 +19,12 @@ from ..nn.tensor import segment_sum
 __all__ = ["GAT", "gat_edges"]
 
 
-def gat_edges(adjacency: sp.spmatrix) -> tuple[np.ndarray, np.ndarray]:
+def gat_edges(
+    adjacency: sp.spmatrix | nn.PreparedAggregator,
+) -> tuple[np.ndarray, np.ndarray]:
     """Return ``(rows, cols)`` edge endpoints including self-loops."""
-    coo = (adjacency.tocsr() + sp.eye(adjacency.shape[0], format="csr")).tocoo()
+    csr = nn.as_csr(adjacency)
+    coo = (csr + sp.eye(csr.shape[0], format="csr")).tocoo()
     return coo.row.astype(np.int64), coo.col.astype(np.int64)
 
 

@@ -20,10 +20,10 @@ from ..nn import Tensor
 __all__ = ["GCN", "gcn_aggregator"]
 
 
-def gcn_aggregator(adjacency: sp.spmatrix) -> sp.csr_matrix:
-    """Random-walk aggregation matrix ``D^-1 (A + I)``."""
-    with_loops = adjacency.tocsr() + sp.eye(adjacency.shape[0], format="csr")
-    return row_normalize(with_loops)
+def gcn_aggregator(adjacency: sp.spmatrix) -> nn.PreparedAggregator:
+    """Random-walk aggregation matrix ``D^-1 (A + I)``, transpose-cached."""
+    with_loops = nn.as_csr(adjacency) + sp.eye(adjacency.shape[0], format="csr")
+    return nn.PreparedAggregator(row_normalize(with_loops))
 
 
 class GCN(nn.Module):

@@ -18,9 +18,10 @@ from ..nn import Tensor
 __all__ = ["GraphSAGE", "sage_aggregator"]
 
 
-def sage_aggregator(adjacency: sp.spmatrix) -> sp.csr_matrix:
-    """Neighbour-mean matrix ``D^-1 A`` (no self-loops: self goes via skip)."""
-    return row_normalize(adjacency)
+def sage_aggregator(adjacency: sp.spmatrix) -> nn.PreparedAggregator:
+    """Neighbour-mean matrix ``D^-1 A`` (no self-loops: self goes via skip),
+    wrapped so the backward transpose is built once and memoized."""
+    return nn.PreparedAggregator(row_normalize(nn.as_csr(adjacency)))
 
 
 class SAGELayer(nn.Module):

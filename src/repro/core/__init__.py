@@ -5,7 +5,9 @@ from .hag import HAG, prepare_aggregators
 from .influence import influence_distribution, influence_scores
 from .minibatch import (
     induced_adjacencies,
+    induced_adjacencies_reference,
     sample_khop_nodes,
+    sample_khop_nodes_reference,
     train_with_neighbor_sampling,
 )
 from .sao import SAOLayer, neighbor_mean_matrix
@@ -23,6 +25,8 @@ __all__ = [
     "influence_scores",
     "influence_distribution",
     "sample_khop_nodes",
+    "sample_khop_nodes_reference",
     "induced_adjacencies",
+    "induced_adjacencies_reference",
     "train_with_neighbor_sampling",
 ]

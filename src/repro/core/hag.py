@@ -40,11 +40,16 @@ __all__ = ["HAG", "prepare_aggregators"]
 
 def prepare_aggregators(
     adjacencies: Sequence[sp.spmatrix] | sp.spmatrix,
-) -> list[sp.csr_matrix]:
-    """Convert raw per-type adjacency matrices to Eq. 6 aggregators."""
+) -> list[nn.PreparedAggregator]:
+    """Convert raw per-type adjacency matrices to Eq. 6 aggregators.
+
+    Each aggregator is wrapped in :class:`repro.nn.PreparedAggregator` so a
+    training run builds its CSR transpose at most once (and a forward-only
+    pass never builds it) — see ``docs/PERFORMANCE.md``.
+    """
     if sp.issparse(adjacencies):
         adjacencies = [adjacencies]
-    return [neighbor_mean_matrix(a) for a in adjacencies]
+    return [nn.PreparedAggregator(neighbor_mean_matrix(a)) for a in adjacencies]
 
 
 class HAG(nn.Module):

@@ -28,7 +28,9 @@ from ..nn import Tensor
 __all__ = ["SAOLayer", "neighbor_mean_matrix"]
 
 
-def neighbor_mean_matrix(adjacency: sp.spmatrix) -> sp.csr_matrix:
+def neighbor_mean_matrix(
+    adjacency: sp.spmatrix | nn.PreparedAggregator,
+) -> sp.csr_matrix:
     """Aggregation matrix for Eq. 6: row ``v`` holds ``w_uv / deg(v)``.
 
     We read ``deg(v)`` as the *weighted* degree on the (type-normalized) BN
@@ -37,7 +39,7 @@ def neighbor_mean_matrix(adjacency: sp.spmatrix) -> sp.csr_matrix:
     count instead would shrink the already-normalized weights a second time
     and starve the neighbourhood branch of gradient signal.
     """
-    csr = adjacency.tocsr()
+    csr = nn.as_csr(adjacency)
     weighted_degree = np.asarray(csr.sum(axis=1)).ravel()
     inv = np.divide(
         1.0,
@@ -70,7 +72,9 @@ class SAOLayer(nn.Module):
             self.att_neigh = nn.xavier_uniform((in_dim, att_dim), rng)  # W_n
             self.p = nn.normal((2 * att_dim,), rng, std=0.1)
 
-    def forward(self, h: Tensor, aggregator: sp.spmatrix) -> Tensor:
+    def forward(
+        self, h: Tensor, aggregator: sp.spmatrix | nn.PreparedAggregator
+    ) -> Tensor:
         """Apply SAO given node features ``h`` and the Eq. 6 aggregator."""
         h_neigh = nn.spmm(aggregator, h)
         z_self = self.w_self(h)
@@ -90,7 +94,7 @@ class SAOLayer(nn.Module):
         return out.relu() if self.activation else out
 
     def attention_coefficients(
-        self, h: Tensor, aggregator: sp.spmatrix
+        self, h: Tensor, aggregator: sp.spmatrix | nn.PreparedAggregator
     ) -> np.ndarray:
         """Return the per-node ``(alpha_self, alpha_neigh)`` pairs (for analysis)."""
         if not self.use_attention:

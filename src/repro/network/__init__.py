@@ -1,11 +1,19 @@
 """Behavior Network (BN): construction, maintenance, export, sampling."""
 
-from .adjacency import gcn_normalize, merged_adjacency, row_normalize, typed_adjacency
+from .adjacency import (
+    gcn_normalize,
+    merged_adjacency,
+    merged_adjacency_reference,
+    row_normalize,
+    typed_adjacency,
+    typed_adjacency_reference,
+)
 from .bn import DEFAULT_EDGE_TTL, BehaviorNetwork, EdgeRecord
 from .builder import BNBuilder
 from .io import load_bn, save_bn
 from .normalize import normalized_weight, type_weighted_degrees
 from .sampling import ComputationSubgraph, computation_subgraph
+from .snapshot import BNSnapshot, TypedEdgeArrays, build_snapshot
 from .windows import FAST_WINDOWS, PAPER_WINDOWS, validate_windows
 
 __all__ = [
@@ -15,8 +23,13 @@ __all__ = [
     "BNBuilder",
     "save_bn",
     "load_bn",
+    "BNSnapshot",
+    "TypedEdgeArrays",
+    "build_snapshot",
     "typed_adjacency",
     "merged_adjacency",
+    "typed_adjacency_reference",
+    "merged_adjacency_reference",
     "row_normalize",
     "gcn_normalize",
     "normalized_weight",

@@ -1,4 +1,11 @@
-"""Export BN (sub)graphs as per-type sparse adjacency matrices for GNNs."""
+"""Export BN (sub)graphs as per-type sparse adjacency matrices for GNNs.
+
+The exports are the first leg of the BN→GNN hot path, so they run on the
+:class:`~repro.network.snapshot.BNSnapshot` arrays (one cached pass over the
+edge dict) instead of per-edge Python iteration.  The original per-edge
+implementations are retained as ``*_reference`` for the equivalence tests
+and the perf harness.
+"""
 
 from __future__ import annotations
 
@@ -14,9 +21,53 @@ from .normalize import normalized_weight, type_weighted_degrees
 __all__ = [
     "typed_adjacency",
     "merged_adjacency",
+    "typed_adjacency_reference",
+    "merged_adjacency_reference",
     "row_normalize",
     "gcn_normalize",
 ]
+
+
+def _output_index(bn: BehaviorNetwork, nodes: Sequence[int]) -> np.ndarray:
+    """Snapshot-position → output-row lookup array (-1 for excluded nodes)."""
+    snapshot = bn.to_arrays()
+    node_arr = np.asarray(list(nodes), dtype=np.int64)
+    if len(np.unique(node_arr)) != len(node_arr):
+        raise ValueError("nodes must be unique")
+    positions = snapshot.positions_of(node_arr)
+    lookup = np.full(snapshot.num_nodes, -1, dtype=np.int64)
+    inside = positions >= 0
+    lookup[positions[inside]] = np.flatnonzero(inside)
+    return lookup
+
+
+def _typed_entries(
+    bn: BehaviorNetwork,
+    lookup: np.ndarray,
+    btype: BehaviorType,
+    normalize: bool,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Kept ``(iu, iv, w)`` entries of one type, with ``u < v`` per edge."""
+    snapshot = bn.to_arrays()
+    arrays = snapshot.edges.get(btype)
+    if arrays is None or not arrays.num_edges:
+        return (np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0))
+    iu = lookup[arrays.rows]
+    iv = lookup[arrays.cols]
+    weights = arrays.weights
+    if normalize:
+        # Degrees come from the whole BN even when exporting a subset, so a
+        # sampled subgraph sees the same edge weights the full graph would.
+        degrees = snapshot.weighted_degrees(btype)
+        product = degrees[arrays.rows] * degrees[arrays.cols]
+        weights = np.divide(
+            weights,
+            np.sqrt(product, out=np.zeros_like(product), where=product > 0),
+            out=np.zeros_like(weights),
+            where=product > 0,
+        )
+    keep = (iu >= 0) & (iv >= 0) & (weights > 0.0)
+    return iu[keep], iv[keep], weights[keep]
 
 
 def typed_adjacency(
@@ -31,6 +82,67 @@ def typed_adjacency(
     Section III-A is applied (computed on the *full* BN, so a sampled
     subgraph sees the same edge weights the whole graph would).
     """
+    lookup = _output_index(bn, nodes)
+    types = tuple(edge_types) if edge_types is not None else tuple(sorted(bn.edge_types()))
+    n = len(nodes)
+    result: dict[BehaviorType, sp.csr_matrix] = {}
+    for btype in types:
+        iu, iv, weights = _typed_entries(bn, lookup, btype, normalize)
+        result[btype] = sp.csr_matrix(
+            (
+                np.concatenate([weights, weights]),
+                (np.concatenate([iu, iv]), np.concatenate([iv, iu])),
+            ),
+            shape=(n, n),
+        )
+    return result
+
+
+def merged_adjacency(
+    bn: BehaviorNetwork,
+    nodes: Sequence[int],
+    edge_types: Sequence[BehaviorType] | None = None,
+    normalize: bool = True,
+) -> sp.csr_matrix:
+    """Collapse all edge types into one adjacency (for homogeneous GNNs).
+
+    This is also the graph HAG sees under the CFO(-) ablation of Table V.
+    Built as a single COO construction over every type's entries — the
+    duplicate ``(i, j)`` coordinates sum on conversion — rather than
+    accumulating ``total + matrix`` per type.
+    """
+    lookup = _output_index(bn, nodes)
+    types = tuple(edge_types) if edge_types is not None else tuple(sorted(bn.edge_types()))
+    n = len(nodes)
+    rows: list[np.ndarray] = []
+    cols: list[np.ndarray] = []
+    data: list[np.ndarray] = []
+    for btype in types:
+        iu, iv, weights = _typed_entries(bn, lookup, btype, normalize)
+        rows.append(iu)
+        cols.append(iv)
+        data.append(weights)
+    if not data:
+        return sp.csr_matrix((n, n))
+    iu = np.concatenate(rows)
+    iv = np.concatenate(cols)
+    w = np.concatenate(data)
+    return sp.csr_matrix(
+        (np.concatenate([w, w]), (np.concatenate([iu, iv]), np.concatenate([iv, iu]))),
+        shape=(n, n),
+    )
+
+
+# ----------------------------------------------------------------------
+# Reference implementations (pre-vectorization semantics)
+# ----------------------------------------------------------------------
+def typed_adjacency_reference(
+    bn: BehaviorNetwork,
+    nodes: Sequence[int],
+    edge_types: Sequence[BehaviorType] | None = None,
+    normalize: bool = True,
+) -> dict[BehaviorType, sp.csr_matrix]:
+    """Per-edge Python-loop export; kept to pin :func:`typed_adjacency`."""
     index = {uid: i for i, uid in enumerate(nodes)}
     if len(index) != len(nodes):
         raise ValueError("nodes must be unique")
@@ -60,17 +172,14 @@ def typed_adjacency(
     return result
 
 
-def merged_adjacency(
+def merged_adjacency_reference(
     bn: BehaviorNetwork,
     nodes: Sequence[int],
     edge_types: Sequence[BehaviorType] | None = None,
     normalize: bool = True,
 ) -> sp.csr_matrix:
-    """Collapse all edge types into one adjacency (for homogeneous GNNs).
-
-    This is also the graph HAG sees under the CFO(-) ablation of Table V.
-    """
-    typed = typed_adjacency(bn, nodes, edge_types, normalize)
+    """Per-type accumulation merge; kept to pin :func:`merged_adjacency`."""
+    typed = typed_adjacency_reference(bn, nodes, edge_types, normalize)
     n = len(nodes)
     total = sp.csr_matrix((n, n))
     for matrix in typed.values():

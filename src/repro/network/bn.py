@@ -15,6 +15,7 @@ import networkx as nx
 
 from ..datagen.behavior_types import BehaviorType
 from ..datagen.entities import DAY
+from .snapshot import BNSnapshot, build_snapshot
 
 __all__ = ["EdgeRecord", "BehaviorNetwork", "DEFAULT_EDGE_TTL"]
 
@@ -48,6 +49,8 @@ class BehaviorNetwork:
         self.ttl = ttl
         self._edges: dict[tuple[int, int], dict[BehaviorType, EdgeRecord]] = {}
         self._adjacency: dict[int, set[int]] = {}
+        self._version = 0
+        self._snapshot: BNSnapshot | None = None
 
     # ------------------------------------------------------------------
     # Mutation
@@ -67,10 +70,13 @@ class BehaviorNetwork:
         record.last_update = max(record.last_update, timestamp)
         self._adjacency.setdefault(u, set()).add(v)
         self._adjacency.setdefault(v, set()).add(u)
+        self._version += 1
 
     def add_node(self, uid: int) -> None:
         """Register a node even if it has no edges yet."""
-        self._adjacency.setdefault(uid, set())
+        if uid not in self._adjacency:
+            self._adjacency[uid] = set()
+            self._version += 1
 
     def expire_edges(self, now: float) -> int:
         """Drop typed edges older than the TTL; returns how many were removed.
@@ -92,6 +98,8 @@ class BehaviorNetwork:
             del self._edges[(u, v)]
             self._adjacency[u].discard(v)
             self._adjacency[v].discard(u)
+        if removed:
+            self._version += 1
         return removed
 
     # ------------------------------------------------------------------
@@ -177,6 +185,27 @@ class BehaviorNetwork:
     # ------------------------------------------------------------------
     # Views
     # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumps whenever the graph actually changes."""
+        return self._version
+
+    def to_arrays(self) -> BNSnapshot:
+        """Export the network as flat typed numpy arrays (CSR-native form).
+
+        The snapshot is memoized against :attr:`version` — repeated calls
+        between mutations return the same object, and any ``add_weight`` /
+        ``add_node`` / effective ``expire_edges`` invalidates the cache so
+        the next call rebuilds.  See ``docs/PERFORMANCE.md`` for the
+        contract and :mod:`repro.network.snapshot` for the layout.
+        """
+        cached = self._snapshot
+        if cached is not None and cached.version == self._version:
+            return cached
+        snapshot = build_snapshot(self._edges, self._adjacency, self._version)
+        self._snapshot = snapshot
+        return snapshot
+
     def khop_neighborhood(
         self, uid: int, hops: int, allowed: set[int] | None = None
     ) -> dict[int, int]:

@@ -10,6 +10,8 @@ type::
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..datagen.behavior_types import BehaviorType
 from .bn import BehaviorNetwork
 
@@ -19,12 +21,17 @@ __all__ = ["normalized_weight", "type_weighted_degrees"]
 def type_weighted_degrees(
     bn: BehaviorNetwork, btype: BehaviorType
 ) -> dict[int, float]:
-    """Weighted degree ``deg'_r(u)`` for every node with type-``r`` edges."""
-    degrees: dict[int, float] = {}
-    for u, v, _t, record in bn.iter_edges(btype):
-        degrees[u] = degrees.get(u, 0.0) + record.weight
-        degrees[v] = degrees.get(v, 0.0) + record.weight
-    return degrees
+    """Weighted degree ``deg'_r(u)`` for every node with type-``r`` edges.
+
+    Accumulated on the cached CSR snapshot (one ``np.add.at`` pass) rather
+    than per-edge Python iteration; the dict return type is kept for
+    callers that look degrees up by user id.
+    """
+    snapshot = bn.to_arrays()
+    degrees = snapshot.weighted_degrees(btype)
+    populated = np.flatnonzero(degrees)
+    node_ids = snapshot.node_ids
+    return {int(node_ids[i]): float(degrees[i]) for i in populated}
 
 
 def normalized_weight(

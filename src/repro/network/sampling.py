@@ -39,12 +39,26 @@ class ComputationSubgraph:
         return len(self.nodes)
 
     def merged(self) -> sp.csr_matrix:
-        """Sum the typed adjacencies into one homogeneous matrix."""
+        """Sum the typed adjacencies into one homogeneous matrix.
+
+        Built from the concatenated COO triples of every type in one
+        construction (duplicate coordinates sum on conversion), instead of
+        accumulating ``total + matrix`` per type.
+        """
         n = len(self.nodes)
-        total = sp.csr_matrix((n, n))
-        for matrix in self.adjacency.values():
-            total = total + matrix
-        return total.tocsr()
+        if not self.adjacency:
+            return sp.csr_matrix((n, n))
+        coos = [matrix.tocoo() for matrix in self.adjacency.values()]
+        return sp.csr_matrix(
+            (
+                np.concatenate([c.data for c in coos]),
+                (
+                    np.concatenate([c.row for c in coos]),
+                    np.concatenate([c.col for c in coos]),
+                ),
+            ),
+            shape=(n, n),
+        )
 
 
 def computation_subgraph(
@@ -119,6 +133,14 @@ def _select_neighbors(
     if rng is None:
         order = np.argsort(-weights, kind="stable")[:fanout]
         return [neighbors[i] for i in order]
-    probabilities = weights / weights.sum()
-    chosen = rng.choice(len(neighbors), size=fanout, replace=False, p=probabilities)
+    support = np.flatnonzero(weights > 0)
+    if len(support) < fanout:
+        # Too few neighbours carry probability mass for a ``replace=False``
+        # draw: keep the whole support and top up deterministically with the
+        # first zero-weight neighbours in index order.
+        zero = np.flatnonzero(weights <= 0)[: fanout - len(support)]
+        chosen = np.concatenate([support, zero])
+    else:
+        probabilities = weights / weights.sum()
+        chosen = rng.choice(len(neighbors), size=fanout, replace=False, p=probabilities)
     return [neighbors[i] for i in chosen]

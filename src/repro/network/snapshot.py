@@ -1,0 +1,154 @@
+"""CSR-native snapshots of the Behavior Network.
+
+The BN's dict-of-dicts storage is the right shape for streaming mutation
+(O(1) typed-edge updates, O(deg) neighbour queries) but the wrong shape for
+the serving/training hot path, which wants whole-graph array operations:
+adjacency export, degree normalization, frontier sampling.  A
+:class:`BNSnapshot` bridges the two worlds — one pass over the edge dict
+produces flat, typed numpy arrays that every downstream consumer slices
+instead of re-iterating Python objects.
+
+Caching contract (see ``docs/PERFORMANCE.md``):
+
+* :meth:`~repro.network.bn.BehaviorNetwork.to_arrays` memoizes the snapshot
+  against the network's mutation counter (``BehaviorNetwork.version``);
+* every mutation (``add_weight``, ``add_node`` of a new node,
+  ``expire_edges`` that removes anything) bumps the counter, so the next
+  ``to_arrays()`` call rebuilds instead of stale-serving;
+* snapshots are immutable value objects — mutating the BN never changes an
+  already-exported snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..datagen.behavior_types import BehaviorType
+
+__all__ = ["TypedEdgeArrays", "BNSnapshot", "build_snapshot"]
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+_EMPTY_F64 = np.empty(0, dtype=np.float64)
+
+
+@dataclass(frozen=True, slots=True)
+class TypedEdgeArrays:
+    """Flat arrays for one edge type; one entry per ``(u, v)`` pair, ``u < v``.
+
+    ``rows``/``cols`` are positions into the owning snapshot's ``node_ids``
+    (not raw user ids), so they can index numpy arrays directly.
+    """
+
+    rows: np.ndarray  # int64 positions into BNSnapshot.node_ids
+    cols: np.ndarray  # int64 positions into BNSnapshot.node_ids
+    weights: np.ndarray  # float64 accumulated weights
+    last_update: np.ndarray  # float64 latest contribution timestamps
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.weights)
+
+
+@dataclass(frozen=True, slots=True)
+class BNSnapshot:
+    """One immutable, array-backed export of a :class:`BehaviorNetwork`.
+
+    ``node_ids`` is sorted ascending; ``edges`` maps each edge type present
+    in the network to its :class:`TypedEdgeArrays`.  ``version`` records the
+    BN mutation counter the snapshot was taken at.
+    """
+
+    node_ids: np.ndarray  # sorted int64 user ids
+    edges: dict[BehaviorType, TypedEdgeArrays]
+    version: int = 0
+    _degrees: dict[BehaviorType, np.ndarray] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def types(self) -> tuple[BehaviorType, ...]:
+        """Edge types present, sorted for deterministic iteration."""
+        return tuple(sorted(self.edges))
+
+    def num_edges(self, btype: BehaviorType | None = None) -> int:
+        """Typed edge count (all types when ``btype`` is omitted)."""
+        if btype is not None:
+            arrays = self.edges.get(btype)
+            return arrays.num_edges if arrays is not None else 0
+        return sum(arrays.num_edges for arrays in self.edges.values())
+
+    def positions_of(self, node_ids: np.ndarray) -> np.ndarray:
+        """Map raw user ids to snapshot positions (-1 when not registered)."""
+        ids = np.asarray(node_ids, dtype=np.int64)
+        pos = np.searchsorted(self.node_ids, ids)
+        pos_clipped = np.minimum(pos, max(self.num_nodes - 1, 0))
+        if self.num_nodes == 0:
+            return np.full(ids.shape, -1, dtype=np.int64)
+        valid = self.node_ids[pos_clipped] == ids
+        return np.where(valid, pos_clipped, -1).astype(np.int64)
+
+    def weighted_degrees(self, btype: BehaviorType) -> np.ndarray:
+        """Weighted degree per snapshot position (Section III-A's ``deg'_r``).
+
+        Memoized per type: repeated adjacency exports against the same
+        snapshot pay for the accumulation once.
+        """
+        cached = self._degrees.get(btype)
+        if cached is not None:
+            return cached
+        degrees = np.zeros(self.num_nodes, dtype=np.float64)
+        arrays = self.edges.get(btype)
+        if arrays is not None and arrays.num_edges:
+            np.add.at(degrees, arrays.rows, arrays.weights)
+            np.add.at(degrees, arrays.cols, arrays.weights)
+        self._degrees[btype] = degrees
+        return degrees
+
+
+def build_snapshot(
+    edge_dict: dict, adjacency: dict, version: int = 0
+) -> BNSnapshot:
+    """Build a :class:`BNSnapshot` from BN internal storage in one pass.
+
+    ``edge_dict`` is ``{(u, v): {BehaviorType: EdgeRecord}}`` with ``u < v``;
+    ``adjacency`` supplies the registered node set (including isolated
+    nodes, which adjacency exports must still index).
+    """
+    node_ids = np.fromiter(adjacency.keys(), dtype=np.int64, count=len(adjacency))
+    node_ids.sort()
+
+    us: dict[BehaviorType, list[int]] = {}
+    vs: dict[BehaviorType, list[int]] = {}
+    ws: dict[BehaviorType, list[float]] = {}
+    ts: dict[BehaviorType, list[float]] = {}
+    for (u, v), records in edge_dict.items():
+        for btype, record in records.items():
+            bucket = us.get(btype)
+            if bucket is None:
+                us[btype] = [u]
+                vs[btype] = [v]
+                ws[btype] = [record.weight]
+                ts[btype] = [record.last_update]
+            else:
+                bucket.append(u)
+                vs[btype].append(v)
+                ws[btype].append(record.weight)
+                ts[btype].append(record.last_update)
+
+    edges: dict[BehaviorType, TypedEdgeArrays] = {}
+    for btype in us:
+        u_arr = np.asarray(us[btype], dtype=np.int64)
+        v_arr = np.asarray(vs[btype], dtype=np.int64)
+        edges[btype] = TypedEdgeArrays(
+            rows=np.searchsorted(node_ids, u_arr),
+            cols=np.searchsorted(node_ids, v_arr),
+            weights=np.asarray(ws[btype], dtype=np.float64),
+            last_update=np.asarray(ts[btype], dtype=np.float64),
+        )
+    return BNSnapshot(node_ids=node_ids, edges=edges, version=version)

@@ -15,7 +15,13 @@ from .init import kaiming_uniform, normal, xavier_normal, xavier_uniform, zeros
 from .layers import MLP, Dropout, Linear, Module, ModuleList, Sequential
 from .losses import bce_with_logits, hinge_loss, mse_loss
 from .optim import SGD, Adam, Optimizer
-from .sparse import spmm
+from .sparse import (
+    PreparedAggregator,
+    as_csr,
+    reset_transpose_conversion_count,
+    spmm,
+    transpose_conversion_count,
+)
 from .tensor import (
     Tensor,
     as_tensor,
@@ -49,6 +55,10 @@ __all__ = [
     "hinge_loss",
     "mse_loss",
     "spmm",
+    "PreparedAggregator",
+    "as_csr",
+    "transpose_conversion_count",
+    "reset_transpose_conversion_count",
     "xavier_uniform",
     "xavier_normal",
     "kaiming_uniform",

@@ -4,6 +4,15 @@ GNN layers aggregate neighbourhoods as ``A @ H`` where ``A`` is a (typically
 row-normalized) sparse adjacency matrix that is *constant* with respect to the
 loss.  Only the dense operand therefore needs a gradient, which keeps the op
 simple: ``d(A @ H)/dH = A^T @ grad``.
+
+Two hot-path properties are guaranteed here (and pinned by tests via
+:func:`transpose_conversion_count`):
+
+* the CSR transpose is built *lazily*, inside the backward closure — a
+  forward-only (``no_grad``) pass performs zero transpose conversions;
+* a :class:`PreparedAggregator` memoizes its transpose, so a training run
+  converts each aggregator at most once no matter how many layers, batches,
+  or epochs reuse it.
 """
 
 from __future__ import annotations
@@ -13,16 +22,99 @@ import scipy.sparse as sp
 
 from .tensor import Tensor
 
-__all__ = ["spmm"]
+__all__ = [
+    "spmm",
+    "PreparedAggregator",
+    "as_csr",
+    "transpose_conversion_count",
+    "reset_transpose_conversion_count",
+]
+
+_TRANSPOSE_CONVERSIONS = 0
 
 
-def spmm(matrix: sp.spmatrix, dense: Tensor) -> Tensor:
+def transpose_conversion_count() -> int:
+    """How many CSR transpose conversions :func:`spmm` has performed."""
+    return _TRANSPOSE_CONVERSIONS
+
+
+def reset_transpose_conversion_count() -> None:
+    """Reset the conversion counter (test isolation helper)."""
+    global _TRANSPOSE_CONVERSIONS
+    _TRANSPOSE_CONVERSIONS = 0
+
+
+def _transpose_csr(csr: sp.csr_matrix) -> sp.csr_matrix:
+    global _TRANSPOSE_CONVERSIONS
+    _TRANSPOSE_CONVERSIONS += 1
+    return csr.T.tocsr()
+
+
+class PreparedAggregator:
+    """A constant aggregation matrix with a memoized CSR transpose.
+
+    Wraps the forward operand ``A`` (kept in CSR form) and builds ``A^T``
+    once, on the first backward pass that needs it.  Pass instances of this
+    class to :func:`spmm` (or any layer that calls it) wherever the same
+    aggregator is reused across layers or steps.
+    """
+
+    __slots__ = ("matrix", "_transpose")
+
+    def __init__(self, matrix: sp.spmatrix) -> None:
+        if not sp.issparse(matrix):
+            raise TypeError(f"expected a scipy sparse matrix, got {type(matrix)!r}")
+        self.matrix = matrix.tocsr()
+        self._transpose: sp.csr_matrix | None = None
+
+    # -- matrix-like conveniences (tests and analysis code use these) ----
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.matrix.shape
+
+    @property
+    def nnz(self) -> int:
+        return self.matrix.nnz
+
+    def tocsr(self) -> sp.csr_matrix:
+        """The wrapped forward matrix, unchanged (no copy)."""
+        return self.matrix
+
+    def toarray(self) -> np.ndarray:
+        """Densify the wrapped forward matrix."""
+        return self.matrix.toarray()
+
+    def __matmul__(self, other):
+        return self.matrix @ other
+
+    def __repr__(self) -> str:
+        cached = "cached" if self._transpose is not None else "lazy"
+        return f"PreparedAggregator(shape={self.shape}, nnz={self.nnz}, transpose={cached})"
+
+    def transpose_csr(self) -> sp.csr_matrix:
+        """``A^T`` in CSR form, built on first use and memoized."""
+        if self._transpose is None:
+            self._transpose = _transpose_csr(self.matrix)
+        return self._transpose
+
+
+def as_csr(matrix: sp.spmatrix | PreparedAggregator) -> sp.csr_matrix:
+    """Unwrap a sparse matrix or :class:`PreparedAggregator` to plain CSR."""
+    if isinstance(matrix, PreparedAggregator):
+        return matrix.matrix
+    if not sp.issparse(matrix):
+        raise TypeError(f"expected a scipy sparse matrix, got {type(matrix)!r}")
+    return matrix.tocsr()
+
+
+def spmm(matrix: sp.spmatrix | PreparedAggregator, dense: Tensor) -> Tensor:
     """Multiply a constant sparse ``matrix`` by a differentiable ``dense`` tensor.
 
     Parameters
     ----------
     matrix:
-        ``(m, n)`` scipy sparse matrix, treated as a constant.
+        ``(m, n)`` scipy sparse matrix or :class:`PreparedAggregator`,
+        treated as a constant.
     dense:
         ``(n, d)`` or ``(n,)`` tensor.
 
@@ -30,13 +122,20 @@ def spmm(matrix: sp.spmatrix, dense: Tensor) -> Tensor:
     -------
     Tensor of shape ``(m, d)`` (or ``(m,)``).
     """
-    if not sp.issparse(matrix):
+    if isinstance(matrix, PreparedAggregator):
+        csr = matrix.matrix
+        transpose = matrix.transpose_csr
+    elif sp.issparse(matrix):
+        csr = matrix.tocsr()
+
+        def transpose() -> sp.csr_matrix:
+            return _transpose_csr(csr)
+
+    else:
         raise TypeError(f"expected a scipy sparse matrix, got {type(matrix)!r}")
-    csr = matrix.tocsr()
     out_data = np.asarray(csr @ dense.data)
-    csr_t = csr.T.tocsr()
 
     def backward(g: np.ndarray) -> list[tuple[Tensor, np.ndarray]]:
-        return [(dense, np.asarray(csr_t @ g))]
+        return [(dense, np.asarray(transpose() @ g))]
 
     return Tensor._make(out_data, (dense,), backward)

@@ -94,7 +94,23 @@ class BNServer:
             removed = self.bn.expire_edges(now)
             seconds += self.latency.charge_db_write(max(1, removed))
             self._last_ttl_sweep = now
+
+        self._prune_logs(now)
         return jobs, seconds
+
+    def _prune_logs(self, now: float) -> None:
+        """Drop buffered logs no future window job can read.
+
+        Every pending job for window ``w`` has ``job_end > now`` and reads
+        ``(job_end - w, job_end]``, so logs at or before ``now - max(W)``
+        can never contribute again; keeping them would grow the in-memory
+        buffer without bound (the persisted copy lives in the database).
+        """
+        cutoff = now - max(self.builder.windows)
+        drop = bisect_right(self._log_times, cutoff)
+        if drop:
+            del self._logs[:drop]
+            del self._log_times[:drop]
 
     # ------------------------------------------------------------------
     # Serving

@@ -39,3 +39,79 @@ class TestSpmm:
         matrix = sp.csr_matrix((3, 3))
         out = spmm(matrix, Tensor(np.ones((3, 2))))
         np.testing.assert_allclose(out.numpy(), 0.0)
+
+
+class TestPreparedAggregator:
+    def make(self, seed: int = 0) -> "sp.csr_matrix":
+        return sp.random(6, 6, density=0.4, random_state=seed, format="csr")
+
+    def test_matches_raw_csr_forward_and_backward(self, rng):
+        from repro.nn import PreparedAggregator
+
+        matrix = self.make()
+        dense = rng.normal(size=(6, 3))
+        x_raw = Tensor(dense, requires_grad=True)
+        x_prep = Tensor(dense, requires_grad=True)
+        out_raw = spmm(matrix, x_raw)
+        out_prep = spmm(PreparedAggregator(matrix), x_prep)
+        np.testing.assert_allclose(out_prep.numpy(), out_raw.numpy())
+        out_raw.sum().backward()
+        out_prep.sum().backward()
+        np.testing.assert_allclose(x_prep.grad, x_raw.grad)
+
+    def test_rejects_dense_input(self):
+        from repro.nn import PreparedAggregator
+
+        with pytest.raises(TypeError):
+            PreparedAggregator(np.ones((3, 3)))
+
+    def test_as_csr_unwraps(self):
+        from repro.nn import PreparedAggregator, as_csr
+
+        matrix = self.make()
+        prepared = PreparedAggregator(matrix)
+        assert as_csr(prepared) is prepared.matrix
+        assert (as_csr(matrix) != matrix).nnz == 0
+
+
+class TestTransposeAccounting:
+    def make(self, seed: int = 0) -> "sp.csr_matrix":
+        return sp.random(8, 8, density=0.3, random_state=seed, format="csr")
+
+    def test_forward_only_never_converts(self, rng):
+        from repro import nn
+        from repro.nn import PreparedAggregator
+
+        aggregator = PreparedAggregator(self.make())
+        nn.reset_transpose_conversion_count()
+        with nn.no_grad():
+            for _ in range(4):
+                spmm(aggregator, Tensor(rng.normal(size=(8, 2))))
+        assert nn.transpose_conversion_count() == 0
+        nn.reset_transpose_conversion_count()
+
+    def test_prepared_converts_at_most_once_across_steps(self, rng):
+        from repro import nn
+        from repro.nn import PreparedAggregator
+
+        aggregators = [PreparedAggregator(self.make(s)) for s in (0, 1, 2)]
+        nn.reset_transpose_conversion_count()
+        for _ in range(5):  # five "training steps" reusing the aggregators
+            x = Tensor(rng.normal(size=(8, 2)), requires_grad=True)
+            loss = sum(
+                (spmm(a, x).sum() for a in aggregators), start=Tensor(np.zeros(()))
+            )
+            loss.backward()
+        assert nn.transpose_conversion_count() <= len(aggregators)
+        nn.reset_transpose_conversion_count()
+
+    def test_raw_csr_converts_per_backward_call(self, rng):
+        from repro import nn
+
+        matrix = self.make()
+        nn.reset_transpose_conversion_count()
+        for _ in range(3):
+            x = Tensor(rng.normal(size=(8, 2)), requires_grad=True)
+            spmm(matrix, x).sum().backward()
+        assert nn.transpose_conversion_count() == 3
+        nn.reset_transpose_conversion_count()

@@ -117,3 +117,37 @@ class TestSampling:
         server.run_due_jobs(now=DAY)
         subgraph, _ = server.sample(1, now=DAY, allowed={1})
         assert subgraph.nodes == [1]
+
+
+class TestLogPruning:
+    def test_prune_drops_logs_older_than_largest_window(self):
+        server = make_server(windows=(HOUR, DAY))
+        server.ingest(shared_logs(0.0))
+        server.ingest(shared_logs(2 * DAY))
+        server.run_due_jobs(now=3 * DAY)
+        # Every pending job reads at most (now - DAY, now]; the t0=0 logs
+        # can never contribute again and must leave the in-memory buffer.
+        assert all(t > 3 * DAY - DAY for t in server._log_times)
+        assert len(server._logs) == len(server._log_times) == 2
+
+    def test_prune_keeps_logs_future_jobs_still_need(self):
+        server = make_server(windows=(HOUR, DAY))
+        server.ingest(shared_logs(0.0))
+        server.run_due_jobs(now=HOUR)  # day job still pending for these logs
+        assert len(server._logs) == 2
+
+    def test_pruned_buffer_does_not_change_job_results(self):
+        kept = make_server(windows=(HOUR,))
+        for t0 in (0.0, HOUR, 2 * HOUR):
+            kept.ingest(shared_logs(t0))
+        # Run hour-by-hour (pruning after each job) vs all at once.
+        for now in (HOUR, 2 * HOUR, 3 * HOUR):
+            kept.run_due_jobs(now=now)
+        batch = make_server(windows=(HOUR,))
+        for t0 in (0.0, HOUR, 2 * HOUR):
+            batch.ingest(shared_logs(t0))
+        batch.run_due_jobs(now=3 * HOUR)
+        assert kept.bn.weight(1, 2, DEV) == pytest.approx(
+            batch.bn.weight(1, 2, DEV)
+        )
+        assert kept.bn.weight(1, 2, DEV) == pytest.approx(1.5)
