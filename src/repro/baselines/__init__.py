@@ -5,6 +5,7 @@ from .blp import BLPClassifier, BLPFeatureExtractor
 from .deeptrax import DeepTraxEmbedder, build_bipartite
 from .deepwalk import DeepWalk, SkipGramEmbedder, random_walks
 from .dnn import DNNClassifier
+from .fallback import DEGRADATION_LADDER, FallbackDecision, FallbackStack
 from .gat import GAT, GATLayer, gat_edges
 from .gbdt import GradientBoostingClassifier, RegressionTree
 from .gcn import GCN, gcn_aggregator
@@ -39,6 +40,9 @@ __all__ = [
     "ScorecardRule",
     "default_scorecard",
     "Blocklist",
+    "FallbackStack",
+    "FallbackDecision",
+    "DEGRADATION_LADDER",
     "METHODS",
     "GNN_SIZES",
     "method_names",

@@ -3,6 +3,16 @@
 from .abtest import ABTestResult, run_ab_test
 from .bn_server import BNServer
 from .clock import SimulatedClock
+from .faults import (
+    BudgetExceeded,
+    CircuitBreaker,
+    CrashWindow,
+    FaultEvent,
+    FaultInjector,
+    InjectedFault,
+    RetryPolicy,
+    random_fault_plan,
+)
 from .feature_server import FeatureServer
 from .latency import LatencyBreakdown, LatencyModel
 from .model_management import ModelManager, ModelVersion
@@ -19,6 +29,14 @@ __all__ = [
     "InMemoryCache",
     "ReplicatedStore",
     "StorageError",
+    "FaultInjector",
+    "InjectedFault",
+    "FaultEvent",
+    "CrashWindow",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "BudgetExceeded",
+    "random_fault_plan",
     "BNServer",
     "FeatureServer",
     "PredictionServer",

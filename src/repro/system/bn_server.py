@@ -10,7 +10,7 @@ subgraph.  All storage access is charged through the latency model.
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -20,6 +20,9 @@ from ..network.builder import BNBuilder
 from ..network.sampling import ComputationSubgraph, computation_subgraph
 from .latency import LatencyModel
 from .storage import InMemoryCache, LocalDatabase
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from .faults import FaultInjector
 
 __all__ = ["BNServer"]
 
@@ -34,11 +37,15 @@ class BNServer:
         database: LocalDatabase | None = None,
         cache: InMemoryCache | None = None,
         ttl_sweep_interval: float = DAY,
+        faults: "FaultInjector | None" = None,
+        component: str = "bn_server",
     ) -> None:
         self.builder = builder
         self.latency = latency
         self.database = database or LocalDatabase(latency)
         self.cache = cache
+        self.faults = faults
+        self.component = component
         self.bn = BehaviorNetwork(ttl=builder.ttl)
         self.ttl_sweep_interval = ttl_sweep_interval
         self._logs: list[BehaviorLog] = []
@@ -129,15 +136,27 @@ class BNServer:
         With a cache, each visited node's adjacency is a cache lookup (the
         production 87 ms path); without one, every hop reads the edge list
         from the local database.
+
+        Failure contract: raises :class:`~repro.system.storage.StorageError`
+        (or an injected fault) when the server, the cache mid-lookup, or the
+        database behind a cold cache cannot serve — the Turbo orchestrator
+        owns the retry/degrade decision.
         """
+        seconds = self.faults.before_call(self.component) if self.faults else 0.0
         if uid not in self.bn:
             self.bn.add_node(uid)
         subgraph = computation_subgraph(
             self.bn, uid, hops=hops, fanout=fanout, allowed=allowed, rng=rng
         )
-        seconds = self.latency.charge_network()
+        seconds += self.latency.charge_network()
+        use_cache = self.cache is not None and self.cache.available
+        if not use_cache:
+            # The degraded (no-cache) path reads edge lists straight from
+            # the database — a dead database must surface here, not charge
+            # phantom latency for reads that could never have happened.
+            seconds += self.database.ping()
         for node in subgraph.nodes:
-            if self.cache is not None and self.cache.available:
+            if use_cache:
                 _value, hit, cost = self.cache.get(("adj", node), now)
                 seconds += cost + self.latency.charge_sample_node()
                 if not hit:

@@ -9,7 +9,7 @@ average request from 6.8 s to 0.8 s; this module reproduces both paths.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -17,6 +17,9 @@ from ..datagen.entities import Transaction
 from ..features.pipeline import FeatureManager
 from .latency import LatencyModel
 from .storage import InMemoryCache, LocalDatabase
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from .faults import FaultInjector
 
 __all__ = ["FeatureServer"]
 
@@ -32,6 +35,8 @@ class FeatureServer:
         cache: InMemoryCache | None = None,
         stat_windows: int = 5,
         cache_ttl: float = 6 * 3600.0,
+        faults: "FaultInjector | None" = None,
+        component: str = "feature_server",
     ) -> None:
         self.feature_manager = feature_manager
         self.latency = latency
@@ -39,6 +44,8 @@ class FeatureServer:
         self.cache = cache
         self.stat_windows = stat_windows
         self.cache_ttl = cache_ttl
+        self.faults = faults
+        self.component = component
         self._latest_txn = {
             txn.uid: txn for txn in feature_manager.latest_transactions()
         }
@@ -53,8 +60,18 @@ class FeatureServer:
 
         The target row uses the transaction under audit; context nodes use
         their latest application.  Returns ``(matrix, seconds_charged)``.
+
+        Failure contract: raises :class:`~repro.system.storage.StorageError`
+        (or an injected fault) when the module, the cache mid-lookup, or the
+        database behind a cold cache cannot serve.
         """
-        seconds = self.latency.charge_network()
+        seconds = self.faults.before_call(self.component) if self.faults else 0.0
+        seconds += self.latency.charge_network()
+        if self.cache is None or not self.cache.available:
+            # The on-demand X_s scan reads raw logs from the database; a
+            # dead database must fail the request instead of silently
+            # charging latency for scans that never ran.
+            seconds += self.database.ping()
         rows: list[np.ndarray] = []
         for position, uid in enumerate(nodes):
             txn = target_txn if position == 0 else self._latest_txn.get(uid)

@@ -36,6 +36,9 @@ class LatencyModel:
     network_rtt: float = 0.002
     model_forward_base: float = 0.13
     model_forward_per_node: float = 0.0008
+    #: scoring one application on the pre-Turbo rule stack (scorecard /
+    #: block-list) — in-memory rule evaluation, no graph or storage access.
+    fallback_score: float = 0.0009
     jitter_sigma: float = 0.35
     seed: int = 0
     _rng: np.random.Generator = field(init=False, repr=False, default=None)
@@ -75,6 +78,10 @@ class LatencyModel:
     def charge_network(self) -> float:
         """Cost of one network round-trip."""
         return self.network_rtt * self._jitter()
+
+    def charge_fallback(self) -> float:
+        """Cost of scoring one request on the degraded rule-based path."""
+        return self.fallback_score * self._jitter()
 
     def charge_model_forward(self, n_nodes: int) -> float:
         """Cost of one model forward over an ``n_nodes`` subgraph."""

@@ -4,6 +4,12 @@ Production risk systems live and die by their dashboards; this module
 collects the counters and latency histograms behind Fig. 8-style monitoring:
 request counts, per-module latency distributions, block rate, cache hit
 rates and error counts, with percentile queries and a plain-text report.
+
+Resilience accounting (``docs/RESILIENCE.md``): every served request is
+attributed to a degradation level (``full`` = HAG graph path, else the
+fallback that answered), latency SLOs can be armed per mode, and the
+monitor tracks the derived error budget, availability (full-path fraction),
+degraded-request rate, retries and storage failovers.
 """
 
 from __future__ import annotations
@@ -67,15 +73,54 @@ class SystemMonitor:
     features: LatencyHistogram = field(default_factory=LatencyHistogram)
     prediction: LatencyHistogram = field(default_factory=LatencyHistogram)
     total: LatencyHistogram = field(default_factory=LatencyHistogram)
+    #: total latency of requests served degraded (fallback path only).
+    degraded_total: LatencyHistogram = field(default_factory=LatencyHistogram)
     requests: int = 0
     blocked: int = 0
     errors: Counter = field(default_factory=Counter)
     subgraph_sizes: list[int] = field(default_factory=list)
+    #: degradation level -> served-request count ("full" is the HAG path).
+    degraded: Counter = field(default_factory=Counter)
+    retries: int = 0
+    failovers: int = 0
+    #: latency SLO targets in milliseconds (None = SLO accounting disarmed).
+    slo_target_ms: float | None = None
+    degraded_slo_target_ms: float | None = None
+    slo_violations: int = 0
+    #: allowed SLO-violation fraction backing :meth:`error_budget_remaining`.
+    error_budget: float = 0.01
+
+    def set_slo(
+        self,
+        target_ms: float,
+        degraded_target_ms: float | None = None,
+        error_budget: float = 0.01,
+    ) -> None:
+        """Arm latency-SLO accounting.
+
+        ``target_ms`` applies to full-path requests, ``degraded_target_ms``
+        (default: same) to degraded ones; ``error_budget`` is the tolerated
+        violation fraction behind :meth:`error_budget_remaining`.
+        """
+        if target_ms <= 0:
+            raise ValueError("SLO target must be positive")
+        if not 0.0 < error_budget <= 1.0:
+            raise ValueError("error budget must be in (0, 1]")
+        self.slo_target_ms = target_ms
+        self.degraded_slo_target_ms = (
+            degraded_target_ms if degraded_target_ms is not None else target_ms
+        )
+        self.error_budget = error_budget
 
     def record_request(
-        self, breakdown: LatencyBreakdown, blocked: bool, subgraph_size: int
+        self,
+        breakdown: LatencyBreakdown,
+        blocked: bool,
+        subgraph_size: int,
+        degradation: str = "full",
+        retries: int = 0,
     ) -> None:
-        """Record one served request's latency, outcome and subgraph size."""
+        """Record one served request's latency, outcome and serving mode."""
         self.requests += 1
         if blocked:
             self.blocked += 1
@@ -84,14 +129,70 @@ class SystemMonitor:
         self.prediction.observe(breakdown.prediction)
         self.total.observe(breakdown.total)
         self.subgraph_sizes.append(subgraph_size)
+        self.degraded[degradation] += 1
+        self.retries += retries
+        if degradation != "full":
+            self.degraded_total.observe(breakdown.total)
+        if self.slo_target_ms is not None:
+            target = (
+                self.slo_target_ms
+                if degradation == "full"
+                else self.degraded_slo_target_ms
+            )
+            if 1000.0 * breakdown.total > target:
+                self.slo_violations += 1
 
     def record_error(self, kind: str) -> None:
         """Count one error of the given kind."""
         self.errors[kind] += 1
 
+    def record_failover(self, count: int = 1) -> None:
+        """Count reads served off a backup replica."""
+        self.failovers += count
+
     @property
     def block_rate(self) -> float:
         return self.blocked / self.requests if self.requests else 0.0
+
+    @property
+    def degraded_requests(self) -> int:
+        """Requests that could not be served by the full graph path."""
+        return self.requests - self.degraded.get("full", 0)
+
+    @property
+    def degraded_rate(self) -> float:
+        return self.degraded_requests / self.requests if self.requests else 0.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of requests served at full fidelity (the HAG path)."""
+        return 1.0 - self.degraded_rate if self.requests else 1.0
+
+    def error_budget_remaining(self) -> float:
+        """Fraction of the SLO error budget still unspent.
+
+        1.0 = untouched, 0.0 = exactly exhausted, negative = burned past the
+        budget.  With SLO accounting disarmed (or no traffic) the budget is
+        untouched by definition.
+        """
+        if self.slo_target_ms is None or not self.requests:
+            return 1.0
+        allowed = self.error_budget * self.requests
+        return (allowed - self.slo_violations) / allowed
+
+    def slo_summary(self) -> dict[str, float]:
+        """The resilience counters as one flat dict (benchmarks serialize it)."""
+        return {
+            "requests": float(self.requests),
+            "availability": self.availability,
+            "degraded_rate": self.degraded_rate,
+            "degraded_requests": float(self.degraded_requests),
+            "retries": float(self.retries),
+            "failovers": float(self.failovers),
+            "errors": float(sum(self.errors.values())),
+            "slo_violations": float(self.slo_violations),
+            "error_budget_remaining": self.error_budget_remaining(),
+        }
 
     def report(self) -> str:
         """Dashboard-style plain-text summary."""
@@ -115,6 +216,22 @@ class SystemMonitor:
                 f"  subgraph   mean={np.mean(self.subgraph_sizes):6.1f} nodes"
                 f"  max={max(self.subgraph_sizes)}"
             )
+        lines.append(
+            f"  availability={100 * self.availability:.2f}%"
+            f"  degraded={self.degraded_requests}"
+            f" ({100 * self.degraded_rate:.1f}%)"
+            f"  retries={self.retries}  failovers={self.failovers}"
+        )
+        if self.slo_target_ms is not None:
+            lines.append(
+                f"  slo target={self.slo_target_ms:.0f}ms"
+                f" (degraded {self.degraded_slo_target_ms:.0f}ms)"
+                f"  violations={self.slo_violations}"
+                f"  error_budget_remaining={100 * self.error_budget_remaining():.1f}%"
+            )
+        for level, count in sorted(self.degraded.items()):
+            if level != "full":
+                lines.append(f"  degraded[{level}] = {count}")
         if self.errors:
             for kind, count in self.errors.most_common():
                 lines.append(f"  error[{kind}] = {count}")

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -11,6 +11,9 @@ from ..datagen.behavior_types import BehaviorType
 from ..features.pipeline import StandardScaler
 from ..network.sampling import ComputationSubgraph
 from .latency import LatencyModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from .faults import FaultInjector
 
 __all__ = ["PredictionServer"]
 
@@ -24,11 +27,15 @@ class PredictionServer:
         scaler: StandardScaler,
         edge_type_order: Sequence[BehaviorType],
         latency: LatencyModel,
+        faults: "FaultInjector | None" = None,
+        component: str = "prediction_server",
     ) -> None:
         self.model = model
         self.scaler = scaler
         self.edge_type_order = tuple(edge_type_order)
         self.latency = latency
+        self.faults = faults
+        self.component = component
         self.requests_served = 0
 
     def predict(
@@ -37,9 +44,10 @@ class PredictionServer:
         """Fraud probability for the subgraph target; ``(probability, seconds)``."""
         if features.shape[0] != subgraph.num_nodes:
             raise ValueError("feature rows must align with subgraph nodes")
+        extra = self.faults.before_call(self.component) if self.faults else 0.0
         scaled = self.scaler.transform(features)
         probability = self.model.predict_subgraph(
             subgraph, scaled, edge_type_order=self.edge_type_order
         )
         self.requests_served += 1
-        return probability, self.latency.charge_model_forward(subgraph.num_nodes)
+        return probability, self.latency.charge_model_forward(subgraph.num_nodes) + extra

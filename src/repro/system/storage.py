@@ -5,14 +5,24 @@ Models the deployment of Section V: a MySQL cluster holds the ground truth
 features and behavior logs; both have primary-and-replica switching so the
 system survives a primary crash.  Costs are charged through the latency
 model instead of performing real I/O.
+
+Every store optionally carries a :class:`~repro.system.faults.FaultInjector`
+reference plus a component name; injected crash windows make the store
+``available == False`` (so check-then-use callers can route around it) and
+any call that goes through anyway raises
+:class:`~repro.system.faults.InjectedFault` — never a silent degraded
+result.  See ``docs/RESILIENCE.md`` for the failure-mode contracts.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Iterable
+from typing import TYPE_CHECKING, Any, Hashable, Iterable
 
 from .latency import LatencyModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from .faults import FaultInjector
 
 __all__ = ["LocalDatabase", "InMemoryCache", "ReplicatedStore", "StorageError"]
 
@@ -27,67 +37,97 @@ class LocalDatabase:
     Tables are dicts of key -> row-list; every access charges DB latency.
     """
 
-    def __init__(self, latency: LatencyModel) -> None:
+    def __init__(
+        self,
+        latency: LatencyModel,
+        faults: "FaultInjector | None" = None,
+        component: str = "database",
+    ) -> None:
         self.latency = latency
+        self.faults = faults
+        self.component = component
         self._tables: dict[str, dict[Hashable, list[Any]]] = {}
         self.query_count = 0
         self.write_count = 0
-        self.available = True
+        self._up = True
+
+    @property
+    def available(self) -> bool:
+        """Up and outside any injected crash window (check-then-use probe)."""
+        if not self._up:
+            return False
+        return self.faults is None or not self.faults.crashed(self.component)
 
     def _table(self, name: str) -> dict[Hashable, list[Any]]:
         return self._tables.setdefault(name, {})
 
+    def _gate(self) -> float:
+        """Crash/fault gate for one operation; returns injected extra seconds.
+
+        Raises :class:`StorageError` when manually crashed and
+        :class:`~repro.system.faults.InjectedFault` when the fault plan says
+        so — *before* any state is read or mutated, so a faulted call never
+        leaves partial writes or phantom evictions behind.
+        """
+        if not self._up:
+            raise StorageError("database instance is down")
+        if self.faults is not None:
+            return self.faults.before_call(self.component)
+        return 0.0
+
+    def ping(self) -> float:
+        """Liveness probe: raises when the store cannot serve, else returns
+        the injected extra seconds (so even probing a browned-out store
+        charges the spike)."""
+        return self._gate()
+
     def insert(self, table: str, key: Hashable, row: Any) -> float:
         """Append a row under ``key``; returns charged seconds."""
-        self._ensure_up()
+        extra = self._gate()
         self._table(table).setdefault(key, []).append(row)
         self.write_count += 1
-        return self.latency.charge_db_write(1)
+        return self.latency.charge_db_write(1) + extra
 
     def insert_many(self, table: str, items: Iterable[tuple[Hashable, Any]]) -> float:
         """Bulk-append rows in one write; returns charged seconds."""
-        self._ensure_up()
+        extra = self._gate()
         count = 0
         tbl = self._table(table)
         for key, row in items:
             tbl.setdefault(key, []).append(row)
             count += 1
         self.write_count += 1
-        return self.latency.charge_db_write(count)
+        return self.latency.charge_db_write(count) + extra
 
     def put(self, table: str, key: Hashable, value: Any) -> float:
         """Replace the full row-list for ``key`` (single-value semantics)."""
-        self._ensure_up()
+        extra = self._gate()
         self._table(table)[key] = [value]
         self.write_count += 1
-        return self.latency.charge_db_write(1)
+        return self.latency.charge_db_write(1) + extra
 
     def query(self, table: str, key: Hashable) -> tuple[list[Any], float]:
         """Return ``(rows, seconds)``; rows is empty if the key is absent."""
-        self._ensure_up()
+        extra = self._gate()
         rows = self._table(table).get(key, [])
         self.query_count += 1
-        return rows, self.latency.charge_db_query(len(rows))
+        return rows, self.latency.charge_db_query(len(rows)) + extra
 
     def scan(self, table: str) -> tuple[list[tuple[Hashable, list[Any]]], float]:
         """Full-table scan; returns ``(items, seconds)``."""
-        self._ensure_up()
+        extra = self._gate()
         tbl = self._table(table)
         self.query_count += 1
         total_rows = sum(len(rows) for rows in tbl.values())
-        return list(tbl.items()), self.latency.charge_db_query(total_rows)
+        return list(tbl.items()), self.latency.charge_db_query(total_rows) + extra
 
     def crash(self) -> None:
         """Simulate an instance crash: requests fail until recovery."""
-        self.available = False
+        self._up = False
 
     def recover(self) -> None:
         """Bring the instance back (durable contents intact)."""
-        self.available = True
-
-    def _ensure_up(self) -> None:
-        if not self.available:
-            raise StorageError("database instance is down")
+        self._up = True
 
     def snapshot(self) -> dict[str, dict[Hashable, list[Any]]]:
         """Deep-ish copy used to seed replicas."""
@@ -99,20 +139,56 @@ class LocalDatabase:
 
 
 class InMemoryCache:
-    """Redis stand-in: TTL-aware key-value cache with hit/miss accounting."""
+    """Redis stand-in: TTL-aware key-value cache with hit/miss accounting.
 
-    def __init__(self, latency: LatencyModel, default_ttl: float | None = None) -> None:
+    Failure contract (see ``docs/RESILIENCE.md``): a crashed cache — manual
+    ``crash()`` or an injected crash window — **raises** ``StorageError``
+    from ``get``/``set`` instead of silently reporting a miss.  A silent
+    miss would send the caller to the database without anyone noticing the
+    outage; raising keeps the degradation decision (retry, route around,
+    fall back) with the resilience layer.  The fault gate runs before the
+    TTL sweep, so a faulted ``get`` never evicts the expired entry nor
+    counts a miss.
+    """
+
+    def __init__(
+        self,
+        latency: LatencyModel,
+        default_ttl: float | None = None,
+        faults: "FaultInjector | None" = None,
+        component: str = "cache",
+    ) -> None:
         self.latency = latency
         self.default_ttl = default_ttl
+        self.faults = faults
+        self.component = component
         self._store: dict[Hashable, tuple[Any, float | None]] = {}
         self.hits = 0
         self.misses = 0
-        self.available = True
+        self._up = True
+
+    @property
+    def available(self) -> bool:
+        """Up and outside any injected crash window (check-then-use probe)."""
+        if not self._up:
+            return False
+        return self.faults is None or not self.faults.crashed(self.component)
+
+    def _gate(self) -> float:
+        if not self._up:
+            raise StorageError("cache instance is down")
+        if self.faults is not None:
+            return self.faults.before_call(self.component)
+        return 0.0
+
+    def ping(self) -> float:
+        """Liveness probe; raises when the cache cannot serve."""
+        return self._gate()
 
     def get(self, key: Hashable, now: float = 0.0) -> tuple[Any | None, bool, float]:
-        """Return ``(value, hit, seconds)``."""
-        self._ensure_up()
-        seconds = self.latency.charge_cache_get()
+        """Return ``(value, hit, seconds)``; raises ``StorageError`` when down."""
+        extra = self._gate()
+        seconds = self.latency.charge_cache_get() + extra
         entry = self._store.get(key)
         if entry is None:
             self.misses += 1
@@ -129,11 +205,11 @@ class InMemoryCache:
         self, key: Hashable, value: Any, now: float = 0.0, ttl: float | None = None
     ) -> float:
         """Store ``value`` under ``key`` (optionally with a TTL); returns seconds."""
-        self._ensure_up()
+        extra = self._gate()
         ttl = ttl if ttl is not None else self.default_ttl
         expires = now + ttl if ttl is not None else None
         self._store[key] = (value, expires)
-        return self.latency.charge_cache_set()
+        return self.latency.charge_cache_set() + extra
 
     def invalidate(self, key: Hashable) -> None:
         """Remove one key if present."""
@@ -150,15 +226,15 @@ class InMemoryCache:
 
     def crash(self) -> None:
         """Simulate a cache-instance crash (contents are lost)."""
-        self.available = False
+        self._up = False
         self._store.clear()
 
     def recover(self) -> None:
         """Bring the cache back online (empty)."""
-        self.available = True
+        self._up = True
 
     def _ensure_up(self) -> None:
-        if not self.available:
+        if not self._up:
             raise StorageError("cache instance is down")
 
 
@@ -166,26 +242,60 @@ class InMemoryCache:
 class ReplicatedStore:
     """Primary/replica pair with automatic failover (disaster backup).
 
-    Writes go to both; reads go to the primary and fail over to the replica
-    when the primary is down (charging one extra network round-trip).
+    Writes go to every available node; reads go to the primary and fail
+    over to the replica when the primary is down (charging one extra
+    network round-trip).  Duck-types ``LocalDatabase``'s read/write surface
+    so the BN and feature servers can run on either.
+
+    Counter contract (pinned by tests): :attr:`failovers` is a **lifetime**
+    counter of redirected reads — :meth:`promote_replica` does *not* reset
+    it, because the operator question it answers ("how often did we serve
+    off the backup?") spans promotions.  Promotions are counted separately
+    in :attr:`promotions`.
     """
 
     primary: LocalDatabase
     replica: LocalDatabase
     latency: LatencyModel
     failovers: int = field(default=0)
+    promotions: int = field(default=0)
 
-    def insert(self, table: str, key: Hashable, row: Any) -> float:
-        """Write to every available replica; returns charged seconds."""
+    @property
+    def available(self) -> bool:
+        """Can *any* node serve?"""
+        return self.primary.available or self.replica.available
+
+    def ping(self) -> float:
+        """Liveness probe against the read path (primary, else replica)."""
+        if self.primary.available:
+            return self.primary.ping()
+        if self.replica.available:
+            return self.replica.ping() + self.latency.charge_network()
+        raise StorageError("no database replica available")
+
+    def _write_all(self, op: str, *args: Any) -> float:
         seconds = 0.0
         wrote = False
         for node in (self.primary, self.replica):
             if node.available:
-                seconds += node.insert(table, key, row)
+                seconds += getattr(node, op)(*args)
                 wrote = True
         if not wrote:
             raise StorageError("no database replica available for write")
         return seconds
+
+    def insert(self, table: str, key: Hashable, row: Any) -> float:
+        """Write to every available replica; returns charged seconds."""
+        return self._write_all("insert", table, key, row)
+
+    def insert_many(self, table: str, items: Iterable[tuple[Hashable, Any]]) -> float:
+        """Bulk write to every available replica; returns charged seconds."""
+        materialized = list(items)  # both nodes must see the same rows
+        return self._write_all("insert_many", table, materialized)
+
+    def put(self, table: str, key: Hashable, value: Any) -> float:
+        """Replace ``key`` on every available replica; returns charged seconds."""
+        return self._write_all("put", table, key, value)
 
     def query(self, table: str, key: Hashable) -> tuple[list[Any], float]:
         """Read from the primary, failing over to the replica."""
@@ -197,6 +307,32 @@ class ReplicatedStore:
             return rows, seconds + self.latency.charge_network()
         raise StorageError("no database replica available for read")
 
+    def scan(self, table: str) -> tuple[list[tuple[Hashable, list[Any]]], float]:
+        """Full-table scan with the same failover routing as :meth:`query`."""
+        if self.primary.available:
+            return self.primary.scan(table)
+        if self.replica.available:
+            self.failovers += 1
+            items, seconds = self.replica.scan(table)
+            return items, seconds + self.latency.charge_network()
+        raise StorageError("no database replica available for read")
+
     def promote_replica(self) -> None:
-        """Primary-and-replica switch after a crash."""
+        """Primary-and-replica switch after a crash.
+
+        Swaps the roles and increments :attr:`promotions`; the lifetime
+        :attr:`failovers` counter is deliberately left untouched (see the
+        class docstring for the contract).
+        """
         self.primary, self.replica = self.replica, self.primary
+        self.promotions += 1
+
+    def recover(self) -> None:
+        """Operator action: bring both nodes back up."""
+        self.primary.recover()
+        self.replica.recover()
+
+    def crash(self) -> None:
+        """Total outage: both nodes down (used by chaos scripts)."""
+        self.primary.crash()
+        self.replica.crash()

@@ -10,15 +10,28 @@ A prediction request for application ``tau`` of user ``u``:
 
 Each step's latency is charged against the latency model and reported in the
 response, which is what the Fig. 8a / Section V benchmarks aggregate.
+
+Resilience (Section V's production claims, ``docs/RESILIENCE.md``): the
+graph path runs under a bounded :class:`~repro.system.faults.RetryPolicy`
+and a :class:`~repro.system.faults.CircuitBreaker`, with an optional
+per-request latency budget.  When the graph path is down, over budget, or
+short-circuited, the request degrades to the pre-Turbo production models
+(scorecard, then block-list, then reject) via
+:class:`~repro.baselines.fallback.FallbackStack` — :meth:`Turbo.predict`
+never raises on component failure, and every response is tagged with the
+degradation level that served it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
+from ..baselines.blocklist import Blocklist
+from ..baselines.fallback import FallbackStack
+from ..baselines.scorecard import default_scorecard
 from ..core.hag import HAG, prepare_aggregators
 from ..core.trainer import TrainConfig, train_node_classifier
 from ..datagen.entities import Dataset, Transaction
@@ -27,12 +40,13 @@ from ..features.pipeline import StandardScaler
 from ..network.windows import FAST_WINDOWS
 from .bn_server import BNServer
 from .clock import SimulatedClock
+from .faults import BudgetExceeded, CircuitBreaker, FaultInjector, RetryPolicy
 from .feature_server import FeatureServer
 from .latency import LatencyBreakdown, LatencyModel
 from .model_management import ModelManager
 from .monitoring import SystemMonitor
 from .prediction_server import PredictionServer
-from .storage import InMemoryCache, LocalDatabase
+from .storage import InMemoryCache, LocalDatabase, ReplicatedStore, StorageError
 
 __all__ = ["TurboResponse", "Turbo", "deploy_turbo"]
 
@@ -48,6 +62,18 @@ class TurboResponse:
     breakdown: LatencyBreakdown = field(default_factory=LatencyBreakdown)
     subgraph_size: int = 0
     timestamp: float = 0.0
+    #: which rung of the ladder served this request: "full" (HAG graph
+    #: path), "scorecard", "blocklist" or "reject".
+    degradation: str = "full"
+    #: why the graph path was abandoned ("" on the full path).
+    degradation_reason: str = ""
+    #: storage/server retries spent before the graph path succeeded.
+    retries: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        """Was this request served by a fallback instead of HAG?"""
+        return self.degradation != "full"
 
 
 class Turbo:
@@ -63,9 +89,17 @@ class Turbo:
         allowed_nodes: set[int] | None = None,
         hops: int = 2,
         fanout: int | None = 10,
+        fallbacks: FallbackStack | None = None,
+        retry_policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        request_budget: float | None = 15.0,
+        faults: FaultInjector | None = None,
+        seed: int = 0,
     ) -> None:
         if not 0.0 < threshold < 1.0:
             raise ValueError("threshold must be in (0, 1)")
+        if request_budget is not None and request_budget <= 0:
+            raise ValueError("request_budget must be positive (or None)")
         self.bn_server = bn_server
         self.feature_server = feature_server
         self.prediction_server = prediction_server
@@ -74,40 +108,179 @@ class Turbo:
         self.allowed_nodes = allowed_nodes
         self.hops = hops
         self.fanout = fanout
+        self.fallbacks = fallbacks
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.breaker = breaker or CircuitBreaker()
+        self.request_budget = request_budget
+        self.faults = faults
+        self._retry_rng = np.random.default_rng(seed)
         self.responses: list[TurboResponse] = []
         self.monitor = SystemMonitor()
 
-    def handle_request(
-        self, txn: Transaction, now: float | None = None
-    ) -> TurboResponse:
-        """Serve one detection request (Fig. 2's numbered flow)."""
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def predict(self, txn: Transaction, now: float | None = None) -> TurboResponse:
+        """Serve one detection request (Fig. 2's numbered flow).
+
+        Never raises on component failure: the graph path runs under the
+        retry policy, circuit breaker and latency budget, and falls back to
+        the scorecard/blocklist ladder when it cannot answer.
+        """
         now = self.clock.now() if now is None else now
         breakdown = LatencyBreakdown()
+        retries = 0
+        degradation = "full"
+        reason = ""
+        probability: float | None = None
+        blocked = False
+        subgraph_size = 0
 
-        subgraph, breakdown.sampling = self.bn_server.sample(
-            txn.uid, now=now, hops=self.hops, fanout=self.fanout, allowed=self.allowed_nodes
-        )
-        features, breakdown.features = self.feature_server.features_for(
-            subgraph.nodes, txn, now
-        )
-        probability, breakdown.prediction = self.prediction_server.predict(
-            subgraph, features
-        )
+        if self.breaker.allow():
+            try:
+                subgraph, r = self._run_stage(
+                    breakdown,
+                    "sampling",
+                    lambda: self.bn_server.sample(
+                        txn.uid,
+                        now=now,
+                        hops=self.hops,
+                        fanout=self.fanout,
+                        allowed=self.allowed_nodes,
+                    ),
+                )
+                retries += r
+                features, r = self._run_stage(
+                    breakdown,
+                    "features",
+                    lambda: self.feature_server.features_for(subgraph.nodes, txn, now),
+                )
+                retries += r
+                probability, r = self._run_stage(
+                    breakdown,
+                    "prediction",
+                    lambda: self.prediction_server.predict(subgraph, features),
+                )
+                retries += r
+                subgraph_size = subgraph.num_nodes
+                blocked = probability >= self.threshold
+                self.breaker.record_success()
+            except BudgetExceeded:
+                self.breaker.record_failure()
+                probability = None
+                reason = "over_budget"
+            except StorageError:
+                self.breaker.record_failure()
+                probability = None
+                reason = "graph_path_down"
+        else:
+            reason = "circuit_open"
+
+        if probability is None:
+            degradation, probability, blocked = self._degrade(txn, breakdown)
+
         self.clock.advance(breakdown.total)
         response = TurboResponse(
             uid=txn.uid,
             txn_id=txn.txn_id,
             probability=probability,
-            blocked=probability >= self.threshold,
+            blocked=blocked,
             breakdown=breakdown,
-            subgraph_size=subgraph.num_nodes,
+            subgraph_size=subgraph_size,
             timestamp=now,
+            degradation=degradation,
+            degradation_reason=reason,
+            retries=retries,
         )
         self.responses.append(response)
         self.monitor.record_request(
-            breakdown, blocked=response.blocked, subgraph_size=subgraph.num_nodes
+            breakdown,
+            blocked=blocked,
+            subgraph_size=subgraph_size,
+            degradation=degradation,
+            retries=retries,
         )
         return response
+
+    def handle_request(self, txn: Transaction, now: float | None = None) -> TurboResponse:
+        """Alias of :meth:`predict` (the historical entry-point name)."""
+        return self.predict(txn, now=now)
+
+    def _run_stage(
+        self,
+        breakdown: LatencyBreakdown,
+        stage: str,
+        call: Callable[[], tuple],
+    ):
+        """Run one pipeline stage under the retry policy and latency budget.
+
+        Successful seconds and retry backoff are both charged to the
+        stage's slot in ``breakdown``; each caught storage fault is counted
+        in the monitor.  Raises the final :class:`StorageError` once retries
+        are exhausted, or :class:`BudgetExceeded` when the accumulated
+        request latency (including a pending backoff) blows the budget.
+        """
+        policy = self.retry_policy
+        retries = 0
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                value, seconds = call()
+            except StorageError as exc:
+                self.monitor.record_error(type(exc).__name__)
+                if attempt >= policy.max_attempts:
+                    raise
+                pause = policy.backoff(attempt, self._retry_rng)
+                if (
+                    self.request_budget is not None
+                    and breakdown.total + pause > self.request_budget
+                ):
+                    raise BudgetExceeded(
+                        f"{stage} retry backoff would exceed the "
+                        f"{self.request_budget:.2f}s request budget"
+                    ) from exc
+                setattr(breakdown, stage, getattr(breakdown, stage) + pause)
+                retries += 1
+                continue
+            setattr(breakdown, stage, getattr(breakdown, stage) + seconds)
+            if self.request_budget is not None and breakdown.total > self.request_budget:
+                raise BudgetExceeded(
+                    f"request latency {breakdown.total:.2f}s exceeds the "
+                    f"{self.request_budget:.2f}s budget after {stage}"
+                )
+            return value, retries
+
+    def _degrade(
+        self, txn: Transaction, breakdown: LatencyBreakdown
+    ) -> tuple[str, float, bool]:
+        """Serve the request from the fallback ladder; returns (level, p, blocked)."""
+        breakdown.prediction += self.prediction_server.latency.charge_fallback()
+        if self.fallbacks is None:
+            # No fallback stack deployed: the conservative last resort.
+            return "reject", 1.0, True
+        decision = self.fallbacks.decide(txn)
+        return decision.level, decision.probability, decision.blocked
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def recover(self) -> None:
+        """Operator action after an outage: bring storage back, close the breaker.
+
+        Recovers every database/cache behind the BN and feature servers
+        (scheduled fault plans on ``self.faults`` are *not* cleared — an
+        active crash window keeps the component down until it ends).
+        """
+        stores = {id(self.bn_server.database): self.bn_server.database}
+        stores[id(self.feature_server.database)] = self.feature_server.database
+        for store in stores.values():
+            store.recover()
+        for cache in {id(self.bn_server.cache): self.bn_server.cache,
+                      id(self.feature_server.cache): self.feature_server.cache}.values():
+            if cache is not None:
+                cache.recover()
+        self.breaker.reset()
 
 
 def deploy_turbo(
@@ -120,6 +293,12 @@ def deploy_turbo(
     seed: int = 0,
     latency: LatencyModel | None = None,
     data: ExperimentData | None = None,
+    replicated: bool = False,
+    faults: FaultInjector | None = None,
+    retry_policy: RetryPolicy | None = None,
+    breaker: CircuitBreaker | None = None,
+    request_budget: float | None = 15.0,
+    with_fallbacks: bool = True,
 ) -> tuple[Turbo, ExperimentData]:
     """Train HAG on ``dataset`` and stand up the full online system.
 
@@ -127,6 +306,15 @@ def deploy_turbo(
     so benchmarks can score the same split online and offline.  The deployed
     configuration includes the behavior statistics ``X_s`` in the node
     features (Section V).
+
+    Resilience wiring: every deployment carries a
+    :class:`~repro.system.faults.FaultInjector` (pass one in, or an empty
+    no-op plan is created on the deployment clock), the retry policy and
+    circuit breaker around the graph path, and — unless ``with_fallbacks``
+    is off — a scorecard + block-list fallback stack fitted on the training
+    labels.  ``replicated=True`` puts the database behind a primary/replica
+    :class:`~repro.system.storage.ReplicatedStore` (Section V's disaster
+    backup).
     """
     if data is None:
         data = prepare_experiment(dataset, windows=windows, seed=seed, include_stats=True)
@@ -161,8 +349,16 @@ def deploy_turbo(
 
     latency = latency or LatencyModel(seed=seed)
     clock = SimulatedClock(start=dataset.end_time)
-    database = LocalDatabase(latency)
-    cache = InMemoryCache(latency) if use_cache else None
+    faults = faults or FaultInjector(seed=seed, clock=clock)
+    if replicated:
+        database = ReplicatedStore(
+            LocalDatabase(latency, faults=faults, component="database"),
+            LocalDatabase(latency, faults=faults, component="db_replica"),
+            latency,
+        )
+    else:
+        database = LocalDatabase(latency, faults=faults, component="database")
+    cache = InMemoryCache(latency, faults=faults) if use_cache else None
 
     scaler = StandardScaler().fit(data.features_raw[data.train_idx])
     manager = ModelManager(
@@ -182,16 +378,30 @@ def deploy_turbo(
     from ..network.builder import BNBuilder  # local import avoids cycle at module load
 
     builder = BNBuilder(windows=windows, edge_types=data.edge_types)
-    bn_server = BNServer(builder, latency, database=database, cache=cache)
+    bn_server = BNServer(builder, latency, database=database, cache=cache, faults=faults)
     # Bootstrap the server with the offline-built BN (production would have
     # replayed the log history through the window jobs).
     bn_server.bn = data.bn
     feature_server = FeatureServer(
-        data.feature_manager, latency, database=database, cache=cache
+        data.feature_manager, latency, database=database, cache=cache, faults=faults
     )
     prediction_server = PredictionServer(
-        manager.materialize_active(), scaler, data.edge_types, latency
+        manager.materialize_active(), scaler, data.edge_types, latency, faults=faults
     )
+    fallbacks = None
+    if with_fallbacks:
+        # The block-list only knows fraudsters labeled *before* deployment —
+        # the train+val split, never the held-out test labels.
+        known_fraud = {
+            int(data.nodes[i]) for i in data.fit_idx if data.labels[i] == 1
+        }
+        blocklist = Blocklist().fit(dataset.logs, known_fraud)
+        fallbacks = FallbackStack(
+            dataset.user_by_id(),
+            scorecard=default_scorecard(),
+            blocklist=blocklist,
+            logs=dataset.logs,
+        )
     turbo = Turbo(
         bn_server,
         feature_server,
@@ -199,5 +409,11 @@ def deploy_turbo(
         clock,
         threshold=threshold,
         allowed_nodes=set(data.nodes),
+        fallbacks=fallbacks,
+        retry_policy=retry_policy,
+        breaker=breaker,
+        request_budget=request_budget,
+        faults=faults,
+        seed=seed,
     )
     return turbo, data

@@ -1,0 +1,295 @@
+"""Failure-mode suite: every component outage degrades Turbo, never kills it.
+
+Contracts pinned here (see ``docs/RESILIENCE.md``):
+
+* ``Turbo.predict`` never raises on a component failure — it returns a
+  degraded :class:`TurboResponse` tagged with the fallback level that
+  served it;
+* the degraded probability matches the scorecard/blocklist fallback
+  **bit-for-bit** (same floats the pre-Turbo production models produce);
+* after ``recover()`` the system returns to full-path scoring, and the
+  full-path probability is bit-for-bit identical to the pre-outage score;
+* the end-to-end chaos regression: a mid-run primary-DB crash keeps p99
+  under the degraded SLO and the monitor counts exactly the injected
+  errors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import Blocklist, FallbackStack, default_scorecard
+from repro.network import FAST_WINDOWS
+from repro.system import deploy_turbo
+
+pytestmark = pytest.mark.resilience
+
+
+@pytest.fixture(scope="module")
+def deployed(tiny_dataset):
+    return deploy_turbo(
+        tiny_dataset, windows=FAST_WINDOWS, train_epochs=5, hidden=(8, 4), seed=0
+    )
+
+
+@pytest.fixture()
+def turbo(deployed):
+    """The deployed system, guaranteed healthy before and after each test."""
+    turbo, _data = deployed
+    turbo.faults.clear_plans()
+    turbo.recover()
+    yield turbo
+    turbo.faults.clear_plans()
+    turbo.recover()
+
+
+def full_path_probability(turbo, txn) -> float:
+    response = turbo.predict(txn, now=txn.audit_at)
+    assert response.degradation == "full", response.degradation_reason
+    return response.probability
+
+
+class TestComponentOutages:
+    """One outage per component: degrade to the scorecard, then recover."""
+
+    @pytest.mark.parametrize(
+        "component", ["database", "cache", "bn_server", "feature_server"]
+    )
+    def test_outage_degrades_then_recovers(self, deployed, turbo, component):
+        _, data = deployed
+        txn = data.dataset.transactions[3]
+        user = data.dataset.user_by_id()[txn.uid]
+        baseline = full_path_probability(turbo, txn)
+
+        # Inject a hard failure on every call to the component.  The cache
+        # is cleared so storage-level faults cannot be routed around by
+        # warm entries from earlier requests.
+        turbo.faults.add_transient(component, rate=1.0)
+        turbo.bn_server.cache.clear()
+
+        degraded = turbo.predict(txn, now=txn.audit_at)
+        assert degraded.degradation == "scorecard"
+        assert degraded.degradation_reason == "graph_path_down"
+        assert degraded.subgraph_size == 0
+        # Bit-for-bit the pre-Turbo production scorecard.
+        expected = turbo.fallbacks.scorecard.score(user, txn)
+        assert degraded.probability == expected
+        assert degraded.blocked == (
+            expected >= turbo.fallbacks.scorecard.decision_threshold
+        )
+
+        # Clear the fault and recover: full-path scoring resumes and the
+        # probability is exactly the pre-outage one.
+        turbo.faults.clear_plans(component)
+        turbo.recover()
+        assert full_path_probability(turbo, txn) == baseline
+
+    def test_manual_database_crash_never_raises(self, deployed, turbo):
+        _, data = deployed
+        turbo.bn_server.database.crash()
+        turbo.bn_server.cache.clear()
+        for txn in data.dataset.transactions[5:10]:
+            response = turbo.predict(txn, now=txn.audit_at)
+            assert response.degradation in ("scorecard", "blocklist", "reject")
+        turbo.recover()
+        txn = data.dataset.transactions[5]
+        assert turbo.predict(txn, now=txn.audit_at).degradation == "full"
+
+    def test_cache_crash_window_routes_to_database(self, deployed, turbo):
+        """An injected cache *crash window* is visible via ``available`` —
+        the BN/feature servers route around it (slower, but still the full
+        graph path), exactly like a manual ``cache.crash()``."""
+        _, data = deployed
+        now = turbo.faults.now()
+        turbo.faults.add_crash("cache", now, now + 1e9)
+        assert not turbo.bn_server.cache.available
+        txn = data.dataset.transactions[4]
+        response = turbo.predict(txn, now=txn.audit_at)
+        assert response.degradation == "full"
+        assert response.retries == 0
+
+
+class TestRetriesAndBudget:
+    def test_transient_flap_is_retried_on_the_full_path(self, deployed, turbo):
+        """A low transient error rate is absorbed by retries, not fallback."""
+        _, data = deployed
+        turbo.faults.add_transient("bn_server", rate=0.5)
+        served_full_with_retries = 0
+        for txn in data.dataset.transactions[10:20]:
+            response = turbo.predict(txn, now=txn.audit_at)
+            if response.degradation == "full" and response.retries > 0:
+                served_full_with_retries += 1
+        assert served_full_with_retries > 0
+        assert turbo.monitor.retries > 0
+
+    def test_retry_backoff_charged_to_breakdown(self, deployed, turbo):
+        _, data = deployed
+        txn = data.dataset.transactions[6]
+        clean = turbo.predict(txn, now=txn.audit_at)
+        # Force exactly one failure, then let the retry succeed: done by a
+        # rate that the seeded rng turns into at least one retry over a few
+        # requests; assert the retried request is slower in the failed stage.
+        turbo.faults.add_transient("feature_server", rate=0.4)
+        retried = None
+        for candidate in data.dataset.transactions[20:40]:
+            response = turbo.predict(candidate, now=candidate.audit_at)
+            if response.degradation == "full" and response.retries > 0:
+                retried = response
+                break
+        assert retried is not None, "seeded schedule produced no retried request"
+        min_backoff = turbo.retry_policy.base_backoff * (1 - turbo.retry_policy.jitter)
+        assert retried.breakdown.features >= min_backoff
+        assert clean.retries == 0
+
+    def test_brownout_over_budget_degrades(self, deployed, turbo):
+        """A latency spike that blows the request budget triggers fallback,
+        and the injected latency is still charged to the breakdown."""
+        _, data = deployed
+        assert turbo.request_budget == 15.0
+        turbo.faults.add_latency("bn_server", extra=30.0)
+        txn = data.dataset.transactions[7]
+        user = data.dataset.user_by_id()[txn.uid]
+        response = turbo.predict(txn, now=txn.audit_at)
+        assert response.degradation == "scorecard"
+        assert response.degradation_reason == "over_budget"
+        assert response.breakdown.sampling >= 30.0  # spike charged, not dropped
+        assert response.probability == turbo.fallbacks.scorecard.score(user, txn)
+
+
+class TestCircuitBreaker:
+    def test_breaker_short_circuits_persistent_outage(self, deployed, turbo):
+        _, data = deployed
+        turbo.faults.add_transient("bn_server", rate=1.0)
+        transactions = data.dataset.transactions[40:52]
+        responses = [turbo.predict(t, now=t.audit_at) for t in transactions]
+        assert all(r.degradation == "scorecard" for r in responses)
+        reasons = [r.degradation_reason for r in responses]
+        threshold = turbo.breaker.failure_threshold
+        assert reasons[:threshold] == ["graph_path_down"] * threshold
+        assert "circuit_open" in reasons[threshold:]
+        assert turbo.breaker.short_circuited > 0
+
+    def test_breaker_recloses_after_fault_clears(self, deployed, turbo):
+        _, data = deployed
+        turbo.faults.add_transient("bn_server", rate=1.0)
+        transactions = data.dataset.transactions[52:56]
+        for txn in transactions:
+            turbo.predict(txn, now=txn.audit_at)
+        assert turbo.breaker.state == "open"
+        turbo.faults.clear_plans("bn_server")
+        # Keep serving: a half-open probe eventually closes the breaker
+        # without any operator action.
+        txn = data.dataset.transactions[56]
+        for _ in range(turbo.breaker.probe_interval + 1):
+            response = turbo.predict(txn, now=txn.audit_at)
+        assert turbo.breaker.state == "closed"
+        assert response.degradation == "full"
+
+
+class TestFallbackLadder:
+    def test_ladder_orders_scorecard_blocklist_reject(self, deployed):
+        _, data = deployed
+        dataset = data.dataset
+        txn = dataset.transactions[0]
+        users = dataset.user_by_id()
+        fraud_uids = {uid for uid, label in dataset.labels.items() if label == 1}
+        blocklist = Blocklist().fit(dataset.logs, fraud_uids)
+
+        scorecard_stack = FallbackStack(users, default_scorecard(), blocklist, dataset.logs)
+        assert scorecard_stack.decide(txn).level == "scorecard"
+
+        blocklist_stack = FallbackStack(users, None, blocklist, dataset.logs)
+        decision = blocklist_stack.decide(txn)
+        assert decision.level == "blocklist"
+        assert decision.probability == pytest.approx(
+            float(blocklist.predict_proba(dataset.logs, [txn.uid])[0])
+        )
+        assert decision.blocked == (decision.probability > 0.0)
+
+        reject_stack = FallbackStack(users, None, None)
+        decision = reject_stack.decide(txn)
+        assert decision.level == "reject"
+        assert decision.probability == 1.0 and decision.blocked
+
+    def test_unknown_user_falls_through_scorecard(self, deployed):
+        _, data = deployed
+        dataset = data.dataset
+        fraud_uids = {uid for uid, label in dataset.labels.items() if label == 1}
+        blocklist = Blocklist().fit(dataset.logs, fraud_uids)
+        stack = FallbackStack({}, default_scorecard(), blocklist, dataset.logs)
+        decision = stack.decide(dataset.transactions[0])
+        assert decision.level == "blocklist"
+
+
+class TestChaosRegression:
+    """Fig. 8-style replay with a mid-run primary-DB crash (end to end)."""
+
+    def test_mid_run_db_crash_meets_degraded_slo(self, deployed, turbo):
+        _, data = deployed
+        latest = {
+            t.uid: t for t in turbo.feature_server.feature_manager.latest_transactions()
+        }
+        rng = np.random.default_rng(0)
+        uids = rng.choice(sorted(latest), size=45, replace=False)
+        transactions = [latest[int(uid)] for uid in uids]
+        pre, chaos, post = transactions[:15], transactions[15:30], transactions[30:]
+
+        degraded_slo_ms = 1000.0
+        monitor = turbo.monitor
+        errors_before = sum(monitor.errors.values())
+        faults_before = turbo.faults.fault_count
+        degraded_before = monitor.degraded_requests
+
+        # Phase 1 — healthy traffic, also pins the fault-free probabilities.
+        baseline = {
+            t.txn_id: turbo.predict(t, now=t.audit_at).probability for t in pre
+        }
+
+        # Phase 2 — primary DB crash window + the cache invalidation storm
+        # that accompanies a failover in production.
+        onset = turbo.faults.now()
+        turbo.faults.add_crash("database", onset, onset + 1e9)
+        turbo.bn_server.cache.clear()
+        chaos_responses = [turbo.predict(t, now=t.audit_at) for t in chaos]
+
+        # Phase 3 — outage ends; operator recovers the system.
+        turbo.faults.clear_plans("database")
+        turbo.recover()
+        post_responses = [turbo.predict(t, now=t.audit_at) for t in post]
+
+        # Never raises, and the outage visibly degraded traffic.
+        assert monitor.degraded_requests > degraded_before
+        assert all(r.degradation == "scorecard" for r in chaos_responses)
+
+        # Degraded-mode latency meets the degraded SLO at p99.
+        chaos_ms = [1000.0 * r.breakdown.total for r in chaos_responses]
+        assert float(np.percentile(chaos_ms, 99)) < degraded_slo_ms
+
+        # The monitor counted *exactly* the injected errors, and the report
+        # surfaces them.
+        injected = turbo.faults.fault_count - faults_before
+        counted = sum(monitor.errors.values()) - errors_before
+        assert injected > 0
+        assert counted == injected
+        assert f"errors={sum(monitor.errors.values())}" in monitor.report()
+
+        # Post-recovery scoring is full-path and bit-for-bit identical to
+        # the fault-free run on the same seed/model.
+        assert all(r.degradation == "full" for r in post_responses)
+        recovered = {
+            t.txn_id: turbo.predict(t, now=t.audit_at).probability for t in pre
+        }
+        assert recovered == baseline
+
+    def test_slo_accounting_in_report(self, deployed, turbo):
+        _, data = deployed
+        monitor = turbo.monitor
+        monitor.set_slo(2000.0, degraded_target_ms=1000.0, error_budget=0.05)
+        txn = data.dataset.transactions[8]
+        turbo.predict(txn, now=txn.audit_at)
+        text = monitor.report()
+        assert "slo target=2000ms" in text
+        assert "error_budget_remaining" in text
+        assert 0.0 <= monitor.degraded_rate <= 1.0
+        assert monitor.availability == 1.0 - monitor.degraded_rate

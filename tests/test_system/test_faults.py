@@ -1,0 +1,235 @@
+"""Property-based tests (seeded, no hypothesis) for the fault-injection layer.
+
+Three contracts, each checked over many seeded random schedules:
+
+* determinism — same seed + same call sequence => identical fault trace;
+* validity — crash windows never overlap a component's recovery;
+* accounting — injected latency is always charged to the caller's breakdown.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.system import (
+    CircuitBreaker,
+    CrashWindow,
+    FaultInjector,
+    InMemoryCache,
+    InjectedFault,
+    LatencyModel,
+    LocalDatabase,
+    RetryPolicy,
+    StorageError,
+    random_fault_plan,
+)
+from repro.system.clock import SimulatedClock
+
+COMPONENTS = ["database", "cache", "bn_server", "feature_server"]
+
+
+def drive_schedule(plan_seed: int, injector_seed: int = 7, calls: int = 400):
+    """Build a seeded random plan and replay a seeded random call schedule."""
+    injector = FaultInjector(seed=injector_seed, clock=SimulatedClock())
+    random_fault_plan(
+        injector, COMPONENTS, np.random.default_rng(plan_seed), horizon=100.0
+    )
+    schedule_rng = np.random.default_rng(plan_seed + 1)
+    charged = 0.0
+    for _ in range(calls):
+        injector.clock.advance(float(schedule_rng.exponential(0.3)))
+        component = COMPONENTS[int(schedule_rng.integers(len(COMPONENTS)))]
+        try:
+            charged += injector.before_call(component)
+        except InjectedFault:
+            pass
+    return injector, charged
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 17, 123])
+    def test_same_seed_same_trace(self, seed):
+        first, charged_a = drive_schedule(seed)
+        second, charged_b = drive_schedule(seed)
+        assert first.trace == second.trace
+        assert first.injected == second.injected
+        assert charged_a == charged_b
+
+    def test_different_seeds_diverge(self):
+        """Across several seeds at least one pair of traces must differ."""
+        traces = [tuple(drive_schedule(seed)[0].trace) for seed in range(6)]
+        assert len(set(traces)) > 1
+
+    def test_empty_plan_is_inert(self):
+        """No plan => no rng draws, no events, zero extra latency."""
+        injector = FaultInjector(seed=0)
+        state_before = injector._rng.bit_generator.state
+        for _ in range(50):
+            injector.clock.advance(1.0)
+            assert injector.before_call("database") == 0.0
+        assert injector.trace == []
+        assert injector._rng.bit_generator.state == state_before
+
+
+class TestCrashWindows:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_plans_never_overlap_recovery(self, seed):
+        """Every seeded random plan satisfies the non-overlap invariant."""
+        injector = FaultInjector(seed=0)
+        random_fault_plan(
+            injector, COMPONENTS, np.random.default_rng(seed), horizon=50.0
+        )
+        for component in COMPONENTS:
+            windows = sorted(
+                injector._plans.get(component, type("P", (), {"crash_windows": []})).crash_windows
+                if component in injector._plans
+                else [],
+                key=lambda w: w.start,
+            )
+            for earlier, later in zip(windows, windows[1:]):
+                assert earlier.end <= later.start, (
+                    f"{component}: window [{earlier.start}, {earlier.end}) overlaps "
+                    f"[{later.start}, {later.end})"
+                )
+
+    def test_overlapping_window_rejected(self):
+        injector = FaultInjector()
+        injector.add_crash("database", 10.0, 20.0)
+        with pytest.raises(ValueError):
+            injector.add_crash("database", 15.0, 25.0)
+        # Disjoint windows and other components are fine.
+        injector.add_crash("database", 20.0, 30.0)
+        injector.add_crash("cache", 15.0, 25.0)
+
+    def test_degenerate_window_rejected(self):
+        with pytest.raises(ValueError):
+            CrashWindow(5.0, 5.0)
+
+    def test_crash_window_boundaries_half_open(self):
+        injector = FaultInjector()
+        injector.add_crash("database", 10.0, 20.0)
+        assert not injector.crashed("database", now=9.999)
+        assert injector.crashed("database", now=10.0)
+        assert injector.crashed("database", now=19.999)
+        assert not injector.crashed("database", now=20.0)
+
+
+class TestLatencyCharging:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_injected_latency_always_charged(self, seed):
+        """Every latency event in the trace shows up in the charged seconds."""
+        injector, charged = drive_schedule(seed)
+        expected = sum(e.latency for e in injector.trace if e.kind == "latency")
+        assert charged == pytest.approx(expected)
+
+    def test_spike_charged_through_database(self):
+        clock = SimulatedClock()
+        injector = FaultInjector(seed=0, clock=clock)
+        injector.add_latency("database", extra=0.5)
+        model = LatencyModel(jitter_sigma=0.0, seed=0)
+        db = LocalDatabase(model, faults=injector)
+        baseline = LocalDatabase(model)
+        db.insert("t", 1, "x")
+        baseline.insert("t", 1, "x")
+        _rows, seconds = db.query("t", 1)
+        _rows, base_seconds = baseline.query("t", 1)
+        assert seconds == pytest.approx(base_seconds + 0.5)
+
+    def test_spike_charged_through_cache(self):
+        injector = FaultInjector(seed=0)
+        injector.add_latency("cache", extra=0.25)
+        cache = InMemoryCache(LatencyModel(jitter_sigma=0.0), faults=injector)
+        seconds = cache.set("k", 1)
+        assert seconds >= 0.25
+        _value, _hit, seconds = cache.get("k")
+        assert seconds >= 0.25
+
+
+class TestInjectedCrashSemantics:
+    def test_crash_window_makes_store_unavailable_and_raise(self):
+        """During a window the store is visibly down and calls raise."""
+        clock = SimulatedClock()
+        injector = FaultInjector(seed=0, clock=clock)
+        injector.add_crash("database", 5.0, 10.0)
+        db = LocalDatabase(LatencyModel(jitter_sigma=0.0), faults=injector)
+        db.insert("t", 1, "x")
+        clock.advance_to(5.0)
+        assert not db.available
+        with pytest.raises(InjectedFault):
+            db.query("t", 1)
+        clock.advance_to(10.0)
+        assert db.available
+        assert db.query("t", 1)[0] == ["x"]
+
+    def test_transient_errors_are_storage_errors(self):
+        injector = FaultInjector(seed=0)
+        injector.add_transient("cache", rate=1.0)
+        cache = InMemoryCache(LatencyModel(), faults=injector)
+        with pytest.raises(StorageError):
+            cache.get("k")
+        assert injector.injected[("cache", "transient")] == 1
+
+    def test_passive_probe_records_nothing(self):
+        clock = SimulatedClock()
+        injector = FaultInjector(seed=0, clock=clock)
+        injector.add_crash("cache", 0.0, 10.0)
+        cache = InMemoryCache(LatencyModel(), faults=injector)
+        assert not cache.available  # check-then-use routes around the outage
+        assert injector.trace == []  # ...without materializing a fault
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base_backoff=0.1, multiplier=2.0, max_backoff=0.5, jitter=0.0)
+        assert policy.backoff(1) == pytest.approx(0.1)
+        assert policy.backoff(2) == pytest.approx(0.2)
+        assert policy.backoff(3) == pytest.approx(0.4)
+        assert policy.backoff(4) == pytest.approx(0.5)
+        assert policy.backoff(10) == pytest.approx(0.5)
+
+    def test_jitter_bounded_and_seeded(self):
+        policy = RetryPolicy(base_backoff=0.1, jitter=0.25)
+        rng = np.random.default_rng(3)
+        values = [policy.backoff(1, rng) for _ in range(100)]
+        assert all(0.075 <= v <= 0.125 for v in values)
+        rng_a, rng_b = np.random.default_rng(5), np.random.default_rng(5)
+        assert policy.backoff(2, rng_a) == policy.backoff(2, rng_b)
+
+    def test_invalid_policies_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_backoff=-0.1)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_and_probes(self):
+        breaker = CircuitBreaker(failure_threshold=3, probe_interval=4)
+        for _ in range(3):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == "open"
+        # While open, only every 4th request is allowed through as a probe.
+        decisions = [breaker.allow() for _ in range(8)]
+        assert decisions == [False, False, False, True, False, False, False, True]
+        assert breaker.short_circuited == 6
+
+    def test_successful_probe_closes(self):
+        breaker = CircuitBreaker(failure_threshold=1, probe_interval=2)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.allow()  # probe
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_reset_closes(self):
+        breaker = CircuitBreaker(failure_threshold=1)
+        breaker.record_failure()
+        breaker.reset()
+        assert breaker.state == "closed"
+        assert breaker.consecutive_failures == 0

@@ -75,6 +75,79 @@ class TestSystemMonitor:
         assert SystemMonitor().block_rate == 0.0
 
 
+class TestResilienceAccounting:
+    def breakdown(self, total: float = 0.1) -> LatencyBreakdown:
+        return LatencyBreakdown(prediction=total)
+
+    def test_degradation_attribution(self):
+        monitor = SystemMonitor()
+        monitor.record_request(self.breakdown(), blocked=False, subgraph_size=5)
+        monitor.record_request(
+            self.breakdown(), blocked=True, subgraph_size=0, degradation="scorecard"
+        )
+        monitor.record_request(
+            self.breakdown(), blocked=True, subgraph_size=0, degradation="blocklist"
+        )
+        assert monitor.degraded_requests == 2
+        assert monitor.degraded_rate == pytest.approx(2 / 3)
+        assert monitor.availability == pytest.approx(1 / 3)
+        assert monitor.degraded["scorecard"] == 1
+        assert monitor.degraded_total.count == 2  # full-path latency excluded
+        assert "degraded[scorecard] = 1" in monitor.report()
+
+    def test_retries_and_failovers_accumulate(self):
+        monitor = SystemMonitor()
+        monitor.record_request(
+            self.breakdown(), blocked=False, subgraph_size=1, retries=2
+        )
+        monitor.record_failover(3)
+        monitor.record_failover()
+        assert monitor.retries == 2
+        assert monitor.failovers == 4
+
+    def test_slo_violations_per_mode(self):
+        monitor = SystemMonitor()
+        monitor.set_slo(500.0, degraded_target_ms=50.0, error_budget=0.5)
+        # 100ms: within the full-path SLO, past the degraded one.
+        monitor.record_request(self.breakdown(0.1), blocked=False, subgraph_size=1)
+        assert monitor.slo_violations == 0
+        monitor.record_request(
+            self.breakdown(0.1), blocked=False, subgraph_size=0, degradation="scorecard"
+        )
+        assert monitor.slo_violations == 1
+        # budget: 0.5 * 2 requests = 1 allowed violation, exactly spent.
+        assert monitor.error_budget_remaining() == pytest.approx(0.0)
+        assert "slo target=500ms" in monitor.report()
+
+    def test_error_budget_disarmed_and_empty(self):
+        assert SystemMonitor().error_budget_remaining() == 1.0
+        monitor = SystemMonitor()
+        monitor.set_slo(100.0)
+        assert monitor.error_budget_remaining() == 1.0  # no traffic yet
+
+    def test_slo_validation(self):
+        monitor = SystemMonitor()
+        with pytest.raises(ValueError):
+            monitor.set_slo(0.0)
+        with pytest.raises(ValueError):
+            monitor.set_slo(100.0, error_budget=0.0)
+
+    def test_slo_summary_keys(self):
+        monitor = SystemMonitor()
+        monitor.record_request(self.breakdown(), blocked=False, subgraph_size=1)
+        summary = monitor.slo_summary()
+        assert summary["requests"] == 1.0
+        assert summary["availability"] == 1.0
+        assert set(summary) >= {
+            "degraded_rate",
+            "retries",
+            "failovers",
+            "errors",
+            "slo_violations",
+            "error_budget_remaining",
+        }
+
+
 class TestTurboIntegration:
     def test_turbo_populates_monitor(self, tiny_dataset):
         from repro.network import FAST_WINDOWS

@@ -5,12 +5,15 @@ from __future__ import annotations
 import pytest
 
 from repro.system import (
+    FaultInjector,
     InMemoryCache,
+    InjectedFault,
     LatencyModel,
     LocalDatabase,
     ReplicatedStore,
     StorageError,
 )
+from repro.system.clock import SimulatedClock
 
 
 def latency() -> LatencyModel:
@@ -145,3 +148,90 @@ class TestReplicatedStore:
         store.insert("t", 2, "y")  # lands on replica only
         store.primary.recover()
         assert store.replica.query("t", 2)[0] == ["y"]
+
+    def test_insert_many_and_scan_with_failover(self):
+        store = self.make()
+        store.insert_many("t", [(1, "a"), (2, "b")])
+        assert dict(store.primary.scan("t")[0]) == {1: ["a"], 2: ["b"]}
+        assert dict(store.replica.scan("t")[0]) == {1: ["a"], 2: ["b"]}
+        store.primary.crash()
+        items, _ = store.scan("t")
+        assert dict(items) == {1: ["a"], 2: ["b"]}
+        assert store.failovers == 1
+
+    def test_failover_counter_survives_promotion(self):
+        """Pinned contract: ``failovers`` is a lifetime counter — promotion
+        does NOT reset it; promotions are counted separately."""
+        store = self.make()
+        store.insert("t", 1, "x")
+        store.primary.crash()
+        store.query("t", 1)  # redirected read
+        assert store.failovers == 1
+        store.promote_replica()
+        assert store.failovers == 1  # untouched by the switch
+        assert store.promotions == 1
+        store.query("t", 1)  # new primary serves directly
+        assert store.failovers == 1
+
+    def test_recover_brings_both_nodes_back(self):
+        store = self.make()
+        store.crash()
+        assert not store.available
+        with pytest.raises(StorageError):
+            store.ping()
+        store.recover()
+        assert store.available
+        store.ping()
+
+
+class TestFaultGateContract:
+    """The satellite fix: a crashed cache raises, it never silently misses."""
+
+    def test_crashed_cache_raises_instead_of_silent_miss(self):
+        cache = InMemoryCache(latency())
+        cache.set("k", 1, now=0.0, ttl=10.0)
+        misses_before = cache.misses
+        cache.crash()
+        with pytest.raises(StorageError):
+            cache.get("k", now=99.0)  # expired entry + crashed instance
+        # No phantom miss was counted and nothing was evicted mid-crash.
+        assert cache.misses == misses_before
+
+    def test_injected_cache_crash_raises_before_ttl_eviction(self):
+        """During an injected crash window the TTL sweep must not run: the
+        call raises with the store untouched, so a flapping cache cannot
+        silently age out entries while it is down."""
+        clock = SimulatedClock()
+        faults = FaultInjector(seed=0, clock=clock)
+        faults.add_crash("cache", 5.0, 10.0)
+        cache = InMemoryCache(latency(), faults=faults)
+        cache.set("k", 1, now=0.0, ttl=2.0)
+        clock.advance_to(6.0)
+        misses_before = cache.misses
+        with pytest.raises(InjectedFault):
+            cache.get("k", now=6.0)
+        assert cache.misses == misses_before
+        assert "k" in cache._store  # eviction deferred until the cache is up
+        clock.advance_to(10.0)
+        _value, hit, _seconds = cache.get("k", now=10.0)
+        assert not hit  # now the expired entry is evicted and counted
+        assert cache.misses == misses_before + 1
+
+    def test_injected_transient_counts_no_hit_or_miss(self):
+        faults = FaultInjector(seed=0)
+        faults.add_transient("cache", rate=1.0)
+        cache = InMemoryCache(latency(), faults=faults)
+        with pytest.raises(InjectedFault):
+            cache.get("k")
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_injected_db_crash_leaves_no_partial_write(self):
+        clock = SimulatedClock()
+        faults = FaultInjector(seed=0, clock=clock)
+        faults.add_crash("database", 0.0, 10.0)
+        db = LocalDatabase(latency(), faults=faults)
+        with pytest.raises(InjectedFault):
+            db.insert_many("t", [(1, "a"), (2, "b")])
+        assert db.write_count == 0
+        clock.advance_to(10.0)
+        assert db.query("t", 1)[0] == []
