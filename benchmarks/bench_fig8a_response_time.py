@@ -4,18 +4,33 @@ The paper serves 1 000 applications and plots the response time of the BN
 server (subgraph sampling, avg 87 ms), the feature management module
 (~500 ms), and the prediction server (avg 230 ms); the total stays under a
 second — suitable for real-time deployment.
+
+Since PR 3 the run is also an observability gate: every request must
+complete with a closed root span, and the latency table regenerated from
+the exported spans (``BENCH_fig8a_trace.jsonl``) must equal the
+``LatencyBreakdown``-derived table bit-for-bit.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
 from repro.eval.reporting import format_percentiles
+from repro.obs import (
+    assert_all_traced,
+    latency_table_from_spans,
+    load_spans_jsonl,
+    rebuild_trees,
+    write_spans_jsonl,
+)
 from repro.system import deploy_turbo
 
 from _shared import SCALE, WINDOWS, d1_dataset, d1_experiment, emit, emit_header, once
 
 N_REQUESTS = 300
+TRACE_PATH = Path(__file__).resolve().parent.parent / "BENCH_fig8a_trace.jsonl"
 
 
 def run_requests():
@@ -39,6 +54,26 @@ def run_requests():
 
 def test_fig8a_response_time(benchmark):
     responses = once(benchmark, run_requests)
+
+    # Observability gate 1: no request may complete without a closed trace.
+    assert_all_traced(responses)
+
+    # Observability gate 2: the latency table regenerated from exported
+    # spans must equal the breakdown-derived table bit-for-bit.
+    n_spans = write_spans_jsonl([r.span for r in responses], TRACE_PATH)
+    trees = rebuild_trees(load_spans_jsonl(TRACE_PATH))
+    span_table = latency_table_from_spans(trees)
+    breakdown_table = [
+        (r.breakdown.sampling, r.breakdown.features, r.breakdown.prediction,
+         r.breakdown.total)
+        for r in responses
+    ]
+    assert len(span_table) == len(breakdown_table)
+    assert span_table == breakdown_table, (
+        "span-derived latency table diverges from the LatencyBreakdown table"
+    )
+    emit(f"exported {n_spans} spans to {TRACE_PATH.name}; table bit-exact")
+
     warm = responses[len(responses) // 5 :]  # skip cache warm-up
     sampling = [1000 * r.breakdown.sampling for r in warm]
     features = [1000 * r.breakdown.features for r in warm]

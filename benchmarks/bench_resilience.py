@@ -18,6 +18,8 @@ Every scenario runs three phases — healthy baseline, chaos, recovery —
 and checks, per scenario:
 
 * zero uncaught exceptions out of ``Turbo.predict``;
+* every request (healthy, chaotic or degraded) completed with a closed
+  root span (``repro.obs.assert_all_traced``);
 * a nonzero degraded-request count during chaos;
 * every degraded probability matches ``FallbackStack.decide`` bit-for-bit;
 * post-recovery traffic is served on the full path, and re-scoring the
@@ -49,6 +51,7 @@ import pytest
 from repro.datagen import make_d1
 from repro.eval.runner import prepare_experiment
 from repro.network import FAST_WINDOWS
+from repro.obs import assert_all_traced
 from repro.system import deploy_turbo
 
 from _shared import emit, emit_header
@@ -114,7 +117,7 @@ def _replay(turbo, txns):
     responses, uncaught = [], []
     for txn in txns:
         try:
-            responses.append(turbo.predict(txn, now=txn.audit_at))
+            responses.append(turbo.handle_request(txn, now=txn.audit_at))
         except Exception as exc:  # noqa: BLE001 - the invariant under test
             uncaught.append(f"{txn.txn_id}: {type(exc).__name__}: {exc}")
     return responses, uncaught
@@ -156,8 +159,14 @@ def _finish(name, turbo, txn_by_id, baseline, recovered, phases, uncaught, extra
     chaos = [r for label, rs in phases for r in rs if label.startswith("chaos")]
     post = next(rs for label, rs in phases if label == "post_recovery")
     all_responses = [r for _label, rs in phases for r in rs]
+    try:
+        assert_all_traced(all_responses)
+        all_traced = True
+    except AssertionError:
+        all_traced = False
     invariants = {
         "no_uncaught_exceptions": not uncaught,
+        "all_requests_traced": all_traced,
         "degraded_nonzero": turbo.monitor.degraded_requests > 0,
         "fallback_bitexact": _fallback_bitexact(turbo, all_responses, txn_by_id),
         "post_recovery_full_path": bool(post)

@@ -7,6 +7,7 @@ Commands
 ``evaluate``   train and score detection methods (Table III-style rows)
 ``serve``      deploy the online system, replay requests, print telemetry
 ``abtest``     run the Section VI-E A/B replay against the rule scorecard
+``trace``      replay requests and render one request's span tree + metrics
 """
 
 from __future__ import annotations
@@ -48,6 +49,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     abtest = subparsers.add_parser("abtest", help="online A/B replay")
     abtest.add_argument("--threshold", type=float, default=0.85)
+
+    trace = subparsers.add_parser(
+        "trace", help="replay requests, render a span tree + metrics snapshot"
+    )
+    trace.add_argument("--requests", type=int, default=20)
+    trace.add_argument(
+        "--index",
+        type=int,
+        default=-1,
+        help="which replayed request's trace to render (default: the last)",
+    )
+    trace.add_argument(
+        "--export",
+        default=None,
+        metavar="PATH",
+        help="also write every trace's spans to a JSONL file",
+    )
     return parser
 
 
@@ -170,12 +188,51 @@ def cmd_abtest(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    from .datagen import make_d1
+    from .network import FAST_WINDOWS
+    from .obs import assert_all_traced, render_span_tree, write_spans_jsonl
+    from .system import deploy_turbo
+
+    dataset = make_d1(scale=args.scale, seed=args.seed)
+    turbo, data = deploy_turbo(
+        dataset,
+        windows=FAST_WINDOWS,
+        train_epochs=30,
+        hidden=(32, 16),
+        seed=0,
+    )
+    latest = {t.uid: t for t in data.feature_manager.latest_transactions()}
+    rng = np.random.default_rng(0)
+    uids = rng.choice(
+        sorted(latest), size=min(args.requests, len(latest)), replace=False
+    )
+    responses = []
+    for uid in uids:
+        txn = latest[int(uid)]
+        responses.append(turbo.handle_request(txn, now=txn.audit_at))
+    assert_all_traced(responses)
+    response = responses[args.index]
+    print(
+        f"trace {response.trace_id}  uid={response.uid}  txn={response.txn_id}"
+        f"  degradation={response.degradation}"
+    )
+    print(render_span_tree(response.span))
+    print()
+    print(turbo.metrics.render())
+    if args.export:
+        lines = write_spans_jsonl([r.span for r in responses], args.export)
+        print(f"\nexported {lines} spans to {args.export}")
+    return 0
+
+
 _COMMANDS = {
     "stats": cmd_stats,
     "empirical": cmd_empirical,
     "evaluate": cmd_evaluate,
     "serve": cmd_serve,
     "abtest": cmd_abtest,
+    "trace": cmd_trace,
 }
 
 

@@ -18,6 +18,7 @@ import scipy.sparse as sp
 from .. import nn
 from ..eval.metrics import roc_auc_score
 from ..nn import Tensor
+from ..obs.profiling import NullProfiler, TrainProfiler
 from .hag import prepare_aggregators
 from .trainer import TrainConfig, TrainResult, _weighted_bce
 
@@ -392,15 +393,21 @@ def train_with_neighbor_sampling(
     config: TrainConfig | None = None,
     hops: int = 2,
     fanout: int | None = 10,
+    profiler: TrainProfiler | None = None,
 ) -> TrainResult:
     """Train a graph model on sampled batch subgraphs.
 
     ``model.forward(x, aggregators)`` must accept a feature tensor and a
     list of per-type aggregation matrices (HAG's interface; the homogeneous
     baselines can be adapted with a single-element list).
+
+    ``profiler`` (optional :class:`~repro.obs.profiling.TrainProfiler`)
+    additionally times the ``sampling`` and ``induction`` stages and counts
+    the sampled subgraph nodes of every batch.
     """
     config = config or TrainConfig(batch_size=256)
     config.validate()
+    profiler = profiler if profiler is not None else NullProfiler()
     if config.batch_size is None:
         raise ValueError("neighbor-sampled training requires a batch size")
     rng = np.random.default_rng(config.seed)
@@ -431,43 +438,56 @@ def train_with_neighbor_sampling(
         val_positions = np.arange(len(val_idx))
 
     for epoch in range(config.epochs):
-        model.train()
-        shuffled = rng.permutation(train_idx)
-        epoch_loss = 0.0
-        for start in range(0, len(shuffled), config.batch_size):
-            batch = shuffled[start : start + config.batch_size]
-            nodes = sample_khop_nodes(adjacencies, batch, hops, fanout, rng)
-            aggregators = prepare_aggregators(induced_adjacencies(adjacencies, nodes))
-            x = Tensor(features[nodes])
-            optimizer.zero_grad()
-            logits = model.forward(x, aggregators)
-            batch_positions = np.arange(len(batch))
-            loss = nn.bce_with_logits(
-                logits.index_select(batch_positions),
-                labels[batch],
-                pos_weight=pos_weight,
-            )
-            loss.backward()
-            optimizer.step()
-            epoch_loss += loss.item() * len(batch)
-        epoch_loss /= len(train_idx)
-        result.train_losses.append(epoch_loss)
+        with profiler.epoch(epoch):
+            model.train()
+            shuffled = rng.permutation(train_idx)
+            epoch_loss = 0.0
+            for start in range(0, len(shuffled), config.batch_size):
+                batch = shuffled[start : start + config.batch_size]
+                with profiler.stage("sampling"):
+                    nodes = sample_khop_nodes(adjacencies, batch, hops, fanout, rng)
+                with profiler.stage("induction"):
+                    aggregators = prepare_aggregators(
+                        induced_adjacencies(adjacencies, nodes)
+                    )
+                x = Tensor(features[nodes])
+                optimizer.zero_grad()
+                with profiler.stage("forward"):
+                    logits = model.forward(x, aggregators)
+                    batch_positions = np.arange(len(batch))
+                    loss = nn.bce_with_logits(
+                        logits.index_select(batch_positions),
+                        labels[batch],
+                        pos_weight=pos_weight,
+                    )
+                with profiler.stage("backward"):
+                    loss.backward()
+                with profiler.stage("step"):
+                    optimizer.step()
+                epoch_loss += loss.item() * len(batch)
+                profiler.count_batch(len(nodes))
+            epoch_loss /= len(train_idx)
+            result.train_losses.append(epoch_loss)
+            profiler.record_loss(epoch_loss)
 
-        if val_idx is not None and len(val_idx) > 0:
-            model.eval()
-            with nn.no_grad():
-                val_logits = model.forward(val_features, val_adjacencies).numpy()
-            scores = val_logits[val_positions]
-            val_labels = labels[val_idx]
-            n_val_pos = int(val_labels.sum())
-            if 0 < n_val_pos < len(val_labels):
-                result.val_aucs.append(roc_auc_score(val_labels, scores))
-            if n_val_pos >= 20 and len(val_labels) - n_val_pos >= 20:
-                metric = result.val_aucs[-1]
+            if val_idx is not None and len(val_idx) > 0:
+                with profiler.stage("validation"):
+                    model.eval()
+                    with nn.no_grad():
+                        val_logits = model.forward(
+                            val_features, val_adjacencies
+                        ).numpy()
+                    scores = val_logits[val_positions]
+                    val_labels = labels[val_idx]
+                    n_val_pos = int(val_labels.sum())
+                    if 0 < n_val_pos < len(val_labels):
+                        result.val_aucs.append(roc_auc_score(val_labels, scores))
+                    if n_val_pos >= 20 and len(val_labels) - n_val_pos >= 20:
+                        metric = result.val_aucs[-1]
+                    else:
+                        metric = -_weighted_bce(scores, val_labels, pos_weight)
             else:
-                metric = -_weighted_bce(scores, val_labels, pos_weight)
-        else:
-            metric = -epoch_loss
+                metric = -epoch_loss
 
         if metric > best_metric + 1e-6:
             best_metric = metric

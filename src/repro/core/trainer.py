@@ -15,6 +15,7 @@ import numpy as np
 from .. import nn
 from ..eval.metrics import roc_auc_score
 from ..nn import Tensor
+from ..obs.profiling import NullProfiler, TrainProfiler
 
 __all__ = ["TrainConfig", "TrainResult", "train_node_classifier"]
 
@@ -64,6 +65,7 @@ def train_node_classifier(
     train_idx: np.ndarray,
     val_idx: np.ndarray | None = None,
     config: TrainConfig | None = None,
+    profiler: TrainProfiler | None = None,
 ) -> TrainResult:
     """Train ``model`` whose ``forward(x)`` returns per-node logits.
 
@@ -82,9 +84,14 @@ def train_node_classifier(
     train_idx, val_idx:
         Integer node indices.  Early stopping monitors AUC on ``val_idx``
         (falls back to train loss when absent).
+    profiler:
+        Optional :class:`~repro.obs.profiling.TrainProfiler` recording
+        per-epoch wall time and ``forward``/``backward``/``step``/
+        ``validation`` stage timings.
     """
     config = config or TrainConfig()
     config.validate()
+    profiler = profiler if profiler is not None else NullProfiler()
     rng = np.random.default_rng(config.seed)
     labels = np.asarray(labels, dtype=np.float64)
     train_idx = np.asarray(train_idx, dtype=np.int64)
@@ -109,49 +116,56 @@ def train_node_classifier(
     stale = 0
 
     for epoch in range(config.epochs):
-        model.train()
-        if config.batch_size is None:
-            batches = [train_idx]
-        else:
-            shuffled = rng.permutation(train_idx)
-            batches = [
-                shuffled[i : i + config.batch_size]
-                for i in range(0, len(shuffled), config.batch_size)
-            ]
-        epoch_loss = 0.0
-        for batch in batches:
-            optimizer.zero_grad()
-            logits = forward(x)
-            loss = nn.bce_with_logits(
-                logits.index_select(batch), labels[batch], pos_weight=pos_weight
-            )
-            loss.backward()
-            optimizer.step()
-            epoch_loss += loss.item() * len(batch)
-        epoch_loss /= len(train_idx)
-        result.train_losses.append(epoch_loss)
-
-        if val_idx is not None and len(val_idx) > 0:
-            model.eval()
-            with nn.no_grad():
-                val_logits = forward(x).numpy()[val_idx]
-            val_labels = labels[val_idx]
-            n_val_pos = int(val_labels.sum())
-            if 0 < n_val_pos < len(val_labels):
-                result.val_aucs.append(roc_auc_score(val_labels, val_logits))
-            # Early-stop on validation AUC when the validation set carries
-            # enough positives for the AUC to be stable; tiny validation
-            # sets saturate AUC within an epoch or two, so fall back to the
-            # (continuous) validation loss there.
-            if n_val_pos >= 20 and len(val_labels) - n_val_pos >= 20:
-                metric = result.val_aucs[-1]
+        with profiler.epoch(epoch):
+            model.train()
+            if config.batch_size is None:
+                batches = [train_idx]
             else:
-                metric = -_weighted_bce(val_logits, val_labels, pos_weight)
-        else:
-            metric = -epoch_loss
+                shuffled = rng.permutation(train_idx)
+                batches = [
+                    shuffled[i : i + config.batch_size]
+                    for i in range(0, len(shuffled), config.batch_size)
+                ]
+            epoch_loss = 0.0
+            for batch in batches:
+                optimizer.zero_grad()
+                with profiler.stage("forward"):
+                    logits = forward(x)
+                    loss = nn.bce_with_logits(
+                        logits.index_select(batch), labels[batch], pos_weight=pos_weight
+                    )
+                with profiler.stage("backward"):
+                    loss.backward()
+                with profiler.stage("step"):
+                    optimizer.step()
+                epoch_loss += loss.item() * len(batch)
+                profiler.count_batch(len(batch))
+            epoch_loss /= len(train_idx)
+            result.train_losses.append(epoch_loss)
+            profiler.record_loss(epoch_loss)
 
-        if config.verbose:
-            print(f"epoch {epoch:3d}  loss {epoch_loss:.4f}  metric {metric:.4f}")
+            if val_idx is not None and len(val_idx) > 0:
+                with profiler.stage("validation"):
+                    model.eval()
+                    with nn.no_grad():
+                        val_logits = forward(x).numpy()[val_idx]
+                    val_labels = labels[val_idx]
+                    n_val_pos = int(val_labels.sum())
+                    if 0 < n_val_pos < len(val_labels):
+                        result.val_aucs.append(roc_auc_score(val_labels, val_logits))
+                    # Early-stop on validation AUC when the validation set
+                    # carries enough positives for the AUC to be stable; tiny
+                    # validation sets saturate AUC within an epoch or two, so
+                    # fall back to the (continuous) validation loss there.
+                    if n_val_pos >= 20 and len(val_labels) - n_val_pos >= 20:
+                        metric = result.val_aucs[-1]
+                    else:
+                        metric = -_weighted_bce(val_logits, val_labels, pos_weight)
+            else:
+                metric = -epoch_loss
+
+            if config.verbose:
+                print(f"epoch {epoch:3d}  loss {epoch_loss:.4f}  metric {metric:.4f}")
 
         if metric > best_metric + 1e-6:
             best_metric = metric

@@ -1,0 +1,144 @@
+"""Wall-clock profiling hooks for the offline training loops.
+
+Unlike the online system — whose latency is *charged* against the
+simulated :class:`~repro.system.latency.LatencyModel` — offline training
+(``repro.core.trainer`` / ``repro.core.minibatch``) runs real numpy work,
+so the profiler measures real wall time via ``time.perf_counter``.
+
+Usage::
+
+    profiler = TrainProfiler()
+    train_node_classifier(..., profiler=profiler)
+    print(profiler.report())
+
+Each epoch produces an :class:`EpochProfile` with total seconds, the loss,
+per-stage timings (``forward``, ``backward``, ``step``, ``validation``;
+neighbor-sampled training adds ``sampling`` and ``induction``), the batch
+count, and the number of sampled subgraph nodes.  Totals are mirrored
+into an optional :class:`~repro.obs.metrics.MetricsRegistry` under the
+``train.*`` metric names documented in ``docs/OBSERVABILITY.md``.
+
+:class:`NullProfiler` is the no-op stand-in the training loops fall back
+to when no profiler is passed; its hooks cost one attribute lookup and a
+shared no-op context manager, keeping the hot path unperturbed.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, field
+
+from .metrics import MetricsRegistry
+
+__all__ = ["EpochProfile", "TrainProfiler", "NullProfiler"]
+
+
+@dataclass(slots=True)
+class EpochProfile:
+    """Timings and counts of one training epoch."""
+
+    epoch: int
+    seconds: float = 0.0
+    loss: float = float("nan")
+    stages: dict[str, float] = field(default_factory=dict)
+    batches: int = 0
+    sampled_nodes: int = 0
+
+
+class NullProfiler:
+    """No-op profiler: every hook does nothing (shared ``nullcontext``)."""
+
+    _CTX = nullcontext()
+
+    def epoch(self, index: int):
+        """No-op epoch scope."""
+        return self._CTX
+
+    def stage(self, name: str):
+        """No-op stage scope."""
+        return self._CTX
+
+    def count_batch(self, sampled_nodes: int = 0) -> None:
+        """No-op batch counter."""
+
+    def record_loss(self, loss: float) -> None:
+        """No-op loss recorder."""
+
+
+class TrainProfiler:
+    """Collects per-epoch / per-stage wall-clock timings and sample counts."""
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry
+        self.epochs: list[EpochProfile] = []
+        self._current: EpochProfile | None = None
+
+    @contextmanager
+    def epoch(self, index: int):
+        """Scope one epoch: times it and appends an :class:`EpochProfile`."""
+        profile = EpochProfile(epoch=index)
+        self._current = profile
+        started = time.perf_counter()
+        try:
+            yield profile
+        finally:
+            profile.seconds = time.perf_counter() - started
+            self.epochs.append(profile)
+            self._current = None
+            if self.registry is not None:
+                self.registry.counter("train.epochs").inc()
+                self.registry.histogram("train.epoch_seconds").observe(profile.seconds)
+                self.registry.counter("train.batches").inc(profile.batches)
+                self.registry.counter("train.sampled_nodes").inc(profile.sampled_nodes)
+
+    @contextmanager
+    def stage(self, name: str):
+        """Scope one stage; its wall time accumulates on the current epoch."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            if self._current is not None:
+                stages = self._current.stages
+                stages[name] = stages.get(name, 0.0) + elapsed
+
+    def count_batch(self, sampled_nodes: int = 0) -> None:
+        """Count one mini-batch (and the nodes its sampled subgraph holds)."""
+        if self._current is not None:
+            self._current.batches += 1
+            self._current.sampled_nodes += sampled_nodes
+
+    def record_loss(self, loss: float) -> None:
+        """Attach the epoch's training loss to the current profile."""
+        if self._current is not None:
+            self._current.loss = float(loss)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def stage_totals(self) -> dict[str, float]:
+        """Total seconds per stage across all profiled epochs."""
+        totals: dict[str, float] = {}
+        for profile in self.epochs:
+            for name, seconds in profile.stages.items():
+                totals[name] = totals.get(name, 0.0) + seconds
+        return totals
+
+    def total_seconds(self) -> float:
+        """Wall-clock seconds across all profiled epochs."""
+        return sum(p.seconds for p in self.epochs)
+
+    def report(self) -> str:
+        """Plain-text profile: per-stage totals plus epoch/batch counts."""
+        totals = self.stage_totals()
+        lines = [
+            f"epochs={len(self.epochs)}  total={self.total_seconds():.3f}s"
+            f"  batches={sum(p.batches for p in self.epochs)}"
+            f"  sampled_nodes={sum(p.sampled_nodes for p in self.epochs)}"
+        ]
+        for name, seconds in sorted(totals.items(), key=lambda kv: -kv[1]):
+            share = seconds / self.total_seconds() if self.total_seconds() else 0.0
+            lines.append(f"  {name:<12} {seconds:8.3f}s  ({100 * share:5.1f}%)")
+        return "\n".join(lines)

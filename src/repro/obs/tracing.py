@@ -1,0 +1,282 @@
+"""Per-request span trees on the simulated clock.
+
+A *span* is one timed operation: it has a name, simulated-clock ``start``
+and ``end`` timestamps, a free-form attribute dict, a list of events
+(e.g. faults the injector stamped on it) and child spans.  A *trace* is
+the tree rooted at a ``request`` span; ``Turbo.predict`` produces exactly
+one closed trace per served request:
+
+.. code-block:: text
+
+    request
+    ├── bn_sample        (breakdown slot: sampling)
+    ├── feature_fetch    (breakdown slot: features)
+    ├── inference        (breakdown slot: prediction)
+    └── fallback         (degraded requests only; slot: prediction)
+
+Because all latency in :mod:`repro.system` is *charged* rather than
+measured, a span's authoritative duration is the charged seconds recorded
+at :meth:`Span.finish` time — ``end`` is derived as ``start + duration``.
+That is what lets ``benchmarks/bench_fig8a_response_time.py`` regenerate
+the Fig. 8a latency table from exported spans bit-for-bit equal to the
+:class:`~repro.system.latency.LatencyBreakdown`-derived table.
+
+Identifiers are deterministic counters (no wall clock, no randomness), so
+same-seed replays — including same-seed
+:class:`~repro.system.faults.FaultInjector` chaos runs — produce
+identical span trees, a contract pinned by ``tests/test_system``.
+
+The module also keeps a process-local *active span* stack
+(:func:`current_span` / :func:`use_span`): the storage substrate and the
+fault injector use it to stamp low-level events (db/cache op counts,
+injected faults) onto whatever pipeline stage is currently executing,
+without threading a span argument through every call signature.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = [
+    "TraceContext",
+    "Span",
+    "Tracer",
+    "current_span",
+    "use_span",
+    "render_span_tree",
+    "assert_all_traced",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceContext:
+    """Immutable (trace_id, span_id) pair used to propagate trace parentage.
+
+    A caller that already owns a trace (an upstream service, a batch
+    replayer) passes its context in
+    :class:`~repro.system.service.PredictRequest`; the request's root span
+    then joins that trace instead of starting a fresh one.
+    """
+
+    trace_id: str
+    span_id: str
+
+
+@dataclass(slots=True)
+class Span:
+    """One timed operation in a trace tree.
+
+    ``duration`` is authoritative (charged simulated seconds); ``end`` is
+    ``start + duration`` and is kept for timeline rendering.  A span with
+    ``end is None`` is still open.
+    """
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    start: float
+    end: float | None = None
+    duration: float = 0.0
+    attributes: dict[str, Any] = field(default_factory=dict)
+    events: list[dict[str, Any]] = field(default_factory=list)
+    children: list["Span"] = field(default_factory=list)
+    _next_child: int = 0
+
+    @property
+    def closed(self) -> bool:
+        """Has :meth:`finish` been called on this span?"""
+        return self.end is not None
+
+    def child(self, name: str, at: float) -> "Span":
+        """Open a child span named ``name`` starting at simulated time ``at``."""
+        self._next_child += 1
+        span = Span(
+            name=name,
+            trace_id=self.trace_id,
+            span_id=f"{self.span_id}.{self._next_child}",
+            parent_id=self.span_id,
+            start=at,
+        )
+        self.children.append(span)
+        return span
+
+    def finish(self, duration: float) -> "Span":
+        """Close the span with its charged ``duration`` (simulated seconds)."""
+        if duration < 0:
+            raise ValueError("span duration cannot be negative")
+        if self.closed:
+            raise RuntimeError(f"span {self.span_id!r} already finished")
+        self.duration = duration
+        self.end = self.start + duration
+        return self
+
+    def annotate(self, key: str, value: Any) -> "Span":
+        """Set one attribute on this span (last write wins)."""
+        self.attributes[key] = value
+        return self
+
+    def annotate_tree(self, key: str, value: Any) -> "Span":
+        """Set one attribute on this span and every descendant."""
+        for span in self.iter():
+            span.attributes[key] = value
+        return self
+
+    def incr(self, key: str, amount: int = 1) -> "Span":
+        """Increment a numeric attribute (used for per-span op counters)."""
+        self.attributes[key] = self.attributes.get(key, 0) + amount
+        return self
+
+    def add_event(self, name: str, at: float, **attrs: Any) -> "Span":
+        """Append a point-in-time event (e.g. an injected fault) to the span."""
+        self.events.append({"name": name, "at": at, **attrs})
+        return self
+
+    def iter(self) -> Iterator["Span"]:
+        """Yield this span and all descendants, depth-first, children in order."""
+        yield self
+        for child in self.children:
+            yield from child.iter()
+
+    def find(self, name: str) -> "Span | None":
+        """First span named ``name`` in this subtree (depth-first), else None."""
+        for span in self.iter():
+            if span.name == name:
+                return span
+        return None
+
+    def context(self) -> TraceContext:
+        """This span's propagation context (to parent downstream requests)."""
+        return TraceContext(trace_id=self.trace_id, span_id=self.span_id)
+
+
+class Tracer:
+    """Produces and retains per-request span trees.
+
+    Trace identifiers are sequence numbers, so a tracer replaying the same
+    request stream produces identical trees.  Finished traces are kept in
+    :attr:`traces` (optionally bounded by ``max_traces``, oldest evicted
+    first) for export and rendering.
+    """
+
+    def __init__(self, max_traces: int | None = None) -> None:
+        if max_traces is not None and max_traces < 1:
+            raise ValueError("max_traces must be positive (or None)")
+        self.max_traces = max_traces
+        self.traces: list[Span] = []
+        self.started = 0
+        self.finished = 0
+
+    def start_trace(
+        self,
+        name: str,
+        at: float,
+        parent: TraceContext | None = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a new root span at simulated time ``at``.
+
+        With ``parent`` set, the root joins the caller's trace (its
+        ``trace_id`` is inherited and ``parent_id`` links upstream);
+        otherwise a fresh deterministic trace id is minted.
+        """
+        self.started += 1
+        if parent is None:
+            trace_id = f"t{self.started:08d}"
+            span_id = f"{trace_id}.0"
+            parent_id = None
+        else:
+            trace_id = parent.trace_id
+            span_id = f"{parent.span_id}.r{self.started}"
+            parent_id = parent.span_id
+        root = Span(
+            name=name,
+            trace_id=trace_id,
+            span_id=span_id,
+            parent_id=parent_id,
+            start=at,
+        )
+        root.attributes.update(attrs)
+        return root
+
+    def finish_trace(self, root: Span, duration: float) -> Span:
+        """Close ``root`` with its charged duration and retain the trace."""
+        root.finish(duration)
+        self.finished += 1
+        self.traces.append(root)
+        if self.max_traces is not None and len(self.traces) > self.max_traces:
+            del self.traces[: len(self.traces) - self.max_traces]
+        return root
+
+    def open_traces(self) -> int:
+        """Traces started but not finished (should be 0 between requests)."""
+        return self.started - self.finished
+
+
+# ----------------------------------------------------------------------
+# Active-span context (storage / fault-injector stamping)
+# ----------------------------------------------------------------------
+_ACTIVE: list[Span] = []
+
+
+def current_span() -> Span | None:
+    """The innermost active span, or None outside any :func:`use_span` block."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def use_span(span: Span):
+    """Make ``span`` the active span for the duration of the ``with`` block."""
+    _ACTIVE.append(span)
+    try:
+        yield span
+    finally:
+        _ACTIVE.pop()
+
+
+# ----------------------------------------------------------------------
+# Rendering & invariants
+# ----------------------------------------------------------------------
+def _format_attrs(span: Span) -> str:
+    parts = [f"{k}={v}" for k, v in sorted(span.attributes.items())]
+    if span.events:
+        parts.append(f"events={len(span.events)}")
+    return "  ".join(parts)
+
+
+def render_span_tree(root: Span) -> str:
+    """ASCII rendering of one trace (durations in ms, attrs inline)."""
+    lines: list[str] = []
+
+    def visit(span: Span, prefix: str, is_last: bool, is_root: bool) -> None:
+        connector = "" if is_root else ("└─ " if is_last else "├─ ")
+        duration = f"{1000.0 * span.duration:9.2f} ms" if span.closed else "   (open)  "
+        attrs = _format_attrs(span)
+        lines.append(f"{prefix}{connector}{span.name:<14} {duration}  {attrs}".rstrip())
+        child_prefix = prefix if is_root else prefix + ("   " if is_last else "│  ")
+        for i, child in enumerate(span.children):
+            visit(child, child_prefix, i == len(span.children) - 1, False)
+
+    visit(root, "", True, True)
+    return "\n".join(lines)
+
+
+def assert_all_traced(responses) -> None:
+    """Fail unless every response carries a *closed* root span.
+
+    The benchmark harnesses (`bench_fig8a_response_time`,
+    `bench_resilience`) call this so no request can complete untraced —
+    a silent untraced path is a bug, not a degradation.
+    """
+    missing = [
+        getattr(r, "txn_id", "?")
+        for r in responses
+        if getattr(r, "span", None) is None or not r.span.closed
+    ]
+    if missing:
+        raise AssertionError(
+            f"{len(missing)} request(s) completed without a closed root span: "
+            f"{missing[:10]}"
+        )

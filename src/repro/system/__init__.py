@@ -3,6 +3,7 @@
 from .abtest import ABTestResult, run_ab_test
 from .bn_server import BNServer
 from .clock import SimulatedClock
+from .config import TurboConfig
 from .faults import (
     BudgetExceeded,
     CircuitBreaker,
@@ -18,11 +19,16 @@ from .latency import LatencyBreakdown, LatencyModel
 from .model_management import ModelManager, ModelVersion
 from .monitoring import LatencyHistogram, SystemMonitor
 from .prediction_server import PredictionServer
+from .service import PredictRequest, RequestContext, Service
 from .storage import InMemoryCache, LocalDatabase, ReplicatedStore, StorageError
 from .turbo import Turbo, TurboResponse, deploy_turbo
 
 __all__ = [
     "SimulatedClock",
+    "TurboConfig",
+    "PredictRequest",
+    "RequestContext",
+    "Service",
     "LatencyModel",
     "LatencyBreakdown",
     "LocalDatabase",

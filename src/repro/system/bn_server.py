@@ -18,17 +18,24 @@ from ..datagen.entities import DAY, BehaviorLog
 from ..network.bn import BehaviorNetwork
 from ..network.builder import BNBuilder
 from ..network.sampling import ComputationSubgraph, computation_subgraph
+from ..obs.tracing import Span
 from .latency import LatencyModel
 from .storage import InMemoryCache, LocalDatabase
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from .faults import FaultInjector
+    from .service import RequestContext
 
 __all__ = ["BNServer"]
 
 
 class BNServer:
-    """Maintains BN from streaming logs and serves subgraph samples."""
+    """Maintains BN from streaming logs and serves subgraph samples.
+
+    Satisfies the :class:`~repro.system.service.Service` protocol:
+    :attr:`name`, :meth:`ping`, :meth:`stats` and :meth:`handle` (the
+    ``bn_sample`` stage of a prediction request).
+    """
 
     def __init__(
         self,
@@ -118,6 +125,48 @@ class BNServer:
         if drop:
             del self._logs[:drop]
             del self._log_times[:drop]
+
+    # ------------------------------------------------------------------
+    # Service surface (see repro.system.service.Service)
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Stable component name (also the fault-injector address)."""
+        return self.component
+
+    def ping(self) -> float:
+        """Liveness probe; raises through the fault gate when down."""
+        return self.faults.before_call(self.component) if self.faults else 0.0
+
+    def stats(self) -> dict[str, float]:
+        """BN maintenance counters (jobs, buffered logs, graph size)."""
+        return {
+            "jobs_run": float(self.jobs_run),
+            "logs_buffered": float(len(self._logs)),
+            "bn_nodes": float(self.bn.num_nodes()),
+            "bn_edges": float(self.bn.num_edges()),
+        }
+
+    def handle(
+        self, request: "RequestContext", span: Span | None = None
+    ) -> tuple[ComputationSubgraph, float]:
+        """Serve the ``bn_sample`` stage: sample the target's subgraph.
+
+        Reads the sampling policy (hops/fanout/allowed) from the request
+        context, stores the sampled subgraph back on it for the feature
+        stage, and annotates ``span`` with the subgraph size.
+        """
+        subgraph, seconds = self.sample(
+            request.request.uid,
+            now=request.now,
+            hops=request.hops,
+            fanout=request.fanout,
+            allowed=request.allowed,
+        )
+        request.subgraph = subgraph
+        if span is not None:
+            span.annotate("subgraph_size", subgraph.num_nodes)
+        return subgraph, seconds
 
     # ------------------------------------------------------------------
     # Serving

@@ -1,0 +1,79 @@
+"""Deployment configuration for the online Turbo system.
+
+Collapses the scattered ``deploy_turbo(...)`` keyword arguments into one
+validated :class:`TurboConfig` dataclass (PR 3's API redesign).  The
+defaults are the paper's deployed settings: decision threshold 0.85, a
+15 s per-request latency budget, bounded retries with a circuit breaker,
+and the scorecard/block-list fallback ladder armed.
+
+``deploy_turbo(dataset, config=TurboConfig(...))`` is the canonical call;
+the legacy keyword style (``deploy_turbo(dataset, threshold=..., ...)``)
+still works — the keywords are collected into a config for one release
+of backward compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..network.windows import FAST_WINDOWS
+from .faults import CircuitBreaker, FaultInjector, RetryPolicy
+from .latency import LatencyModel
+
+__all__ = ["TurboConfig"]
+
+
+@dataclass(slots=True)
+class TurboConfig:
+    """Validated knobs of one Turbo deployment (paper defaults).
+
+    Training: ``hidden``, ``train_epochs``, ``seed``.  Serving:
+    ``threshold`` (0.85 in the deployed system), ``hops``/``fanout``
+    (computation-subgraph sampling), ``request_budget`` (seconds; ``None``
+    disables).  Infrastructure: ``windows`` (BN window hierarchy),
+    ``use_cache``, ``replicated`` (primary/replica database),
+    ``with_fallbacks``.  Resilience: ``retry_policy``, ``breaker`` and
+    ``faults`` (``None`` creates deployment-local defaults), ``latency``
+    (the latency model; ``None`` creates one from ``seed``).  Tracing:
+    ``trace_max`` bounds retained traces (``None`` keeps all).
+    """
+
+    windows: Sequence[float] = tuple(FAST_WINDOWS)
+    use_cache: bool = True
+    threshold: float = 0.85
+    hidden: Sequence[int] = (64, 32)
+    train_epochs: int = 60
+    seed: int = 0
+    hops: int = 2
+    fanout: int | None = 10
+    replicated: bool = False
+    request_budget: float | None = 15.0
+    with_fallbacks: bool = True
+    retry_policy: RetryPolicy | None = None
+    breaker: CircuitBreaker | None = None
+    faults: FaultInjector | None = None
+    latency: LatencyModel | None = None
+    trace_max: int | None = None
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on an inconsistent configuration."""
+        if not 0.0 < self.threshold < 1.0:
+            raise ValueError("threshold must be in (0, 1)")
+        if self.request_budget is not None and self.request_budget <= 0:
+            raise ValueError("request_budget must be positive (or None)")
+        if self.train_epochs < 1:
+            raise ValueError("train_epochs must be >= 1")
+        if self.hops < 0:
+            raise ValueError("hops must be non-negative")
+        if self.fanout is not None and self.fanout < 0:
+            raise ValueError("fanout must be non-negative (or None)")
+        if not self.windows:
+            raise ValueError("windows must be non-empty")
+        if not self.hidden:
+            raise ValueError("hidden must name at least one layer width")
+        if self.trace_max is not None and self.trace_max < 1:
+            raise ValueError("trace_max must be positive (or None)")

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.tracing import current_span
 from .clock import SimulatedClock
 from .storage import StorageError
 
@@ -253,6 +254,14 @@ class FaultInjector:
     def _record(self, component: str, kind: str, at: float, latency: float = 0.0) -> None:
         self.trace.append(FaultEvent(component, kind, at, latency))
         self.injected[(component, kind)] += 1
+        # Stamp the fault onto whichever pipeline stage absorbed it, so a
+        # trace shows not just *that* a request degraded but *where*.
+        span = current_span()
+        if span is not None:
+            span.add_event(
+                f"fault.{kind}", at=at, component=component, latency=latency
+            )
+            span.incr("faults")
 
 
 @dataclass(slots=True)

@@ -15,17 +15,24 @@ import numpy as np
 
 from ..datagen.entities import Transaction
 from ..features.pipeline import FeatureManager
+from ..obs.tracing import Span
 from .latency import LatencyModel
 from .storage import InMemoryCache, LocalDatabase
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from .faults import FaultInjector
+    from .service import RequestContext
 
 __all__ = ["FeatureServer"]
 
 
 class FeatureServer:
-    """Assembles the feature matrix for a computation subgraph's nodes."""
+    """Assembles the feature matrix for a computation subgraph's nodes.
+
+    Satisfies the :class:`~repro.system.service.Service` protocol:
+    :attr:`name`, :meth:`ping`, :meth:`stats` and :meth:`handle` (the
+    ``feature_fetch`` stage of a prediction request).
+    """
 
     def __init__(
         self,
@@ -49,6 +56,45 @@ class FeatureServer:
         self._latest_txn = {
             txn.uid: txn for txn in feature_manager.latest_transactions()
         }
+
+    # ------------------------------------------------------------------
+    # Service surface (see repro.system.service.Service)
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Stable component name (also the fault-injector address)."""
+        return self.component
+
+    def ping(self) -> float:
+        """Liveness probe; raises through the fault gate when down."""
+        return self.faults.before_call(self.component) if self.faults else 0.0
+
+    def stats(self) -> dict[str, float]:
+        """Feature-store counters (known users, feature dimensionality)."""
+        return {
+            "known_users": float(len(self._latest_txn)),
+            "feature_dim": float(self.feature_manager.dim),
+            "stat_windows": float(self.stat_windows),
+        }
+
+    def handle(
+        self, request: "RequestContext", span: Span | None = None
+    ) -> tuple[np.ndarray, float]:
+        """Serve the ``feature_fetch`` stage: build the node feature matrix.
+
+        Requires the bn_sample stage to have populated
+        ``request.subgraph``; stores the matrix back on the context for
+        the inference stage and annotates ``span`` with the row count.
+        """
+        if request.subgraph is None:
+            raise ValueError("feature_fetch requires a sampled subgraph")
+        matrix, seconds = self.features_for(
+            request.subgraph.nodes, request.request.txn, request.now
+        )
+        request.features = matrix
+        if span is not None:
+            span.annotate("feature_rows", int(matrix.shape[0]))
+        return matrix, seconds
 
     def features_for(
         self,

@@ -8,11 +8,12 @@ prediction server; this module provides the registry that makes the swap
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable
 
 import numpy as np
 
 from ..core.hag import HAG
+from ..obs.tracing import Span
 
 __all__ = ["ModelVersion", "ModelManager"]
 
@@ -28,7 +29,13 @@ class ModelVersion:
 
 
 class ModelManager:
-    """Keeps model snapshots; materializes the active one on demand."""
+    """Keeps model snapshots; materializes the active one on demand.
+
+    Satisfies the :class:`~repro.system.service.Service` protocol:
+    :attr:`name`, :meth:`ping`, :meth:`stats` and :meth:`handle`
+    (control-plane commands such as rollback, rather than a latency
+    stage of the prediction pipeline).
+    """
 
     def __init__(self, model_factory: Callable[[], HAG]) -> None:
         self._factory = model_factory
@@ -36,6 +43,56 @@ class ModelManager:
         self._active: int | None = None
         self._previous: int | None = None
         self._next_version = 1
+
+    # ------------------------------------------------------------------
+    # Service surface (see repro.system.service.Service)
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Stable component name."""
+        return "model_manager"
+
+    def ping(self) -> float:
+        """Liveness probe; raises when no model version is active."""
+        if self._active is None:
+            raise RuntimeError("no active model version")
+        return 0.0
+
+    def stats(self) -> dict[str, float]:
+        """Registry counters (versions held, active/previous pointers)."""
+        return {
+            "versions": float(len(self._versions)),
+            "active_version": float(self._active if self._active is not None else -1),
+            "previous_version": float(
+                self._previous if self._previous is not None else -1
+            ),
+        }
+
+    def handle(
+        self, request: dict[str, Any], span: Span | None = None
+    ) -> tuple[Any, float]:
+        """Execute one control-plane command; returns ``(result, seconds)``.
+
+        ``request`` is a dict with an ``op`` key: ``{"op": "activate",
+        "version": n}``, ``{"op": "rollback"}``, ``{"op": "active_version"}``
+        or ``{"op": "materialize"}``.  Control-plane moves are O(1)
+        pointer swaps, so the charged time is always ``0.0``.
+        """
+        op = request.get("op")
+        if op == "activate":
+            self.activate(int(request["version"]))
+            result: Any = self._active
+        elif op == "rollback":
+            result = self.rollback()
+        elif op == "active_version":
+            result = self._active
+        elif op == "materialize":
+            result = self.materialize_active()
+        else:
+            raise ValueError(f"unknown model-manager op: {op!r}")
+        if span is not None:
+            span.add_event(f"model_manager.{op}", at=None, version=self._active)
+        return result, 0.0
 
     def register(
         self,

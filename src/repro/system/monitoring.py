@@ -1,58 +1,50 @@
 """Operational telemetry for the online system.
 
 Production risk systems live and die by their dashboards; this module
-collects the counters and latency histograms behind Fig. 8-style monitoring:
-request counts, per-module latency distributions, block rate, cache hit
-rates and error counts, with percentile queries and a plain-text report.
+is the dashboard *view* over the observability subsystem
+(:mod:`repro.obs.metrics`): request counts, per-module latency
+distributions, block rate, degradation/SLO accounting and error counts.
+
+Since PR 3 every number here is backed by a named metric in a
+:class:`~repro.obs.metrics.MetricsRegistry` (``turbo.requests``,
+``turbo.latency.sampling``, ...; see ``docs/OBSERVABILITY.md`` for the
+full name list), so monitor counters and registry totals reconcile
+exactly — a contract pinned by ``tests/test_system/test_tracing.py``.
 
 Resilience accounting (``docs/RESILIENCE.md``): every served request is
 attributed to a degradation level (``full`` = HAG graph path, else the
 fallback that answered), latency SLOs can be armed per mode, and the
-monitor tracks the derived error budget, availability (full-path fraction),
-degraded-request rate, retries and storage failovers.
+monitor tracks the derived error budget, availability (full-path
+fraction), degraded-request rate, retries and storage failovers.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.metrics import Histogram, MetricsRegistry
 from .latency import LatencyBreakdown
 
 __all__ = ["LatencyHistogram", "SystemMonitor"]
 
 
-class LatencyHistogram:
-    """Reservoir of latency samples with percentile queries (seconds in/ms out)."""
+class LatencyHistogram(Histogram):
+    """Latency view over :class:`~repro.obs.metrics.Histogram`.
 
-    def __init__(self, max_samples: int = 100_000) -> None:
-        if max_samples < 1:
-            raise ValueError("max_samples must be positive")
-        self.max_samples = max_samples
-        self._samples: list[float] = []
-        self.count = 0
-        self.total = 0.0
-
-    def observe(self, seconds: float) -> None:
-        """Record one latency sample (seconds)."""
-        if seconds < 0:
-            raise ValueError("latency cannot be negative")
-        self.count += 1
-        self.total += seconds
-        if len(self._samples) < self.max_samples:
-            self._samples.append(seconds)
+    Samples are observed in seconds; the accessors report milliseconds
+    (the unit of the Fig. 8a tables and the SLO targets).
+    """
 
     @property
     def mean_ms(self) -> float:
-        return 1000.0 * self.total / self.count if self.count else 0.0
+        """Mean latency in milliseconds over all observations."""
+        return 1000.0 * self.mean
 
     def percentile_ms(self, percentile: float) -> float:
         """Latency percentile in milliseconds over the retained samples."""
-        if not self._samples:
-            return 0.0
-        return float(1000.0 * np.percentile(self._samples, percentile))
+        return 1000.0 * self.percentile(percentile)
 
     def summary(self) -> dict[str, float]:
         """Count, mean and tail percentiles in milliseconds."""
@@ -65,31 +57,82 @@ class LatencyHistogram:
         }
 
 
-@dataclass
 class SystemMonitor:
-    """Aggregates request-level telemetry across the Turbo pipeline."""
+    """Aggregates request-level telemetry across the Turbo pipeline.
 
-    sampling: LatencyHistogram = field(default_factory=LatencyHistogram)
-    features: LatencyHistogram = field(default_factory=LatencyHistogram)
-    prediction: LatencyHistogram = field(default_factory=LatencyHistogram)
-    total: LatencyHistogram = field(default_factory=LatencyHistogram)
-    #: total latency of requests served degraded (fallback path only).
-    degraded_total: LatencyHistogram = field(default_factory=LatencyHistogram)
-    requests: int = 0
-    blocked: int = 0
-    errors: Counter = field(default_factory=Counter)
-    subgraph_sizes: list[int] = field(default_factory=list)
-    #: degradation level -> served-request count ("full" is the HAG path).
-    degraded: Counter = field(default_factory=Counter)
-    retries: int = 0
-    failovers: int = 0
-    #: latency SLO targets in milliseconds (None = SLO accounting disarmed).
-    slo_target_ms: float | None = None
-    degraded_slo_target_ms: float | None = None
-    slo_violations: int = 0
-    #: allowed SLO-violation fraction backing :meth:`error_budget_remaining`.
-    error_budget: float = 0.01
+    A thin view: scalar counters are
+    :class:`~repro.obs.metrics.Counter` instruments and the latency
+    histograms are registry-owned :class:`LatencyHistogram` instances, so
+    any dashboard number can be cross-checked against
+    ``monitor.registry.snapshot()``.
+    """
 
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.sampling = self.registry.histogram(
+            "turbo.latency.sampling", factory=LatencyHistogram
+        )
+        self.features = self.registry.histogram(
+            "turbo.latency.features", factory=LatencyHistogram
+        )
+        self.prediction = self.registry.histogram(
+            "turbo.latency.prediction", factory=LatencyHistogram
+        )
+        self.total = self.registry.histogram(
+            "turbo.latency.total", factory=LatencyHistogram
+        )
+        #: total latency of requests served degraded (fallback path only).
+        self.degraded_total = self.registry.histogram(
+            "turbo.latency.degraded_total", factory=LatencyHistogram
+        )
+        self._requests = self.registry.counter("turbo.requests")
+        self._blocked = self.registry.counter("turbo.blocked")
+        self._errors = self.registry.counter("turbo.errors")
+        self._degraded = self.registry.counter("turbo.degraded")
+        self._retries = self.registry.counter("turbo.retries")
+        self._failovers = self.registry.counter("turbo.failovers")
+        self._slo_violations = self.registry.counter("turbo.slo_violations")
+        self.errors: Counter = Counter()
+        self.subgraph_sizes: list[int] = []
+        #: degradation level -> served-request count ("full" is the HAG path).
+        self.degraded: Counter = Counter()
+        #: latency SLO targets in milliseconds (None = SLO accounting disarmed).
+        self.slo_target_ms: float | None = None
+        self.degraded_slo_target_ms: float | None = None
+        #: allowed SLO-violation fraction backing :meth:`error_budget_remaining`.
+        self.error_budget: float = 0.01
+
+    # ------------------------------------------------------------------
+    # Registry-backed counters (dashboard accessors)
+    # ------------------------------------------------------------------
+    @property
+    def requests(self) -> int:
+        """Requests served (``turbo.requests``)."""
+        return self._requests.as_int()
+
+    @property
+    def blocked(self) -> int:
+        """Requests blocked at the decision threshold (``turbo.blocked``)."""
+        return self._blocked.as_int()
+
+    @property
+    def retries(self) -> int:
+        """Storage/server retries spent across all requests (``turbo.retries``)."""
+        return self._retries.as_int()
+
+    @property
+    def failovers(self) -> int:
+        """Reads served off a backup replica (``turbo.failovers``)."""
+        return self._failovers.as_int()
+
+    @property
+    def slo_violations(self) -> int:
+        """Requests past their per-mode SLO target (``turbo.slo_violations``)."""
+        return self._slo_violations.as_int()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
     def set_slo(
         self,
         target_ms: float,
@@ -121,17 +164,18 @@ class SystemMonitor:
         retries: int = 0,
     ) -> None:
         """Record one served request's latency, outcome and serving mode."""
-        self.requests += 1
+        self._requests.inc()
         if blocked:
-            self.blocked += 1
+            self._blocked.inc()
         self.sampling.observe(breakdown.sampling)
         self.features.observe(breakdown.features)
         self.prediction.observe(breakdown.prediction)
         self.total.observe(breakdown.total)
         self.subgraph_sizes.append(subgraph_size)
         self.degraded[degradation] += 1
-        self.retries += retries
+        self._retries.inc(retries)
         if degradation != "full":
+            self._degraded.inc()
             self.degraded_total.observe(breakdown.total)
         if self.slo_target_ms is not None:
             target = (
@@ -140,18 +184,20 @@ class SystemMonitor:
                 else self.degraded_slo_target_ms
             )
             if 1000.0 * breakdown.total > target:
-                self.slo_violations += 1
+                self._slo_violations.inc()
 
     def record_error(self, kind: str) -> None:
         """Count one error of the given kind."""
         self.errors[kind] += 1
+        self._errors.inc()
 
     def record_failover(self, count: int = 1) -> None:
         """Count reads served off a backup replica."""
-        self.failovers += count
+        self._failovers.inc(count)
 
     @property
     def block_rate(self) -> float:
+        """Fraction of served requests that were blocked."""
         return self.blocked / self.requests if self.requests else 0.0
 
     @property
@@ -161,6 +207,7 @@ class SystemMonitor:
 
     @property
     def degraded_rate(self) -> float:
+        """Fraction of requests served by a fallback instead of HAG."""
         return self.degraded_requests / self.requests if self.requests else 0.0
 
     @property

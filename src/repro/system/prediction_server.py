@@ -10,16 +10,23 @@ from ..core.hag import HAG
 from ..datagen.behavior_types import BehaviorType
 from ..features.pipeline import StandardScaler
 from ..network.sampling import ComputationSubgraph
+from ..obs.tracing import Span
 from .latency import LatencyModel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from .faults import FaultInjector
+    from .service import RequestContext
 
 __all__ = ["PredictionServer"]
 
 
 class PredictionServer:
-    """Holds the active model + scaler and serves inductive predictions."""
+    """Holds the active model + scaler and serves inductive predictions.
+
+    Satisfies the :class:`~repro.system.service.Service` protocol:
+    :attr:`name`, :meth:`ping`, :meth:`stats` and :meth:`handle` (the
+    ``inference`` stage of a prediction request).
+    """
 
     def __init__(
         self,
@@ -37,6 +44,42 @@ class PredictionServer:
         self.faults = faults
         self.component = component
         self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    # Service surface (see repro.system.service.Service)
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Stable component name (also the fault-injector address)."""
+        return self.component
+
+    def ping(self) -> float:
+        """Liveness probe; raises through the fault gate when down."""
+        return self.faults.before_call(self.component) if self.faults else 0.0
+
+    def stats(self) -> dict[str, float]:
+        """Serving counters (requests served, edge-type vocabulary size)."""
+        return {
+            "requests_served": float(self.requests_served),
+            "edge_types": float(len(self.edge_type_order)),
+        }
+
+    def handle(
+        self, request: "RequestContext", span: Span | None = None
+    ) -> tuple[float, float]:
+        """Serve the ``inference`` stage: run HAG on the sampled subgraph.
+
+        Requires the upstream stages to have populated ``request.subgraph``
+        and ``request.features``; stores the fraud probability back on the
+        context and annotates ``span`` with it.
+        """
+        if request.subgraph is None or request.features is None:
+            raise ValueError("inference requires a subgraph and its features")
+        probability, seconds = self.predict(request.subgraph, request.features)
+        request.probability = probability
+        if span is not None:
+            span.annotate("probability", probability)
+        return probability, seconds
 
     def predict(
         self, subgraph: ComputationSubgraph, features: np.ndarray

@@ -19,12 +19,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Hashable, Iterable
 
+from ..obs.tracing import current_span
 from .latency import LatencyModel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from .faults import FaultInjector
 
 __all__ = ["LocalDatabase", "InMemoryCache", "ReplicatedStore", "StorageError"]
+
+
+def _stamp(key: str) -> None:
+    """Count one storage operation on the active request span (if any).
+
+    Keeps trace context threading out of every call signature: whatever
+    pipeline stage is executing inside a ``use_span`` block accumulates
+    ``db.*`` / ``cache.*`` op counters on its own span.
+    """
+    span = current_span()
+    if span is not None:
+        span.incr(key)
 
 
 class StorageError(RuntimeError):
@@ -86,6 +99,7 @@ class LocalDatabase:
         extra = self._gate()
         self._table(table).setdefault(key, []).append(row)
         self.write_count += 1
+        _stamp("db.writes")
         return self.latency.charge_db_write(1) + extra
 
     def insert_many(self, table: str, items: Iterable[tuple[Hashable, Any]]) -> float:
@@ -97,6 +111,7 @@ class LocalDatabase:
             tbl.setdefault(key, []).append(row)
             count += 1
         self.write_count += 1
+        _stamp("db.writes")
         return self.latency.charge_db_write(count) + extra
 
     def put(self, table: str, key: Hashable, value: Any) -> float:
@@ -104,6 +119,7 @@ class LocalDatabase:
         extra = self._gate()
         self._table(table)[key] = [value]
         self.write_count += 1
+        _stamp("db.writes")
         return self.latency.charge_db_write(1) + extra
 
     def query(self, table: str, key: Hashable) -> tuple[list[Any], float]:
@@ -111,6 +127,7 @@ class LocalDatabase:
         extra = self._gate()
         rows = self._table(table).get(key, [])
         self.query_count += 1
+        _stamp("db.queries")
         return rows, self.latency.charge_db_query(len(rows)) + extra
 
     def scan(self, table: str) -> tuple[list[tuple[Hashable, list[Any]]], float]:
@@ -118,6 +135,7 @@ class LocalDatabase:
         extra = self._gate()
         tbl = self._table(table)
         self.query_count += 1
+        _stamp("db.queries")
         total_rows = sum(len(rows) for rows in tbl.values())
         return list(tbl.items()), self.latency.charge_db_query(total_rows) + extra
 
@@ -192,13 +210,16 @@ class InMemoryCache:
         entry = self._store.get(key)
         if entry is None:
             self.misses += 1
+            _stamp("cache.misses")
             return None, False, seconds
         value, expires = entry
         if expires is not None and now > expires:
             del self._store[key]
             self.misses += 1
+            _stamp("cache.misses")
             return None, False, seconds
         self.hits += 1
+        _stamp("cache.hits")
         return value, True, seconds
 
     def set(
@@ -209,6 +230,7 @@ class InMemoryCache:
         ttl = ttl if ttl is not None else self.default_ttl
         expires = now + ttl if ttl is not None else None
         self._store[key] = (value, expires)
+        _stamp("cache.sets")
         return self.latency.charge_cache_set() + extra
 
     def invalidate(self, key: Hashable) -> None:
@@ -303,6 +325,7 @@ class ReplicatedStore:
             return self.primary.query(table, key)
         if self.replica.available:
             self.failovers += 1
+            _stamp("db.failovers")
             rows, seconds = self.replica.query(table, key)
             return rows, seconds + self.latency.charge_network()
         raise StorageError("no database replica available for read")
@@ -313,6 +336,7 @@ class ReplicatedStore:
             return self.primary.scan(table)
         if self.replica.available:
             self.failovers += 1
+            _stamp("db.failovers")
             items, seconds = self.replica.scan(table)
             return items, seconds + self.latency.charge_network()
         raise StorageError("no database replica available for read")

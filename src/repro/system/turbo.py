@@ -11,6 +11,15 @@ A prediction request for application ``tau`` of user ``u``:
 Each step's latency is charged against the latency model and reported in the
 response, which is what the Fig. 8a / Section V benchmarks aggregate.
 
+Observability (PR 3, ``docs/OBSERVABILITY.md``): every request produces one
+closed trace — a span tree ``request -> bn_sample / feature_fetch /
+inference`` (plus ``fallback`` when degraded) whose durations are the
+charged seconds of each :class:`~repro.system.latency.LatencyBreakdown`
+slot, bit-for-bit.  The :class:`~repro.system.monitoring.SystemMonitor` is
+a view over a :class:`~repro.obs.metrics.MetricsRegistry` exposed as
+:attr:`Turbo.metrics`.  The four servers share the
+:class:`~repro.system.service.Service` protocol (:attr:`Turbo.services`).
+
 Resilience (Section V's production claims, ``docs/RESILIENCE.md``): the
 graph path runs under a bounded :class:`~repro.system.faults.RetryPolicy`
 and a :class:`~repro.system.faults.CircuitBreaker`, with an optional
@@ -24,8 +33,9 @@ degradation level that served it.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Any, Callable
 
 import numpy as np
 
@@ -37,18 +47,28 @@ from ..core.trainer import TrainConfig, train_node_classifier
 from ..datagen.entities import Dataset, Transaction
 from ..eval.runner import ExperimentData, prepare_experiment
 from ..features.pipeline import StandardScaler
-from ..network.windows import FAST_WINDOWS
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import Span, Tracer, use_span
 from .bn_server import BNServer
 from .clock import SimulatedClock
+from .config import TurboConfig
 from .faults import BudgetExceeded, CircuitBreaker, FaultInjector, RetryPolicy
 from .feature_server import FeatureServer
 from .latency import LatencyBreakdown, LatencyModel
 from .model_management import ModelManager
 from .monitoring import SystemMonitor
 from .prediction_server import PredictionServer
+from .service import PredictRequest, RequestContext, Service
 from .storage import InMemoryCache, LocalDatabase, ReplicatedStore, StorageError
 
 __all__ = ["TurboResponse", "Turbo", "deploy_turbo"]
+
+#: (span name, breakdown slot) of the graph-path pipeline stages, in order.
+_PIPELINE_STAGES = (
+    ("bn_sample", "sampling"),
+    ("feature_fetch", "features"),
+    ("inference", "prediction"),
+)
 
 
 @dataclass(slots=True)
@@ -69,11 +89,18 @@ class TurboResponse:
     degradation_reason: str = ""
     #: storage/server retries spent before the graph path succeeded.
     retries: int = 0
+    #: closed root span of this request's trace (see repro.obs.tracing).
+    span: Span | None = None
 
     @property
     def degraded(self) -> bool:
         """Was this request served by a fallback instead of HAG?"""
         return self.degradation != "full"
+
+    @property
+    def trace_id(self) -> str:
+        """Trace identifier of this request ("" when untraced)."""
+        return self.span.trace_id if self.span is not None else ""
 
 
 class Turbo:
@@ -95,6 +122,8 @@ class Turbo:
         request_budget: float | None = 15.0,
         faults: FaultInjector | None = None,
         seed: int = 0,
+        model_manager: ModelManager | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if not 0.0 < threshold < 1.0:
             raise ValueError("threshold must be in (0, 1)")
@@ -103,6 +132,7 @@ class Turbo:
         self.bn_server = bn_server
         self.feature_server = feature_server
         self.prediction_server = prediction_server
+        self.model_manager = model_manager
         self.clock = clock
         self.threshold = threshold
         self.allowed_nodes = allowed_nodes
@@ -116,19 +146,122 @@ class Turbo:
         self._retry_rng = np.random.default_rng(seed)
         self.responses: list[TurboResponse] = []
         self.monitor = SystemMonitor()
+        self.tracer = tracer if tracer is not None else Tracer()
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The deployment's metrics registry (backs :attr:`monitor`)."""
+        return self.monitor.registry
+
+    # ------------------------------------------------------------------
+    # Service directory
+    # ------------------------------------------------------------------
+    @property
+    def services(self) -> dict[str, Service]:
+        """Every deployed :class:`~repro.system.service.Service`, by name."""
+        servers: dict[str, Service] = {
+            self.bn_server.name: self.bn_server,
+            self.feature_server.name: self.feature_server,
+            self.prediction_server.name: self.prediction_server,
+        }
+        if self.model_manager is not None:
+            servers[self.model_manager.name] = self.model_manager
+        return servers
+
+    def ping_all(self) -> dict[str, bool]:
+        """Probe every service; True = the service answered its ping."""
+        health: dict[str, bool] = {}
+        for name, service in self.services.items():
+            try:
+                service.ping()
+            except Exception:
+                health[name] = False
+            else:
+                health[name] = True
+        return health
+
+    def service_stats(self) -> dict[str, dict[str, float]]:
+        """Every service's :meth:`~repro.system.service.Service.stats`."""
+        return {name: service.stats() for name, service in self.services.items()}
 
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
-    def predict(self, txn: Transaction, now: float | None = None) -> TurboResponse:
+    def predict(self, *args: Any, **kwargs: Any) -> TurboResponse:
         """Serve one detection request (Fig. 2's numbered flow).
+
+        Canonical call: ``predict(PredictRequest(txn=txn, now=...))``.  The
+        legacy positional shapes ``predict(txn, now=...)`` and
+        ``predict(uid, txn, now=...)`` still work (identical responses) but
+        emit a :class:`DeprecationWarning`; use :meth:`handle_request` for
+        a warning-free transaction-first entry point.
 
         Never raises on component failure: the graph path runs under the
         retry policy, circuit breaker and latency budget, and falls back to
         the scorecard/blocklist ladder when it cannot answer.
         """
-        now = self.clock.now() if now is None else now
+        return self._serve(self._coerce_request(args, kwargs))
+
+    def handle_request(self, txn: Transaction, now: float | None = None) -> TurboResponse:
+        """Transaction-first alias of :meth:`predict` (no deprecation noise)."""
+        return self._serve(PredictRequest(txn=txn, now=now))
+
+    def _coerce_request(self, args: tuple, kwargs: dict) -> PredictRequest:
+        """Normalize the three accepted ``predict`` call shapes.
+
+        1. ``predict(request)`` / ``predict(request=...)`` — canonical.
+        2. ``predict(txn, now=...)`` — deprecated positional shape.
+        3. ``predict(uid, txn, now=...)`` — deprecated uid-first shape.
+        """
+        if "request" in kwargs:
+            if args or len(kwargs) > 1:
+                raise TypeError("predict(request=...) takes no other arguments")
+            return kwargs["request"]
+        if args and isinstance(args[0], PredictRequest):
+            if len(args) > 1 or kwargs:
+                raise TypeError("predict(request) takes no other arguments")
+            return args[0]
+        if args and isinstance(args[0], (int, np.integer)):
+            warnings.warn(
+                "Turbo.predict(uid, txn, ...) is deprecated; pass a "
+                "PredictRequest instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            uid = int(args[0])
+            txn = args[1] if len(args) > 1 else kwargs.pop("txn")
+            now = args[2] if len(args) > 2 else kwargs.pop("now", None)
+            if kwargs:
+                raise TypeError(f"unexpected predict() arguments: {sorted(kwargs)}")
+            return PredictRequest(txn=txn, uid=uid, now=now)
+        warnings.warn(
+            "Turbo.predict(txn, now=...) is deprecated; pass a PredictRequest "
+            "(or call Turbo.handle_request)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        txn = args[0] if args else kwargs.pop("txn")
+        now = args[1] if len(args) > 1 else kwargs.pop("now", None)
+        if kwargs:
+            raise TypeError(f"unexpected predict() arguments: {sorted(kwargs)}")
+        return PredictRequest(txn=txn, now=now)
+
+    def _serve(self, request: PredictRequest) -> TurboResponse:
+        """Serve one normalized request and close its trace."""
+        txn = request.txn
+        now = self.clock.now() if request.now is None else request.now
+        budget = self.request_budget if request.budget is None else request.budget
         breakdown = LatencyBreakdown()
+        root = self.tracer.start_trace(
+            "request", at=now, parent=request.trace, uid=request.uid, txn_id=txn.txn_id
+        )
+        ctx = RequestContext(
+            request=request,
+            now=now,
+            hops=self.hops,
+            fanout=self.fanout,
+            allowed=self.allowed_nodes,
+        )
         retries = 0
         degradation = "full"
         reason = ""
@@ -138,31 +271,12 @@ class Turbo:
 
         if self.breaker.allow():
             try:
-                subgraph, r = self._run_stage(
-                    breakdown,
-                    "sampling",
-                    lambda: self.bn_server.sample(
-                        txn.uid,
-                        now=now,
-                        hops=self.hops,
-                        fanout=self.fanout,
-                        allowed=self.allowed_nodes,
-                    ),
-                )
-                retries += r
-                features, r = self._run_stage(
-                    breakdown,
-                    "features",
-                    lambda: self.feature_server.features_for(subgraph.nodes, txn, now),
-                )
-                retries += r
-                probability, r = self._run_stage(
-                    breakdown,
-                    "prediction",
-                    lambda: self.prediction_server.predict(subgraph, features),
-                )
-                retries += r
-                subgraph_size = subgraph.num_nodes
+                for stage_name, slot in _PIPELINE_STAGES:
+                    retries += self._traced_stage(
+                        root, breakdown, stage_name, slot, ctx, budget
+                    )
+                probability = ctx.probability
+                subgraph_size = ctx.subgraph.num_nodes
                 blocked = probability >= self.threshold
                 self.breaker.record_success()
             except BudgetExceeded:
@@ -175,13 +289,27 @@ class Turbo:
                 reason = "graph_path_down"
         else:
             reason = "circuit_open"
+            root.add_event("breaker.open", at=now)
 
         if probability is None:
-            degradation, probability, blocked = self._degrade(txn, breakdown)
+            degradation, probability, blocked = self._degrade(
+                txn, breakdown, root=root, now=now
+            )
+
+        root.annotate("probability", probability)
+        root.annotate("blocked", blocked)
+        root.annotate("retries", retries)
+        root.annotate("degradation", degradation)
+        if degradation != "full":
+            # Satellite contract: every span of a degraded request carries
+            # the level and reason, so any subtree slice explains itself.
+            root.annotate_tree("degradation", degradation)
+            root.annotate_tree("degradation_reason", reason)
 
         self.clock.advance(breakdown.total)
+        self.tracer.finish_trace(root, breakdown.total)
         response = TurboResponse(
-            uid=txn.uid,
+            uid=request.uid,
             txn_id=txn.txn_id,
             probability=probability,
             blocked=blocked,
@@ -191,6 +319,7 @@ class Turbo:
             degradation=degradation,
             degradation_reason=reason,
             retries=retries,
+            span=root,
         )
         self.responses.append(response)
         self.monitor.record_request(
@@ -202,24 +331,72 @@ class Turbo:
         )
         return response
 
-    def handle_request(self, txn: Transaction, now: float | None = None) -> TurboResponse:
-        """Alias of :meth:`predict` (the historical entry-point name)."""
-        return self.predict(txn, now=now)
+    def _stage_service(self, stage_name: str) -> Service:
+        """The service that owns a pipeline stage's span name."""
+        return {
+            "bn_sample": self.bn_server,
+            "feature_fetch": self.feature_server,
+            "inference": self.prediction_server,
+        }[stage_name]
+
+    def _traced_stage(
+        self,
+        root: Span,
+        breakdown: LatencyBreakdown,
+        stage_name: str,
+        slot: str,
+        ctx: RequestContext,
+        budget: float | None,
+    ) -> int:
+        """Run one pipeline stage inside its own child span.
+
+        The span's duration is the breakdown slot's delta across the stage
+        (charged seconds including retry backoff), which keeps exported
+        span tables bit-for-bit equal to the breakdown-derived tables.  The
+        span stays *active* (``use_span``) for the stage so storage ops and
+        injected faults stamp themselves onto it.  Failed stages are closed
+        with whatever they charged and annotated with the error before the
+        exception propagates.
+        """
+        service = self._stage_service(stage_name)
+        span = root.child(stage_name, at=ctx.now + breakdown.total)
+        before = getattr(breakdown, slot)
+        try:
+            with use_span(span):
+                _value, stage_retries = self._run_stage(
+                    breakdown,
+                    slot,
+                    lambda: service.handle(ctx, span),
+                    budget=budget,
+                )
+        except (BudgetExceeded, StorageError) as exc:
+            span.annotate("error", type(exc).__name__)
+            span.finish(getattr(breakdown, slot) - before)
+            raise
+        if stage_retries:
+            span.annotate("retries", stage_retries)
+        span.finish(getattr(breakdown, slot) - before)
+        return stage_retries
 
     def _run_stage(
         self,
         breakdown: LatencyBreakdown,
         stage: str,
         call: Callable[[], tuple],
+        budget: float | None = None,
     ):
         """Run one pipeline stage under the retry policy and latency budget.
 
         Successful seconds and retry backoff are both charged to the
         stage's slot in ``breakdown``; each caught storage fault is counted
-        in the monitor.  Raises the final :class:`StorageError` once retries
-        are exhausted, or :class:`BudgetExceeded` when the accumulated
-        request latency (including a pending backoff) blows the budget.
+        in the monitor.  ``budget`` is the effective per-request budget
+        (``None`` falls back to the deployment default).  Raises the final
+        :class:`StorageError` once retries are exhausted, or
+        :class:`BudgetExceeded` when the accumulated request latency
+        (including a pending backoff) blows the budget.
         """
+        if budget is None:
+            budget = self.request_budget
         policy = self.retry_policy
         retries = 0
         attempt = 0
@@ -232,35 +409,52 @@ class Turbo:
                 if attempt >= policy.max_attempts:
                     raise
                 pause = policy.backoff(attempt, self._retry_rng)
-                if (
-                    self.request_budget is not None
-                    and breakdown.total + pause > self.request_budget
-                ):
+                if budget is not None and breakdown.total + pause > budget:
                     raise BudgetExceeded(
                         f"{stage} retry backoff would exceed the "
-                        f"{self.request_budget:.2f}s request budget"
+                        f"{budget:.2f}s request budget"
                     ) from exc
                 setattr(breakdown, stage, getattr(breakdown, stage) + pause)
                 retries += 1
                 continue
             setattr(breakdown, stage, getattr(breakdown, stage) + seconds)
-            if self.request_budget is not None and breakdown.total > self.request_budget:
+            if budget is not None and breakdown.total > budget:
                 raise BudgetExceeded(
                     f"request latency {breakdown.total:.2f}s exceeds the "
-                    f"{self.request_budget:.2f}s budget after {stage}"
+                    f"{budget:.2f}s budget after {stage}"
                 )
             return value, retries
 
     def _degrade(
-        self, txn: Transaction, breakdown: LatencyBreakdown
+        self,
+        txn: Transaction,
+        breakdown: LatencyBreakdown,
+        root: Span | None = None,
+        now: float = 0.0,
     ) -> tuple[str, float, bool]:
-        """Serve the request from the fallback ladder; returns (level, p, blocked)."""
-        breakdown.prediction += self.prediction_server.latency.charge_fallback()
+        """Serve the request from the fallback ladder; returns (level, p, blocked).
+
+        The fallback charge is captured before it is added to the
+        prediction slot so the ``fallback`` span's duration is exactly the
+        charged seconds (bit-for-bit table reproduction).
+        """
+        span = root.child("fallback", at=now + breakdown.total) if root is not None else None
+        charge = self.prediction_server.latency.charge_fallback()
+        breakdown.prediction += charge
         if self.fallbacks is None:
             # No fallback stack deployed: the conservative last resort.
-            return "reject", 1.0, True
-        decision = self.fallbacks.decide(txn)
-        return decision.level, decision.probability, decision.blocked
+            level, probability, blocked = "reject", 1.0, True
+        else:
+            decision = self.fallbacks.decide(txn)
+            level, probability, blocked = (
+                decision.level,
+                decision.probability,
+                decision.blocked,
+            )
+        if span is not None:
+            span.annotate("level", level)
+            span.finish(charge)
+        return level, probability, blocked
 
     # ------------------------------------------------------------------
     # Operations
@@ -285,22 +479,18 @@ class Turbo:
 
 def deploy_turbo(
     dataset: Dataset,
-    windows: Sequence[float] = FAST_WINDOWS,
-    use_cache: bool = True,
-    threshold: float = 0.85,
-    hidden: Sequence[int] = (64, 32),
-    train_epochs: int = 60,
-    seed: int = 0,
-    latency: LatencyModel | None = None,
+    config: TurboConfig | None = None,
+    *,
     data: ExperimentData | None = None,
-    replicated: bool = False,
-    faults: FaultInjector | None = None,
-    retry_policy: RetryPolicy | None = None,
-    breaker: CircuitBreaker | None = None,
-    request_budget: float | None = 15.0,
-    with_fallbacks: bool = True,
+    **legacy_kwargs: Any,
 ) -> tuple[Turbo, ExperimentData]:
     """Train HAG on ``dataset`` and stand up the full online system.
+
+    Canonical call: ``deploy_turbo(dataset, TurboConfig(...))``.  The
+    legacy keyword style (``deploy_turbo(dataset, threshold=..., ...)``)
+    still works — the keywords are collected into a
+    :class:`~repro.system.config.TurboConfig`; mixing both styles is an
+    error.
 
     Returns ``(turbo, experiment_data)`` — the experiment bundle is exposed
     so benchmarks can score the same split online and offline.  The deployed
@@ -310,20 +500,30 @@ def deploy_turbo(
     Resilience wiring: every deployment carries a
     :class:`~repro.system.faults.FaultInjector` (pass one in, or an empty
     no-op plan is created on the deployment clock), the retry policy and
-    circuit breaker around the graph path, and — unless ``with_fallbacks``
-    is off — a scorecard + block-list fallback stack fitted on the training
-    labels.  ``replicated=True`` puts the database behind a primary/replica
+    circuit breaker around the graph path, and — unless
+    ``config.with_fallbacks`` is off — a scorecard + block-list fallback
+    stack fitted on the training labels.  ``config.replicated=True`` puts
+    the database behind a primary/replica
     :class:`~repro.system.storage.ReplicatedStore` (Section V's disaster
     backup).
     """
+    if config is not None and legacy_kwargs:
+        raise TypeError(
+            "pass either a TurboConfig or legacy keyword arguments, not both"
+        )
+    if config is None:
+        config = TurboConfig(**legacy_kwargs)
+
     if data is None:
-        data = prepare_experiment(dataset, windows=windows, seed=seed, include_stats=True)
-    rng = np.random.default_rng(seed)
+        data = prepare_experiment(
+            dataset, windows=config.windows, seed=config.seed, include_stats=True
+        )
+    rng = np.random.default_rng(config.seed)
     model = HAG(
         data.features.shape[1],
         n_types=len(data.edge_types),
         rng=rng,
-        hidden=hidden,
+        hidden=config.hidden,
         att_dim=32,
         cfo_att_dim=32,
         cfo_out_dim=8,
@@ -338,19 +538,19 @@ def deploy_turbo(
         data.train_idx,
         data.val_idx,
         TrainConfig(
-            epochs=train_epochs,
+            epochs=config.train_epochs,
             lr=5e-3,
             patience=15,
             min_epochs=10,
-            seed=seed,
+            seed=config.seed,
             pos_weight=data.pos_weight(),
         ),
     )
 
-    latency = latency or LatencyModel(seed=seed)
+    latency = config.latency or LatencyModel(seed=config.seed)
     clock = SimulatedClock(start=dataset.end_time)
-    faults = faults or FaultInjector(seed=seed, clock=clock)
-    if replicated:
+    faults = config.faults or FaultInjector(seed=config.seed, clock=clock)
+    if config.replicated:
         database = ReplicatedStore(
             LocalDatabase(latency, faults=faults, component="database"),
             LocalDatabase(latency, faults=faults, component="db_replica"),
@@ -358,15 +558,15 @@ def deploy_turbo(
         )
     else:
         database = LocalDatabase(latency, faults=faults, component="database")
-    cache = InMemoryCache(latency, faults=faults) if use_cache else None
+    cache = InMemoryCache(latency, faults=faults) if config.use_cache else None
 
     scaler = StandardScaler().fit(data.features_raw[data.train_idx])
     manager = ModelManager(
         lambda: HAG(
             data.features.shape[1],
             n_types=len(data.edge_types),
-            rng=np.random.default_rng(seed),
-            hidden=hidden,
+            rng=np.random.default_rng(config.seed),
+            hidden=config.hidden,
             att_dim=32,
             cfo_att_dim=32,
             cfo_out_dim=8,
@@ -377,7 +577,7 @@ def deploy_turbo(
 
     from ..network.builder import BNBuilder  # local import avoids cycle at module load
 
-    builder = BNBuilder(windows=windows, edge_types=data.edge_types)
+    builder = BNBuilder(windows=config.windows, edge_types=data.edge_types)
     bn_server = BNServer(builder, latency, database=database, cache=cache, faults=faults)
     # Bootstrap the server with the offline-built BN (production would have
     # replayed the log history through the window jobs).
@@ -389,7 +589,7 @@ def deploy_turbo(
         manager.materialize_active(), scaler, data.edge_types, latency, faults=faults
     )
     fallbacks = None
-    if with_fallbacks:
+    if config.with_fallbacks:
         # The block-list only knows fraudsters labeled *before* deployment —
         # the train+val split, never the held-out test labels.
         known_fraud = {
@@ -407,13 +607,17 @@ def deploy_turbo(
         feature_server,
         prediction_server,
         clock,
-        threshold=threshold,
+        threshold=config.threshold,
         allowed_nodes=set(data.nodes),
+        hops=config.hops,
+        fanout=config.fanout,
         fallbacks=fallbacks,
-        retry_policy=retry_policy,
-        breaker=breaker,
-        request_budget=request_budget,
+        retry_policy=config.retry_policy,
+        breaker=config.breaker,
+        request_budget=config.request_budget,
         faults=faults,
-        seed=seed,
+        seed=config.seed,
+        model_manager=manager,
+        tracer=Tracer(max_traces=config.trace_max),
     )
     return turbo, data

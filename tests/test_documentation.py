@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.system",
     "repro.eval",
+    "repro.obs",
 ]
 
 

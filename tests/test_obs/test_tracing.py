@@ -1,0 +1,169 @@
+"""Span/Tracer unit tests: lifecycle, deterministic ids, active-span stack."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.obs import (
+    Span,
+    TraceContext,
+    Tracer,
+    assert_all_traced,
+    current_span,
+    render_span_tree,
+    use_span,
+)
+
+pytestmark = pytest.mark.obs
+
+
+class TestSpanLifecycle:
+    def test_finish_sets_duration_and_end(self):
+        span = Span(name="s", trace_id="t1", span_id="t1.0", parent_id=None, start=10.0)
+        assert not span.closed
+        span.finish(2.5)
+        assert span.closed
+        assert span.duration == 2.5
+        assert span.end == 12.5
+
+    def test_double_finish_raises(self):
+        span = Span(name="s", trace_id="t1", span_id="t1.0", parent_id=None, start=0.0)
+        span.finish(1.0)
+        with pytest.raises(RuntimeError):
+            span.finish(1.0)
+
+    def test_negative_duration_rejected(self):
+        span = Span(name="s", trace_id="t1", span_id="t1.0", parent_id=None, start=0.0)
+        with pytest.raises(ValueError):
+            span.finish(-0.1)
+
+    def test_child_ids_are_deterministic(self):
+        root = Span(name="r", trace_id="t1", span_id="t1.0", parent_id=None, start=0.0)
+        a = root.child("a", at=0.0)
+        b = root.child("b", at=1.0)
+        assert a.span_id == "t1.0.1"
+        assert b.span_id == "t1.0.2"
+        assert a.parent_id == root.span_id
+        assert a.trace_id == root.trace_id
+
+    def test_annotate_incr_and_events(self):
+        span = Span(name="s", trace_id="t1", span_id="t1.0", parent_id=None, start=0.0)
+        span.annotate("k", "v").incr("ops").incr("ops", 2)
+        span.add_event("fault.crash", at=5.0, component="cache")
+        assert span.attributes["k"] == "v"
+        assert span.attributes["ops"] == 3
+        assert span.events == [{"name": "fault.crash", "at": 5.0, "component": "cache"}]
+
+    def test_iter_depth_first_and_find(self):
+        root = Span(name="r", trace_id="t1", span_id="t1.0", parent_id=None, start=0.0)
+        a = root.child("a", at=0.0)
+        a.child("leaf", at=0.0)
+        root.child("b", at=1.0)
+        names = [s.name for s in root.iter()]
+        assert names == ["r", "a", "leaf", "b"]
+        assert root.find("leaf") is not None
+        assert root.find("missing") is None
+
+    def test_annotate_tree_reaches_every_descendant(self):
+        root = Span(name="r", trace_id="t1", span_id="t1.0", parent_id=None, start=0.0)
+        root.child("a", at=0.0).child("leaf", at=0.0)
+        root.annotate_tree("degradation_reason", "over_budget")
+        assert all(
+            s.attributes["degradation_reason"] == "over_budget" for s in root.iter()
+        )
+
+    def test_context_propagation(self):
+        span = Span(name="s", trace_id="t9", span_id="t9.0", parent_id=None, start=0.0)
+        ctx = span.context()
+        assert ctx == TraceContext(trace_id="t9", span_id="t9.0")
+
+
+class TestTracer:
+    def test_fresh_trace_ids_are_sequential(self):
+        tracer = Tracer()
+        r1 = tracer.start_trace("request", at=0.0)
+        r2 = tracer.start_trace("request", at=1.0)
+        assert r1.trace_id == "t00000001"
+        assert r2.trace_id == "t00000002"
+        assert r1.span_id == "t00000001.0"
+        assert r1.parent_id is None
+
+    def test_parent_context_joins_trace(self):
+        tracer = Tracer()
+        upstream = tracer.start_trace("request", at=0.0)
+        joined = tracer.start_trace("request", at=1.0, parent=upstream.context())
+        assert joined.trace_id == upstream.trace_id
+        assert joined.parent_id == upstream.span_id
+
+    def test_finish_trace_retains_and_counts(self):
+        tracer = Tracer()
+        root = tracer.start_trace("request", at=0.0)
+        assert tracer.open_traces() == 1
+        tracer.finish_trace(root, 0.5)
+        assert tracer.open_traces() == 0
+        assert tracer.traces == [root]
+
+    def test_max_traces_evicts_oldest(self):
+        tracer = Tracer(max_traces=2)
+        roots = [tracer.start_trace("request", at=float(i)) for i in range(3)]
+        for root in roots:
+            tracer.finish_trace(root, 0.1)
+        assert tracer.traces == roots[1:]
+
+    def test_max_traces_validation(self):
+        with pytest.raises(ValueError):
+            Tracer(max_traces=0)
+
+    def test_start_trace_attributes(self):
+        root = Tracer().start_trace("request", at=0.0, uid=7, txn_id=3)
+        assert root.attributes == {"uid": 7, "txn_id": 3}
+
+
+class TestActiveSpanStack:
+    def test_no_active_span_by_default(self):
+        assert current_span() is None
+
+    def test_use_span_nesting(self):
+        outer = Span(name="o", trace_id="t1", span_id="t1.0", parent_id=None, start=0.0)
+        inner = outer.child("i", at=0.0)
+        with use_span(outer):
+            assert current_span() is outer
+            with use_span(inner):
+                assert current_span() is inner
+            assert current_span() is outer
+        assert current_span() is None
+
+    def test_use_span_pops_on_exception(self):
+        span = Span(name="s", trace_id="t1", span_id="t1.0", parent_id=None, start=0.0)
+        with pytest.raises(RuntimeError):
+            with use_span(span):
+                raise RuntimeError("boom")
+        assert current_span() is None
+
+
+class TestRenderAndInvariants:
+    def test_render_span_tree_shows_names_and_durations(self):
+        root = Span(name="request", trace_id="t1", span_id="t1.0", parent_id=None, start=0.0)
+        child = root.child("bn_sample", at=0.0)
+        child.finish(0.087)
+        root.finish(0.1)
+        text = render_span_tree(root)
+        assert "request" in text
+        assert "bn_sample" in text
+        assert "87.00 ms" in text
+
+    def test_assert_all_traced_accepts_closed_roots(self):
+        root = Span(name="r", trace_id="t1", span_id="t1.0", parent_id=None, start=0.0)
+        root.finish(0.1)
+        assert_all_traced([SimpleNamespace(txn_id=1, span=root)])
+
+    def test_assert_all_traced_rejects_missing_span(self):
+        with pytest.raises(AssertionError, match="closed root span"):
+            assert_all_traced([SimpleNamespace(txn_id=1, span=None)])
+
+    def test_assert_all_traced_rejects_open_span(self):
+        root = Span(name="r", trace_id="t1", span_id="t1.0", parent_id=None, start=0.0)
+        with pytest.raises(AssertionError):
+            assert_all_traced([SimpleNamespace(txn_id=2, span=root)])

@@ -45,7 +45,7 @@ def turbo(deployed):
 
 
 def full_path_probability(turbo, txn) -> float:
-    response = turbo.predict(txn, now=txn.audit_at)
+    response = turbo.handle_request(txn, now=txn.audit_at)
     assert response.degradation == "full", response.degradation_reason
     return response.probability
 
@@ -68,7 +68,7 @@ class TestComponentOutages:
         turbo.faults.add_transient(component, rate=1.0)
         turbo.bn_server.cache.clear()
 
-        degraded = turbo.predict(txn, now=txn.audit_at)
+        degraded = turbo.handle_request(txn, now=txn.audit_at)
         assert degraded.degradation == "scorecard"
         assert degraded.degradation_reason == "graph_path_down"
         assert degraded.subgraph_size == 0
@@ -90,11 +90,11 @@ class TestComponentOutages:
         turbo.bn_server.database.crash()
         turbo.bn_server.cache.clear()
         for txn in data.dataset.transactions[5:10]:
-            response = turbo.predict(txn, now=txn.audit_at)
+            response = turbo.handle_request(txn, now=txn.audit_at)
             assert response.degradation in ("scorecard", "blocklist", "reject")
         turbo.recover()
         txn = data.dataset.transactions[5]
-        assert turbo.predict(txn, now=txn.audit_at).degradation == "full"
+        assert turbo.handle_request(txn, now=txn.audit_at).degradation == "full"
 
     def test_cache_crash_window_routes_to_database(self, deployed, turbo):
         """An injected cache *crash window* is visible via ``available`` —
@@ -105,7 +105,7 @@ class TestComponentOutages:
         turbo.faults.add_crash("cache", now, now + 1e9)
         assert not turbo.bn_server.cache.available
         txn = data.dataset.transactions[4]
-        response = turbo.predict(txn, now=txn.audit_at)
+        response = turbo.handle_request(txn, now=txn.audit_at)
         assert response.degradation == "full"
         assert response.retries == 0
 
@@ -117,7 +117,7 @@ class TestRetriesAndBudget:
         turbo.faults.add_transient("bn_server", rate=0.5)
         served_full_with_retries = 0
         for txn in data.dataset.transactions[10:20]:
-            response = turbo.predict(txn, now=txn.audit_at)
+            response = turbo.handle_request(txn, now=txn.audit_at)
             if response.degradation == "full" and response.retries > 0:
                 served_full_with_retries += 1
         assert served_full_with_retries > 0
@@ -126,14 +126,14 @@ class TestRetriesAndBudget:
     def test_retry_backoff_charged_to_breakdown(self, deployed, turbo):
         _, data = deployed
         txn = data.dataset.transactions[6]
-        clean = turbo.predict(txn, now=txn.audit_at)
+        clean = turbo.handle_request(txn, now=txn.audit_at)
         # Force exactly one failure, then let the retry succeed: done by a
         # rate that the seeded rng turns into at least one retry over a few
         # requests; assert the retried request is slower in the failed stage.
         turbo.faults.add_transient("feature_server", rate=0.4)
         retried = None
         for candidate in data.dataset.transactions[20:40]:
-            response = turbo.predict(candidate, now=candidate.audit_at)
+            response = turbo.handle_request(candidate, now=candidate.audit_at)
             if response.degradation == "full" and response.retries > 0:
                 retried = response
                 break
@@ -150,7 +150,7 @@ class TestRetriesAndBudget:
         turbo.faults.add_latency("bn_server", extra=30.0)
         txn = data.dataset.transactions[7]
         user = data.dataset.user_by_id()[txn.uid]
-        response = turbo.predict(txn, now=txn.audit_at)
+        response = turbo.handle_request(txn, now=txn.audit_at)
         assert response.degradation == "scorecard"
         assert response.degradation_reason == "over_budget"
         assert response.breakdown.sampling >= 30.0  # spike charged, not dropped
@@ -162,7 +162,7 @@ class TestCircuitBreaker:
         _, data = deployed
         turbo.faults.add_transient("bn_server", rate=1.0)
         transactions = data.dataset.transactions[40:52]
-        responses = [turbo.predict(t, now=t.audit_at) for t in transactions]
+        responses = [turbo.handle_request(t, now=t.audit_at) for t in transactions]
         assert all(r.degradation == "scorecard" for r in responses)
         reasons = [r.degradation_reason for r in responses]
         threshold = turbo.breaker.failure_threshold
@@ -175,14 +175,14 @@ class TestCircuitBreaker:
         turbo.faults.add_transient("bn_server", rate=1.0)
         transactions = data.dataset.transactions[52:56]
         for txn in transactions:
-            turbo.predict(txn, now=txn.audit_at)
+            turbo.handle_request(txn, now=txn.audit_at)
         assert turbo.breaker.state == "open"
         turbo.faults.clear_plans("bn_server")
         # Keep serving: a half-open probe eventually closes the breaker
         # without any operator action.
         txn = data.dataset.transactions[56]
         for _ in range(turbo.breaker.probe_interval + 1):
-            response = turbo.predict(txn, now=txn.audit_at)
+            response = turbo.handle_request(txn, now=txn.audit_at)
         assert turbo.breaker.state == "closed"
         assert response.degradation == "full"
 
@@ -243,7 +243,7 @@ class TestChaosRegression:
 
         # Phase 1 — healthy traffic, also pins the fault-free probabilities.
         baseline = {
-            t.txn_id: turbo.predict(t, now=t.audit_at).probability for t in pre
+            t.txn_id: turbo.handle_request(t, now=t.audit_at).probability for t in pre
         }
 
         # Phase 2 — primary DB crash window + the cache invalidation storm
@@ -251,12 +251,12 @@ class TestChaosRegression:
         onset = turbo.faults.now()
         turbo.faults.add_crash("database", onset, onset + 1e9)
         turbo.bn_server.cache.clear()
-        chaos_responses = [turbo.predict(t, now=t.audit_at) for t in chaos]
+        chaos_responses = [turbo.handle_request(t, now=t.audit_at) for t in chaos]
 
         # Phase 3 — outage ends; operator recovers the system.
         turbo.faults.clear_plans("database")
         turbo.recover()
-        post_responses = [turbo.predict(t, now=t.audit_at) for t in post]
+        post_responses = [turbo.handle_request(t, now=t.audit_at) for t in post]
 
         # Never raises, and the outage visibly degraded traffic.
         assert monitor.degraded_requests > degraded_before
@@ -278,7 +278,7 @@ class TestChaosRegression:
         # the fault-free run on the same seed/model.
         assert all(r.degradation == "full" for r in post_responses)
         recovered = {
-            t.txn_id: turbo.predict(t, now=t.audit_at).probability for t in pre
+            t.txn_id: turbo.handle_request(t, now=t.audit_at).probability for t in pre
         }
         assert recovered == baseline
 
@@ -287,7 +287,7 @@ class TestChaosRegression:
         monitor = turbo.monitor
         monitor.set_slo(2000.0, degraded_target_ms=1000.0, error_budget=0.05)
         txn = data.dataset.transactions[8]
-        turbo.predict(txn, now=txn.audit_at)
+        turbo.handle_request(txn, now=txn.audit_at)
         text = monitor.report()
         assert "slo target=2000ms" in text
         assert "error_budget_remaining" in text
