@@ -19,8 +19,11 @@ regenerated tables always appear in ``pytest benchmarks/`` output.
 from __future__ import annotations
 
 import functools
+import json
 import os
 import sys
+from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -42,6 +45,75 @@ def emit(text: str = "") -> None:
     """Print to the real stdout, bypassing pytest capture."""
     sys.__stdout__.write(text + "\n")
     sys.__stdout__.flush()
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One acceptance ratio a perf benchmark must clear (``value >= minimum``)."""
+
+    name: str
+    value: float
+    minimum: float
+
+    @property
+    def passed(self) -> bool:
+        return self.value >= self.minimum
+
+
+def load_previous_result(result_path: str | os.PathLike) -> dict | None:
+    """Load the previously committed ``BENCH_*.json`` (None if absent/bad)."""
+    path = Path(result_path)
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def check_gates(
+    gates: list[Gate], result: dict, result_path: str | os.PathLike
+) -> bool:
+    """Evaluate acceptance gates, attach them to ``result``, write the JSON.
+
+    The uniform regression contract for every gated perf benchmark
+    (``bench_perf_hotpaths``, ``bench_bn_ingest``):
+
+    * the previously committed ``result_path`` (if any) is loaded so each
+      gated ratio prints its delta against the last run;
+    * one line is emitted per gate plus a PASS/FAIL summary line;
+    * ``result`` gains a ``gates`` section (per-gate value/minimum/passed)
+      and a top-level ``gates_met`` flag, then is written to
+      ``result_path``;
+    * returns True iff every gate cleared — callers ``sys.exit(1)`` /
+      fail the test on False, so regressions exit nonzero everywhere.
+    """
+    previous = load_previous_result(result_path) or {}
+    rows: dict[str, dict] = {}
+    ok = True
+    for gate in gates:
+        prev = previous.get("gates", {}).get(gate.name, {}).get("value")
+        delta = (
+            f"  (prev {prev:.2f}x)" if isinstance(prev, (int, float)) else ""
+        )
+        status = "ok  " if gate.passed else "FAIL"
+        emit(
+            f"gate {status} {gate.name}: {gate.value:.2f}x"
+            f" >= {gate.minimum:.2f}x{delta}"
+        )
+        rows[gate.name] = {
+            "value": gate.value,
+            "minimum": gate.minimum,
+            "passed": gate.passed,
+        }
+        ok = ok and gate.passed
+    result["gates"] = rows
+    result["gates_met"] = ok
+    Path(result_path).write_text(json.dumps(result, indent=2) + "\n")
+    emit(f"wrote {result_path}")
+    met = sum(1 for row in rows.values() if row["passed"])
+    emit(f"gates {'PASS' if ok else 'FAIL'}: {met}/{len(rows)} met")
+    return ok
 
 
 def emit_header(title: str) -> None:

@@ -9,18 +9,25 @@ the timestamp of its last contribution (for TTL expiry, Section V: max TTL of
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
 import networkx as nx
+import numpy as np
 
 from ..datagen.behavior_types import BehaviorType
 from ..datagen.entities import DAY
+from .segments import INT64_SAFE_SPAN, segment_fold_max, segment_fold_sum
 from .snapshot import BNSnapshot, build_snapshot
 
 __all__ = ["EdgeRecord", "BehaviorNetwork", "DEFAULT_EDGE_TTL"]
 
 #: Section V: "a max TTL is set to 60 days for each edge".
 DEFAULT_EDGE_TTL: float = 60.0 * DAY
+
+#: TTL sweeps index edges into ``ttl / _EXPIRY_BUCKETS``-wide time buckets,
+#: so a sweep inspects only the buckets at or past the cutoff instead of
+#: scanning the whole graph.
+_EXPIRY_BUCKETS: int = 16
 
 
 @dataclass(slots=True)
@@ -51,6 +58,13 @@ class BehaviorNetwork:
         self._adjacency: dict[int, set[int]] = {}
         self._version = 0
         self._snapshot: BNSnapshot | None = None
+        self._num_edges = 0
+        # Expiry index: bucket id -> typed-edge keys whose ``last_update``
+        # fell in that bucket when last touched.  Entries are lazy — a
+        # refreshed edge is re-registered under its new bucket and the old
+        # entry is discarded the next time its bucket is swept.
+        self._expiry_width = ttl / _EXPIRY_BUCKETS
+        self._expiry_buckets: dict[int, set[tuple[int, int, BehaviorType]]] = {}
 
     # ------------------------------------------------------------------
     # Mutation
@@ -58,19 +72,235 @@ class BehaviorNetwork:
     def add_weight(
         self, u: int, v: int, btype: BehaviorType, weight: float, timestamp: float
     ) -> None:
-        """Accumulate ``weight`` onto the typed edge ``(u, v, btype)``."""
+        """Accumulate ``weight`` onto the typed edge ``(u, v, btype)``.
+
+        Thin scalar wrapper over the same record-update core as
+        :meth:`add_weights`; every call bumps the snapshot version (batch
+        callers should use :meth:`add_weights`, which bumps once).
+        """
         if u == v:
             raise ValueError("self-loops are not part of BN")
         if weight <= 0:
             raise ValueError("edge weight contributions must be positive")
         key = _key(u, v)
         records = self._edges.setdefault(key, {})
-        record = records.setdefault(btype, EdgeRecord())
+        record = records.get(btype)
+        if record is None:
+            record = EdgeRecord()
+            records[btype] = record
+            self._num_edges += 1
         record.weight += weight
         record.last_update = max(record.last_update, timestamp)
         self._adjacency.setdefault(u, set()).add(v)
         self._adjacency.setdefault(v, set()).add(u)
+        self._register_expiry(key, btype, record.last_update)
         self._version += 1
+
+    def add_weights(
+        self,
+        u: Sequence[int] | np.ndarray,
+        v: Sequence[int] | np.ndarray,
+        btypes: BehaviorType | Sequence[BehaviorType] | np.ndarray,
+        weights: Sequence[float] | np.ndarray,
+        timestamps: Sequence[float] | np.ndarray,
+        btype_table: Sequence[BehaviorType] | None = None,
+    ) -> int:
+        """Apply a batch of weight contributions with **one** version bump.
+
+        Columnar counterpart of :meth:`add_weight`: contribution ``i``
+        accumulates ``weights[i]`` onto the typed edge
+        ``(u[i], v[i], btypes[i])`` (``btypes`` may be a single type applied
+        to every row).  Duplicate typed edges in the batch are allowed; the
+        result is bit-for-bit identical to calling :meth:`add_weight` once
+        per row in array order — contributions are stably grouped per typed
+        edge and summed with a sequential left-to-right fold seeded by the
+        record's existing weight, so even last-ulp rounding matches the
+        scalar path.  Unlike the scalar path, validation is all-or-nothing:
+        a bad row raises before anything is applied.  Returns the number of
+        contributions applied.
+
+        Callers that already hold integer type codes (the window-job hot
+        path) can pass ``btypes`` as an int array plus ``btype_table``
+        mapping code → type, skipping the per-row Python encode; a window
+        job can likewise pass ``timestamps`` as a single scalar (every
+        contribution shares the epoch end), which skips the per-row
+        timestamp reduction and registers all touched edges under one
+        expiry bucket in bulk.
+        """
+        u_arr = np.asarray(u, dtype=np.int64)
+        v_arr = np.asarray(v, dtype=np.int64)
+        w_arr = np.asarray(weights, dtype=np.float64)
+        scalar_ts = np.ndim(timestamps) == 0
+        ts_scalar = float(timestamps) if scalar_ts else 0.0
+        ts_arr = None if scalar_ts else np.asarray(timestamps, dtype=np.float64)
+        n = len(u_arr)
+        if not len(v_arr) == len(w_arr) == n:
+            raise ValueError("add_weights columns must share one length")
+        if ts_arr is not None and len(ts_arr) != n:
+            raise ValueError("add_weights columns must share one length")
+        single_type = isinstance(btypes, BehaviorType)
+        precoded = btype_table is not None and not single_type
+        if precoded:
+            code_arr = np.asarray(btypes, dtype=np.int64)
+            if len(code_arr) != n:
+                raise ValueError("add_weights columns must share one length")
+            if len(code_arr) and (
+                int(code_arr.min()) < 0 or int(code_arr.max()) >= len(btype_table)
+            ):
+                raise ValueError("add_weights type codes out of btype_table range")
+        elif not single_type:
+            type_list = list(btypes)
+            if len(type_list) != n:
+                raise ValueError("add_weights columns must share one length")
+        if n == 0:
+            return 0
+        if np.any(w_arr <= 0):
+            raise ValueError("edge weight contributions must be positive")
+        if bool(np.all(u_arr < v_arr)):
+            # Canonical input (the pair enumerator emits u < v): no
+            # self-loops possible and no per-row min/max needed.
+            lo, hi = u_arr, v_arr
+        else:
+            if np.any(u_arr == v_arr):
+                raise ValueError("self-loops are not part of BN")
+            lo = np.minimum(u_arr, v_arr)
+            hi = np.maximum(u_arr, v_arr)
+        # Stable sort groups each typed edge's contributions contiguously
+        # while preserving their array order within the group.
+        boundary = np.empty(n, dtype=bool)
+        boundary[0] = True
+        if single_type:
+            order = np.lexsort((hi, lo))
+            lo_s, hi_s = lo[order], hi[order]
+            boundary[1:] = (lo_s[1:] != lo_s[:-1]) | (hi_s[1:] != hi_s[:-1])
+        else:
+            if precoded:
+                decode = list(btype_table)
+                codes = code_arr
+            else:
+                type_ids: dict[BehaviorType, int] = {}
+                codes = np.fromiter(
+                    (type_ids.setdefault(t, len(type_ids)) for t in type_list),
+                    dtype=np.int64,
+                    count=n,
+                )
+                decode = list(type_ids)
+            # One packed int64 key sorts in a single stable (radix) pass
+            # instead of three lexsort passes; fall back to lexsort when the
+            # value spans could overflow the packing.
+            lo0, hi0 = int(lo.min()), int(hi.min())
+            span_hi = int(hi.max()) - hi0 + 1
+            span_code = int(codes.max()) + 1
+            span_lo = int(lo.max()) - lo0 + 1
+            if span_lo * span_hi * span_code < INT64_SAFE_SPAN:
+                packed = ((lo - lo0) * span_hi + (hi - hi0)) * span_code + codes
+                order = np.argsort(packed, kind="stable")
+                lo_s, hi_s, code_s = lo[order], hi[order], codes[order]
+                packed_s = packed[order]
+                boundary[1:] = packed_s[1:] != packed_s[:-1]
+            else:
+                order = np.lexsort((codes, hi, lo))
+                lo_s, hi_s, code_s = lo[order], hi[order], codes[order]
+                boundary[1:] = (
+                    (lo_s[1:] != lo_s[:-1])
+                    | (hi_s[1:] != hi_s[:-1])
+                    | (code_s[1:] != code_s[:-1])
+                )
+        w_s = w_arr[order]
+        starts = np.flatnonzero(boundary)
+        lengths = np.diff(np.append(starts, n))
+
+        key_lo = lo_s[starts].tolist()
+        key_hi = hi_s[starts].tolist()
+        if single_type:
+            key_types: list[BehaviorType] = [btypes] * len(starts)
+        else:
+            key_types = [decode[c] for c in code_s[starts].tolist()]
+
+        # Reduce every segment as if its record started at weight 0.0 — exact
+        # for created records (``0.0 + x == x``); records that already exist
+        # are re-folded below seeded with their current weight, which is the
+        # scalar path's accumulation order bit-for-bit.
+        totals = segment_fold_sum(w_s, starts, lengths).tolist()
+        if scalar_ts:
+            # Every contribution shares one stamp: the per-segment max is
+            # that stamp, and every registration lands in one bucket.
+            latest = None
+            bucket_ids = None
+        else:
+            latest_arr = segment_fold_max(ts_arr[order], starts, lengths)
+            latest = latest_arr.tolist()
+            bucket_ids = (latest_arr // self._expiry_width).astype(np.int64).tolist()
+
+        edges = self._edges
+        adjacency = self._adjacency
+        created = 0
+        warm_pos: list[int] = []
+        warm_records: list[EdgeRecord] = []
+        reg_keys: list[tuple[int, int, BehaviorType]] = []
+        reg_buckets: list[int] | None = None if scalar_ts else []
+        for k, (a, b, btype) in enumerate(zip(key_lo, key_hi, key_types)):
+            records = edges.get((a, b))
+            if records is None:
+                records = {}
+                edges[(a, b)] = records
+                neighbours = adjacency.get(a)
+                if neighbours is None:
+                    adjacency[a] = {b}
+                else:
+                    neighbours.add(b)
+                neighbours = adjacency.get(b)
+                if neighbours is None:
+                    adjacency[b] = {a}
+                else:
+                    neighbours.add(a)
+            record = records.get(btype)
+            stamp = ts_scalar if latest is None else latest[k]
+            if record is None:
+                records[btype] = EdgeRecord(totals[k], stamp if stamp > 0.0 else 0.0)
+                created += 1
+            else:
+                warm_pos.append(k)
+                warm_records.append(record)
+                if stamp <= record.last_update:
+                    # Recency unchanged: the record is already indexed under
+                    # its current bucket, so skip re-registration.
+                    continue
+                record.last_update = stamp
+            reg_keys.append((a, b, btype))
+            if reg_buckets is not None:
+                reg_buckets.append(bucket_ids[k] if stamp > 0.0 else 0)
+        if reg_keys:
+            expiry = self._expiry_buckets
+            if reg_buckets is None:
+                bucket_id = (
+                    int(ts_scalar // self._expiry_width) if ts_scalar > 0.0 else 0
+                )
+                entries = expiry.get(bucket_id)
+                if entries is None:
+                    entries = set()
+                    expiry[bucket_id] = entries
+                entries.update(reg_keys)
+            else:
+                for bucket_id, key3 in zip(reg_buckets, reg_keys):
+                    entries = expiry.get(bucket_id)
+                    if entries is None:
+                        entries = set()
+                        expiry[bucket_id] = entries
+                    entries.add(key3)
+        if warm_pos:
+            pos = np.asarray(warm_pos, dtype=np.int64)
+            seeds = np.fromiter(
+                (record.weight for record in warm_records),
+                dtype=np.float64,
+                count=len(pos),
+            )
+            refolded = segment_fold_sum(w_s, starts[pos], lengths[pos], seed=seeds)
+            for record, weight in zip(warm_records, refolded.tolist()):
+                record.weight = weight
+        self._num_edges += created
+        self._version += 1
+        return n
 
     def add_node(self, uid: int) -> None:
         """Register a node even if it has no edges yet."""
@@ -78,11 +308,71 @@ class BehaviorNetwork:
             self._adjacency[uid] = set()
             self._version += 1
 
+    def _register_expiry(
+        self, key: tuple[int, int], btype: BehaviorType, last_update: float
+    ) -> None:
+        """Index a typed edge under its ``last_update`` time bucket."""
+        bucket_id = int(last_update // self._expiry_width)
+        entries = self._expiry_buckets.get(bucket_id)
+        if entries is None:
+            entries = set()
+            self._expiry_buckets[bucket_id] = entries
+        entries.add((key[0], key[1], btype))
+
     def expire_edges(self, now: float) -> int:
         """Drop typed edges older than the TTL; returns how many were removed.
 
         Mirrors the BN server's periodic cleanup that prevents the monotonous
-        increase of the graph (Section V).
+        increase of the graph (Section V).  A sweep only visits the expiry
+        index buckets whose time range lies at or before the cutoff, so its
+        cost scales with the edges that *could* expire, not with the whole
+        graph; :meth:`_expire_edges_scan` keeps the original full scan as
+        the pinned parity reference.
+        """
+        cutoff = now - self.ttl
+        width = self._expiry_width
+        limit = int(cutoff // width)
+        removed = 0
+        edges = self._edges
+        adjacency = self._adjacency
+        due = [bucket_id for bucket_id in self._expiry_buckets if bucket_id <= limit]
+        for bucket_id in due:
+            entries = self._expiry_buckets.pop(bucket_id)
+            # The cutoff falls inside the boundary bucket, so fresh entries
+            # that still live there must be kept; in every earlier bucket a
+            # fresh record is guaranteed to be re-registered under a newer
+            # bucket, so its stale entry can simply be dropped.
+            survivors: set[tuple[int, int, BehaviorType]] | None = (
+                set() if bucket_id == limit else None
+            )
+            for key in entries:
+                a, b, btype = key
+                records = edges.get((a, b))
+                record = records.get(btype) if records is not None else None
+                if record is None:
+                    continue  # already removed; lazily dropped index entry
+                if record.last_update < cutoff:
+                    del records[btype]
+                    removed += 1
+                    if not records:
+                        del edges[(a, b)]
+                        adjacency[a].discard(b)
+                        adjacency[b].discard(a)
+                elif survivors is not None and int(record.last_update // width) == bucket_id:
+                    survivors.add(key)
+            if survivors:
+                self._expiry_buckets[bucket_id] = survivors
+        self._num_edges -= removed
+        if removed:
+            self._version += 1
+        return removed
+
+    def _expire_edges_scan(self, now: float) -> int:
+        """Pinned reference expiry: full scan over every typed edge.
+
+        Kept for the indexed-expiry parity tests and the ingest benchmark's
+        TTL-sweep comparison; behavior (removals, counters, version bump)
+        matches :meth:`expire_edges` exactly.
         """
         cutoff = now - self.ttl
         removed = 0
@@ -98,6 +388,7 @@ class BehaviorNetwork:
             del self._edges[(u, v)]
             self._adjacency[u].discard(v)
             self._adjacency[v].discard(u)
+        self._num_edges -= removed
         if removed:
             self._version += 1
         return removed
@@ -117,7 +408,17 @@ class BehaviorNetwork:
         return len(self._adjacency)
 
     def num_edges(self) -> int:
-        """Number of typed edges (``(u, v, r)`` triples), as in Table II."""
+        """Number of typed edges (``(u, v, r)`` triples), as in Table II.
+
+        O(1): maintained as a running counter by :meth:`add_weight` /
+        :meth:`add_weights` / :meth:`expire_edges`;
+        :meth:`num_edges_scan` recomputes it from storage for the contract
+        test.
+        """
+        return self._num_edges
+
+    def num_edges_scan(self) -> int:
+        """Recount typed edges by scanning storage (counter contract check)."""
         return sum(len(records) for records in self._edges.values())
 
     def num_pairs(self) -> int:
@@ -196,8 +497,10 @@ class BehaviorNetwork:
         The snapshot is memoized against :attr:`version` — repeated calls
         between mutations return the same object, and any ``add_weight`` /
         ``add_node`` / effective ``expire_edges`` invalidates the cache so
-        the next call rebuilds.  See ``docs/PERFORMANCE.md`` for the
-        contract and :mod:`repro.network.snapshot` for the layout.
+        the next call rebuilds.  A whole ``add_weights`` batch bumps the
+        version once, so one window job costs at most one rebuild.  See
+        ``docs/PERFORMANCE.md`` for the contract and
+        :mod:`repro.network.snapshot` for the layout.
         """
         cached = self._snapshot
         if cached is not None and cached.version == self._version:

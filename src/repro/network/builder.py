@@ -3,12 +3,25 @@
 Two entry points:
 
 * :meth:`BNBuilder.build` — batch construction over a full log history,
-  vectorized with numpy (group logs by ``(type, value, epoch)`` per window,
-  add ``1/N`` to every user pair in each group).
+  fully vectorized with numpy: group logs by ``(type, value, epoch)`` per
+  window, enumerate every user pair of every eligible group with
+  repeat/cumsum index arithmetic, reduce the contribution stream over
+  ``(u, v)`` keys, then apply one columnar
+  :meth:`~repro.network.bn.BehaviorNetwork.add_weights` batch per behavior
+  type (a single snapshot-version bump each).
 * :meth:`BNBuilder.run_window_job` — one periodic job of the online BN
   server (Section V): process the logs of a single just-closed epoch of one
   window.  Running every window's jobs over a time range is equivalent to the
   batch build over the same logs, which a test verifies.
+
+Every vectorized write path keeps a pinned ``*_reference`` twin — the
+original per-pair Python loops (:meth:`BNBuilder.build_reference`,
+:meth:`BNBuilder.run_window_job_reference`,
+:meth:`BNBuilder.replay_reference`) — and the test tree asserts
+**bit-exact** parity: identical edge sets, weights, and timestamps, down to
+the last ulp.  The sequential segment folds that reproduce the loops'
+IEEE-754 accumulation order live in :mod:`repro.network.segments`, as does
+the overflow-guarded composite keying shared by both paths.
 
 Engineering bound: groups larger than ``max_clique_size`` distinct users are
 skipped.  Their pairwise weight would be at most ``1/max_clique_size`` —
@@ -26,9 +39,34 @@ import numpy as np
 from ..datagen.behavior_types import EDGE_TYPES, BehaviorType
 from ..datagen.entities import BehaviorLog
 from .bn import DEFAULT_EDGE_TTL, BehaviorNetwork
+from .segments import segment_arange, segment_fold_max, segment_fold_sum, sorted_unique_pairs, sorted_unique_triples
 from .windows import PAPER_WINDOWS, validate_windows
 
 __all__ = ["BNBuilder"]
+
+
+def _pair_indices(
+    counts: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All ``i < j`` position pairs for concatenated groups of given sizes.
+
+    Returns ``(first, second, group)``: positions into the concatenated
+    member pool plus each pair's group index, in the same order the
+    reference's nested ``for i / for j`` loops visit them (group-major,
+    then ``i`` ascending, then ``j``).  Each member at local offset ``i``
+    of a ``c``-sized group leads ``c - 1 - i`` pairs, so the enumeration is
+    two repeat/cumsum ramps — no Python loop.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    local = segment_arange(counts)
+    lead = np.repeat(counts, counts) - 1 - local
+    total = int(counts.sum())
+    first = np.repeat(np.arange(total, dtype=np.int64), lead)
+    second = first + 1 + segment_arange(lead)
+    group = np.repeat(
+        np.arange(len(counts), dtype=np.int64), counts * (counts - 1) // 2
+    )
+    return first, second, group
 
 
 class BNBuilder:
@@ -71,20 +109,94 @@ class BNBuilder:
         self.ttl = ttl
         self.origin = origin
         self.weighting = weighting
+        self._type_index = {t: i for i, t in enumerate(self.edge_types)}
 
     def _share(self, group_size: int) -> float:
         return 1.0 / group_size if self.weighting == "inverse" else 1.0
 
+    def _group_shares(self, counts: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_share` — per-group pair weight."""
+        if self.weighting == "inverse":
+            return 1.0 / counts.astype(np.float64)
+        return np.ones(len(counts), dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # Shared grouping (vectorized and reference paths)
+    # ------------------------------------------------------------------
+    def _window_groups(
+        self,
+        window: float,
+        uid_arr: np.ndarray,
+        value_codes: np.ndarray,
+        time_arr: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Distinct ``(value, epoch, uid)`` triples of one window, grouped.
+
+        Returns ``(members, starts, counts, epochs)``: the distinct users of
+        every ``(value, epoch)`` group concatenated in sorted group order
+        (uids ascending within a group), each group's slice start/length,
+        and each group's epoch index.  A user logging the same value many
+        times inside one epoch still counts once toward ``N_{j,s}``.
+
+        Uids and epochs are normalized by their minima before keying, so
+        negative epochs (logs before ``origin``) stay exact and the
+        composite keys inherit the int64 overflow guard of
+        :func:`repro.network.segments.sorted_unique_triples` — adversarially
+        large uid/value/epoch spans fall back to a lexicographic unique
+        instead of silently wrapping.
+        """
+        if len(uid_arr) == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy(), empty.copy()
+        epochs = np.floor((time_arr - self.origin) / window).astype(np.int64)
+        e0 = int(epochs.min())
+        u0 = int(uid_arr.min())
+        g_val, g_eps, g_uid = sorted_unique_triples(
+            value_codes, epochs - e0, uid_arr - u0
+        )
+        boundary = np.r_[True, (g_val[1:] != g_val[:-1]) | (g_eps[1:] != g_eps[:-1])]
+        starts = np.flatnonzero(boundary)
+        counts = np.diff(np.r_[starts, len(g_uid)])
+        return g_uid + u0, starts, counts, g_eps[starts] + e0
+
+    def _enumerate_window_pairs(
+        self,
+        window: float,
+        uid_arr: np.ndarray,
+        value_codes: np.ndarray,
+        time_arr: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """One window's pair contribution stream ``(u, v, weight, ts)``.
+
+        Pairs are emitted in the reference loop order (sorted groups, then
+        ``i < j`` over each group's ascending members), with ``u < v``; the
+        timestamp of every pair in a group is the group's epoch end.
+        """
+        members, starts, counts, epochs = self._window_groups(
+            window, uid_arr, value_codes, time_arr
+        )
+        eligible = (counts >= 2) & (counts <= self.max_clique_size)
+        sel_starts = starts[eligible]
+        sel_counts = counts[eligible]
+        pool = members[np.repeat(sel_starts, sel_counts) + segment_arange(sel_counts)]
+        first, second, group = _pair_indices(sel_counts)
+        share = self._group_shares(sel_counts)
+        epoch_end = self.origin + (epochs[eligible] + 1) * window
+        return pool[first], pool[second], share[group], epoch_end[group]
+
     # ------------------------------------------------------------------
     # Batch construction
     # ------------------------------------------------------------------
-    def build(
-        self, logs: Iterable[BehaviorLog], bn: BehaviorNetwork | None = None
-    ) -> BehaviorNetwork:
-        """Construct BN from a full log history (Algorithm 1)."""
-        if bn is None:
-            bn = BehaviorNetwork(ttl=self.ttl)
+    def _bucket_by_type(
+        self, logs: Iterable[BehaviorLog], bn: BehaviorNetwork
+    ) -> dict[BehaviorType, tuple[list[int], list[str], list[float]]]:
+        """Split logs into per-type uid/value/time columns, registering nodes.
 
+        Nodes are registered once per distinct user (via a numpy unique over
+        the bucketed uid columns) instead of once per log — ``add_node`` is
+        idempotent, so the resulting network is the same and the per-log
+        Python call disappears from the hot path.
+        """
         by_type: dict[BehaviorType, tuple[list[int], list[str], list[float]]] = {
             t: ([], [], []) for t in self.edge_types
         }
@@ -95,13 +207,33 @@ class BNBuilder:
             bucket[0].append(log.uid)
             bucket[1].append(log.value)
             bucket[2].append(log.timestamp)
-            bn.add_node(log.uid)
+        columns = [
+            np.asarray(bucket[0], dtype=np.int64)
+            for bucket in by_type.values()
+            if bucket[0]
+        ]
+        if columns:
+            for uid in np.unique(np.concatenate(columns)).tolist():
+                bn.add_node(uid)
+        return by_type
 
-        for btype, (uids, values, times) in by_type.items():
+    def build(
+        self, logs: Iterable[BehaviorLog], bn: BehaviorNetwork | None = None
+    ) -> BehaviorNetwork:
+        """Construct BN from a full log history (Algorithm 1, vectorized)."""
+        if bn is None:
+            bn = BehaviorNetwork(ttl=self.ttl)
+        for btype, (uids, values, times) in self._bucket_by_type(logs, bn).items():
             if not uids:
                 continue
             self._build_type(bn, btype, uids, values, times)
         return bn
+
+    @staticmethod
+    def _encode_values(values: list[str]) -> np.ndarray:
+        """Integer codes (sorted-unique order) for the value strings."""
+        _, codes = np.unique(np.asarray(values, dtype=object), return_inverse=True)
+        return codes.astype(np.int64)
 
     def _build_type(
         self,
@@ -111,54 +243,37 @@ class BNBuilder:
         values: list[str],
         times: list[float],
     ) -> None:
+        """Accumulate one behavior type's edges as a single columnar batch.
+
+        The per-window contribution streams are concatenated window-major
+        (the reference accumulation order), stably grouped per ``(u, v)``
+        pair, and summed with a sequential left-to-right fold, so the batch
+        is bit-for-bit the reference dict accumulation.  Timestamps reduce
+        by max, clamped at the reference accumulator's ``0.0`` seed.
+        """
         uid_arr = np.asarray(uids, dtype=np.int64)
         time_arr = np.asarray(times, dtype=np.float64)
-        _, value_codes = np.unique(np.asarray(values, dtype=object), return_inverse=True)
-        value_codes = value_codes.astype(np.int64)
-        uid_span = int(uid_arr.max()) + 1
+        value_codes = self._encode_values(values)
 
-        # pair -> [accumulated weight, latest contribution time]
-        accum: dict[tuple[int, int], list[float]] = defaultdict(lambda: [0.0, 0.0])
-        for window in self.windows:
-            self._accumulate_window(
-                accum, window, uid_arr, value_codes, time_arr, uid_span
-            )
-        for (u, v), (weight, ts) in accum.items():
-            bn.add_weight(u, v, btype, weight, ts)
+        chunks = [
+            self._enumerate_window_pairs(window, uid_arr, value_codes, time_arr)
+            for window in self.windows
+        ]
+        u = np.concatenate([c[0] for c in chunks])
+        if len(u) == 0:
+            return
+        v = np.concatenate([c[1] for c in chunks])
+        w = np.concatenate([c[2] for c in chunks])
+        ts = np.concatenate([c[3] for c in chunks])
 
-    def _accumulate_window(
-        self,
-        accum: dict[tuple[int, int], list[float]],
-        window: float,
-        uid_arr: np.ndarray,
-        value_codes: np.ndarray,
-        time_arr: np.ndarray,
-        uid_span: int,
-    ) -> None:
-        epochs = np.floor((time_arr - self.origin) / window).astype(np.int64)
-        epoch_span = int(epochs.max()) + 1
-        group_key = value_codes * epoch_span + epochs
-        # Distinct (value, epoch, uid) triples: a user logging the same value
-        # many times inside one epoch still counts once toward N_{j,s}.
-        combo = np.unique(group_key * uid_span + uid_arr)
-        g_key = combo // uid_span
-        g_uid = (combo % uid_span).astype(np.int64)
-        starts = np.flatnonzero(np.r_[True, g_key[1:] != g_key[:-1]])
-        counts = np.diff(np.r_[starts, len(g_key)])
-        eligible = (counts >= 2) & (counts <= self.max_clique_size)
-        for start, count, key in zip(
-            starts[eligible], counts[eligible], g_key[starts[eligible]]
-        ):
-            users = g_uid[start : start + count]
-            epoch = key % epoch_span
-            epoch_end = self.origin + (epoch + 1) * window
-            share = self._share(count)
-            for i in range(count):
-                u = int(users[i])
-                for j in range(i + 1, count):
-                    entry = accum[(u, int(users[j]))]
-                    entry[0] += share
-                    entry[1] = max(entry[1], epoch_end)
+        order = np.lexsort((v, u))
+        su, sv, sw, sts = u[order], v[order], w[order], ts[order]
+        boundary = np.r_[True, (su[1:] != su[:-1]) | (sv[1:] != sv[:-1])]
+        starts = np.flatnonzero(boundary)
+        lengths = np.diff(np.r_[starts, len(su)])
+        weights = segment_fold_sum(sw, starts, lengths)
+        stamps = np.maximum(segment_fold_max(sts, starts, lengths), 0.0)
+        bn.add_weights(su[starts], sv[starts], btype, weights, stamps)
 
     # ------------------------------------------------------------------
     # Incremental (online BN server) construction
@@ -175,7 +290,199 @@ class BNBuilder:
         This is the periodic job the BN server schedules (hourly for the
         1-hour window, daily for the 1-day window, ...).  Logs outside the
         epoch are ignored.  Returns the number of pair contributions added.
+
+        Vectorized: the epoch's logs collapse to one
+        :meth:`~repro.network.bn.BehaviorNetwork.add_weights` batch (one
+        snapshot-version bump), with contributions streamed in the exact
+        order :meth:`run_window_job_reference` issues its ``add_weight``
+        calls — groups in first-occurrence order, members ascending — so
+        the resulting network state is bit-identical.
         """
+        if window not in self.windows:
+            raise ValueError(f"window {window} is not one of the builder's windows")
+        lo = job_end - window
+        type_index = self._type_index
+        uids: list[int] = []
+        codes: list[int] = []
+        values: list[str] = []
+        for log in logs:
+            code = type_index.get(log.btype)
+            if code is None or not lo < log.timestamp <= job_end:
+                continue
+            uids.append(log.uid)
+            codes.append(code)
+            values.append(log.value)
+        if not uids:
+            return 0
+        uid_arr = np.asarray(uids, dtype=np.int64)
+        # Register nodes in first-occurrence order, like the reference's
+        # per-log add_node calls (repeats there are version no-ops).
+        _, first_seen = np.unique(uid_arr, return_index=True)
+        for idx in np.sort(first_seen):
+            bn.add_node(int(uid_arr[idx]))
+
+        # Groups are distinct (btype, value) keys ranked by first
+        # occurrence — the reference's dict-insertion iteration order.
+        value_codes = self._encode_values(values)
+        value_span = int(value_codes.max()) + 1
+        combo = np.asarray(codes, dtype=np.int64) * value_span + value_codes
+        uniq, first_idx, inverse = np.unique(
+            combo, return_index=True, return_inverse=True
+        )
+        rank = np.empty(len(uniq), dtype=np.int64)
+        fo_order = np.argsort(first_idx, kind="stable")
+        rank[fo_order] = np.arange(len(uniq), dtype=np.int64)
+        type_codes_fo = (uniq // value_span)[fo_order]
+
+        u0 = int(uid_arr.min())
+        g_gid, g_uid = sorted_unique_pairs(rank[inverse], uid_arr - u0)
+        starts = np.flatnonzero(np.r_[True, g_gid[1:] != g_gid[:-1]])
+        counts = np.diff(np.r_[starts, len(g_gid)])
+        eligible = (counts >= 2) & (counts <= self.max_clique_size)
+        sel_starts = starts[eligible]
+        sel_counts = counts[eligible]
+        if not len(sel_counts):
+            return 0
+
+        pool = g_uid[np.repeat(sel_starts, sel_counts) + segment_arange(sel_counts)] + u0
+        first, second, group = _pair_indices(sel_counts)
+        share = self._group_shares(sel_counts)
+        pair_codes = type_codes_fo[g_gid[sel_starts]][group]
+        contributions = len(first)
+        # job_end passes as a scalar: every contribution of the epoch shares
+        # it, so add_weights skips the per-row timestamp reduction.
+        bn.add_weights(
+            pool[first],
+            pool[second],
+            pair_codes,
+            share[group],
+            job_end,
+            btype_table=self.edge_types,
+        )
+        return contributions
+
+    def replay(
+        self,
+        logs: Sequence[BehaviorLog],
+        until: float,
+        bn: BehaviorNetwork | None = None,
+        expire: bool = True,
+    ) -> BehaviorNetwork:
+        """Replay all window jobs whose epochs close by ``until``.
+
+        Equivalent to :meth:`build` restricted to logs in closed epochs, but
+        exercising the online job path, including TTL expiry at the end.
+        Epoch bucketing is one ``np.floor`` + stable argsort per window over
+        a timestamp array hoisted out of the loop (the log list is scanned
+        for timestamps exactly once).
+        """
+        if bn is None:
+            bn = BehaviorNetwork(ttl=self.ttl)
+        logs = list(logs)
+        if not logs:
+            if expire:
+                bn.expire_edges(until)
+            return bn
+        ts = np.fromiter(
+            (log.timestamp for log in logs), dtype=np.float64, count=len(logs)
+        )
+        t_min = float(ts.min())
+        log_arr = np.empty(len(logs), dtype=object)
+        log_arr[:] = logs
+        for window in self.windows:
+            first = int(np.floor((t_min - self.origin) / window))
+            last = int(np.floor((until - self.origin) / window))
+            epochs = np.floor((ts - self.origin) / window).astype(np.int64)
+            mask = (epochs >= first) & (epochs < last)
+            if not mask.any():
+                continue
+            sel_order = np.argsort(epochs[mask], kind="stable")
+            sel_eps = epochs[mask][sel_order]
+            sel_logs = log_arr[mask][sel_order]
+            bounds = np.r_[
+                np.flatnonzero(np.r_[True, sel_eps[1:] != sel_eps[:-1]]), len(sel_eps)
+            ]
+            for k in range(len(bounds) - 1):
+                start = bounds[k]
+                job_end = self.origin + (int(sel_eps[start]) + 1) * window
+                self.run_window_job(
+                    bn, list(sel_logs[start : bounds[k + 1]]), window, job_end
+                )
+        if expire:
+            bn.expire_edges(until)
+        return bn
+
+    # ------------------------------------------------------------------
+    # Pinned reference implementations (parity tests & benchmarks only)
+    # ------------------------------------------------------------------
+    def build_reference(
+        self, logs: Iterable[BehaviorLog], bn: BehaviorNetwork | None = None
+    ) -> BehaviorNetwork:
+        """Pinned loop twin of :meth:`build` (original per-pair Python)."""
+        if bn is None:
+            bn = BehaviorNetwork(ttl=self.ttl)
+        for btype, (uids, values, times) in self._bucket_by_type(logs, bn).items():
+            if not uids:
+                continue
+            self._build_type_reference(bn, btype, uids, values, times)
+        return bn
+
+    def _build_type_reference(
+        self,
+        bn: BehaviorNetwork,
+        btype: BehaviorType,
+        uids: list[int],
+        values: list[str],
+        times: list[float],
+    ) -> None:
+        """Original dict accumulation: scalar ``add_weight`` per pair."""
+        uid_arr = np.asarray(uids, dtype=np.int64)
+        time_arr = np.asarray(times, dtype=np.float64)
+        value_codes = self._encode_values(values)
+
+        # pair -> [accumulated weight, latest contribution time]
+        accum: dict[tuple[int, int], list[float]] = defaultdict(lambda: [0.0, 0.0])
+        for window in self.windows:
+            self._accumulate_window_reference(
+                accum, window, uid_arr, value_codes, time_arr
+            )
+        for (u, v), (weight, ts) in accum.items():
+            bn.add_weight(u, v, btype, weight, ts)
+
+    def _accumulate_window_reference(
+        self,
+        accum: dict[tuple[int, int], list[float]],
+        window: float,
+        uid_arr: np.ndarray,
+        value_codes: np.ndarray,
+        time_arr: np.ndarray,
+    ) -> None:
+        """Original nested ``for i / for j`` pair loops over one window."""
+        members, starts, counts, epochs = self._window_groups(
+            window, uid_arr, value_codes, time_arr
+        )
+        eligible = (counts >= 2) & (counts <= self.max_clique_size)
+        for start, count, epoch in zip(
+            starts[eligible], counts[eligible], epochs[eligible]
+        ):
+            users = members[start : start + count]
+            epoch_end = self.origin + (int(epoch) + 1) * window
+            share = self._share(int(count))
+            for i in range(count):
+                u = int(users[i])
+                for j in range(i + 1, count):
+                    entry = accum[(u, int(users[j]))]
+                    entry[0] += share
+                    entry[1] = max(entry[1], epoch_end)
+
+    def run_window_job_reference(
+        self,
+        bn: BehaviorNetwork,
+        logs: Iterable[BehaviorLog],
+        window: float,
+        job_end: float,
+    ) -> int:
+        """Pinned loop twin of :meth:`run_window_job` (scalar mutations)."""
         if window not in self.windows:
             raise ValueError(f"window {window} is not one of the builder's windows")
         lo = job_end - window
@@ -201,24 +508,24 @@ class BNBuilder:
                     contributions += 1
         return contributions
 
-    def replay(
+    def replay_reference(
         self,
         logs: Sequence[BehaviorLog],
         until: float,
         bn: BehaviorNetwork | None = None,
         expire: bool = True,
     ) -> BehaviorNetwork:
-        """Replay all window jobs whose epochs close by ``until``.
-
-        Equivalent to :meth:`build` restricted to logs in closed epochs, but
-        exercising the online job path, including TTL expiry at the end.
-        """
+        """Pinned twin of :meth:`replay`: per-log bucketing, scalar jobs,
+        full-scan expiry."""
         if bn is None:
             bn = BehaviorNetwork(ttl=self.ttl)
         for window in self.windows:
-            first = int(np.floor((min(l.timestamp for l in logs) - self.origin) / window)) if logs else 0
+            first = (
+                int(np.floor((min(l.timestamp for l in logs) - self.origin) / window))
+                if logs
+                else 0
+            )
             last = int(np.floor((until - self.origin) / window))
-            # Pre-bucket logs per epoch for this window to avoid rescanning.
             buckets: dict[int, list[BehaviorLog]] = defaultdict(list)
             for log in logs:
                 epoch = int(np.floor((log.timestamp - self.origin) / window))
@@ -226,7 +533,7 @@ class BNBuilder:
                     buckets[epoch].append(log)
             for epoch, epoch_logs in sorted(buckets.items()):
                 job_end = self.origin + (epoch + 1) * window
-                self.run_window_job(bn, epoch_logs, window, job_end)
+                self.run_window_job_reference(bn, epoch_logs, window, job_end)
         if expire:
-            bn.expire_edges(until)
+            bn._expire_edges_scan(until)
         return bn

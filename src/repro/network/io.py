@@ -63,14 +63,13 @@ def load_bn(path: str | os.PathLike) -> BehaviorNetwork:
         ]
         for uid in archive["nodes"]:
             bn.add_node(int(uid))
-        for u, v, code, weight, last_update in zip(
-            archive["u"],
-            archive["v"],
-            archive["type_code"],
-            archive["weight"],
-            archive["last_update"],
-        ):
-            bn.add_weight(
-                int(u), int(v), types[int(code)], float(weight), float(last_update)
-            )
+        codes = archive["type_code"].astype(np.int64)
+        btypes = np.empty(len(codes), dtype=object)
+        for code, btype in enumerate(types):
+            btypes[codes == code] = btype
+        # One columnar batch: a single snapshot-version bump instead of one
+        # per stored edge.
+        bn.add_weights(
+            archive["u"], archive["v"], btypes, archive["weight"], archive["last_update"]
+        )
     return bn

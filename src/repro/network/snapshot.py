@@ -15,6 +15,10 @@ Caching contract (see ``docs/PERFORMANCE.md``):
 * every mutation (``add_weight``, ``add_node`` of a new node,
   ``expire_edges`` that removes anything) bumps the counter, so the next
   ``to_arrays()`` call rebuilds instead of stale-serving;
+* a whole ``add_weights`` batch — however many contributions — bumps the
+  counter exactly once, which is what keeps snapshot churn at one rebuild
+  per window job on the ingest path (see "BN ingestion" in
+  ``docs/PERFORMANCE.md``);
 * snapshots are immutable value objects — mutating the BN never changes an
   already-exported snapshot.
 """

@@ -18,7 +18,8 @@ from ..datagen.entities import DAY, BehaviorLog
 from ..network.bn import BehaviorNetwork
 from ..network.builder import BNBuilder
 from ..network.sampling import ComputationSubgraph, computation_subgraph
-from ..obs.tracing import Span
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import Span, current_span
 from .latency import LatencyModel
 from .storage import InMemoryCache, LocalDatabase
 
@@ -46,6 +47,7 @@ class BNServer:
         ttl_sweep_interval: float = DAY,
         faults: "FaultInjector | None" = None,
         component: str = "bn_server",
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.builder = builder
         self.latency = latency
@@ -53,6 +55,10 @@ class BNServer:
         self.cache = cache
         self.faults = faults
         self.component = component
+        # Wired to the deployment registry by the Turbo orchestrator (or
+        # directly by tests/benchmarks); ``bn.ingest.*`` series stay silent
+        # when left unset.
+        self.metrics = metrics
         self.bn = BehaviorNetwork(ttl=builder.ttl)
         self.ttl_sweep_interval = ttl_sweep_interval
         self._logs: list[BehaviorLog] = []
@@ -64,18 +70,42 @@ class BNServer:
     # ------------------------------------------------------------------
     # Ingestion & maintenance
     # ------------------------------------------------------------------
+    def _count(self, name: str, amount: int) -> None:
+        """Bump a ``bn.ingest.*`` counter and stamp the ambient span (if any)."""
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(amount)
+        span = current_span()
+        if span is not None:
+            span.incr(name, amount)
+
+    def _observe(self, name: str, value: float) -> None:
+        """Record one maintenance-cost sample (if a registry is wired)."""
+        if self.metrics is not None:
+            self.metrics.histogram(name).observe(value)
+
     def ingest(self, logs: Sequence[BehaviorLog]) -> float:
-        """Receive new logs (must be non-decreasing in time across calls)."""
+        """Receive new logs (must be non-decreasing in time across calls).
+
+        The order check is vectorized and all-or-nothing: one out-of-order
+        log rejects the whole batch before anything is buffered or
+        persisted.
+        """
         seconds = 0.0
-        for log in logs:
-            if self._log_times and log.timestamp < self._log_times[-1]:
-                raise ValueError("logs must arrive in timestamp order")
-            self._logs.append(log)
-            self._log_times.append(log.timestamp)
-        if logs:
-            seconds += self.database.insert_many(
-                "logs", ((log.uid, log) for log in logs)
-            )
+        if not logs:
+            return seconds
+        times = np.fromiter(
+            (log.timestamp for log in logs), dtype=np.float64, count=len(logs)
+        )
+        if (self._log_times and times[0] < self._log_times[-1]) or np.any(
+            times[1:] < times[:-1]
+        ):
+            raise ValueError("logs must arrive in timestamp order")
+        self._logs.extend(logs)
+        self._log_times.extend(times.tolist())
+        seconds += self.database.insert_many(
+            "logs", ((log.uid, log) for log in logs)
+        )
+        self._count("bn.ingest.logs", len(logs))
         return seconds
 
     def run_due_jobs(self, now: float) -> tuple[int, float]:
@@ -89,6 +119,7 @@ class BNServer:
         """
         jobs = 0
         seconds = 0.0
+        contributions_total = 0
         for window in self.builder.windows:
             epoch = self._next_epoch[window]
             while self.builder.origin + (epoch + 1) * window <= now:
@@ -98,18 +129,25 @@ class BNServer:
                 contributions = self.builder.run_window_job(
                     self.bn, self._logs[lo:hi], window, job_end
                 )
+                contributions_total += contributions
                 seconds += self.latency.charge_db_write(max(1, contributions))
                 jobs += 1
                 epoch += 1
             self._next_epoch[window] = epoch
         self.jobs_run += jobs
+        if jobs:
+            self._count("bn.ingest.jobs", jobs)
+            self._count("bn.ingest.contributions", contributions_total)
 
         if now - self._last_ttl_sweep >= self.ttl_sweep_interval:
             removed = self.bn.expire_edges(now)
             seconds += self.latency.charge_db_write(max(1, removed))
             self._last_ttl_sweep = now
+            if removed:
+                self._count("bn.ingest.expired_edges", removed)
 
         self._prune_logs(now)
+        self._observe("bn.ingest.maintenance_seconds", seconds)
         return jobs, seconds
 
     def _prune_logs(self, now: float) -> None:

@@ -147,6 +147,10 @@ class Turbo:
         self.responses: list[TurboResponse] = []
         self.monitor = SystemMonitor()
         self.tracer = tracer if tracer is not None else Tracer()
+        # Let BN maintenance publish its bn.ingest.* series into the same
+        # registry the monitor reads (unless the caller wired its own).
+        if getattr(self.bn_server, "metrics", None) is None:
+            self.bn_server.metrics = self.monitor.registry
 
     @property
     def metrics(self) -> MetricsRegistry:

@@ -1,0 +1,1 @@
+"""Fast smoke tests for the slow benchmark harnesses."""

@@ -1,0 +1,80 @@
+"""``bn.ingest.*`` observability: counters, maintenance histogram, spans."""
+
+from __future__ import annotations
+
+from repro.datagen import DAY, HOUR, BehaviorLog, BehaviorType
+from repro.network import BNBuilder
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer, use_span
+from repro.system import BNServer, LatencyModel
+
+DEV = BehaviorType.DEVICE_ID
+
+
+def make_server(metrics: MetricsRegistry | None = None) -> BNServer:
+    latency = LatencyModel(jitter_sigma=0.0, seed=0)
+    return BNServer(BNBuilder(windows=(HOUR, DAY)), latency, metrics=metrics)
+
+
+def sample_logs():
+    return [
+        BehaviorLog(1, DEV, "d0", 60.0),
+        BehaviorLog(2, DEV, "d0", 120.0),
+        BehaviorLog(3, DEV, "d0", 180.0),
+    ]
+
+
+class TestIngestCounters:
+    def test_ingest_counts_logs(self):
+        registry = MetricsRegistry()
+        server = make_server(metrics=registry)
+        server.ingest(sample_logs())
+        assert registry.counter("bn.ingest.logs").as_int() == 3
+
+    def test_jobs_and_contributions_counted(self):
+        registry = MetricsRegistry()
+        server = make_server(metrics=registry)
+        server.ingest(sample_logs())
+        jobs, _ = server.run_due_jobs(now=HOUR)
+        assert jobs >= 1
+        assert registry.counter("bn.ingest.jobs").as_int() == jobs
+        # 3 co-occurring users -> 3 pairs in the closed 1-hour epoch
+        assert registry.counter("bn.ingest.contributions").as_int() == 3
+
+    def test_expired_edges_counted(self):
+        registry = MetricsRegistry()
+        server = make_server(metrics=registry)
+        server.ingest(sample_logs())
+        server.run_due_jobs(now=HOUR)
+        ttl = server.builder.ttl
+        server.run_due_jobs(now=ttl + 2 * DAY)
+        assert registry.counter("bn.ingest.expired_edges").as_int() == 3
+        assert server.bn.num_edges() == 0
+
+    def test_maintenance_histogram_observed(self):
+        registry = MetricsRegistry()
+        server = make_server(metrics=registry)
+        server.ingest(sample_logs())
+        server.run_due_jobs(now=HOUR)
+        histogram = registry.histogram("bn.ingest.maintenance_seconds")
+        assert histogram.count == 1
+        assert histogram.total > 0.0
+
+    def test_silent_without_registry(self):
+        server = make_server(metrics=None)
+        server.ingest(sample_logs())
+        jobs, _ = server.run_due_jobs(now=HOUR)
+        assert jobs >= 1  # no registry wired: still works, just no series
+
+
+class TestIngestSpans:
+    def test_ambient_span_stamped_with_counters(self):
+        server = make_server(metrics=None)
+        tracer = Tracer()
+        root = tracer.start_trace("maintenance", at=0.0)
+        with use_span(root):
+            server.ingest(sample_logs())
+            server.run_due_jobs(now=HOUR)
+        assert root.attributes["bn.ingest.logs"] == 3
+        assert root.attributes["bn.ingest.jobs"] >= 1
+        assert root.attributes["bn.ingest.contributions"] == 3

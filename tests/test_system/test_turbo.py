@@ -22,6 +22,10 @@ def deployed(tiny_dataset):
 
 
 class TestTurboRequests:
+    def test_bn_metrics_wired_to_monitor_registry(self, deployed):
+        turbo, _ = deployed
+        assert turbo.bn_server.metrics is turbo.monitor.registry
+
     def test_response_fields(self, deployed):
         turbo, data = deployed
         dataset = data.dataset
