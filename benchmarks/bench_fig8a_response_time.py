@@ -9,6 +9,13 @@ Since PR 3 the run is also an observability gate: every request must
 complete with a closed root span, and the latency table regenerated from
 the exported spans (``BENCH_fig8a_trace.jsonl``) must equal the
 ``LatencyBreakdown``-derived table bit-for-bit.
+
+Since the batched-serving PR the same request stream is replayed through
+``Turbo.predict_batch`` in micro-batches of :data:`BATCH_SIZE` and the table
+gains a batched-mode block: the responses must be bit-for-bit equal to the
+sequential ones, every batched request must reconcile its stage spans with
+its breakdown, and the batched charged totals must beat the sequential ones
+(the coalescing win on the deployment's latency economics).
 """
 
 from __future__ import annotations
@@ -25,11 +32,12 @@ from repro.obs import (
     rebuild_trees,
     write_spans_jsonl,
 )
-from repro.system import deploy_turbo
+from repro.system import PredictRequest, deploy_turbo
 
 from _shared import SCALE, WINDOWS, d1_dataset, d1_experiment, emit, emit_header, once
 
 N_REQUESTS = 300
+BATCH_SIZE = 32
 TRACE_PATH = Path(__file__).resolve().parent.parent / "BENCH_fig8a_trace.jsonl"
 
 
@@ -46,14 +54,19 @@ def run_requests():
     latest = {t.uid: t for t in turbo.feature_server.feature_manager.latest_transactions()}
     rng = np.random.default_rng(0)
     uids = rng.choice(sorted(latest), size=min(N_REQUESTS, len(latest)), replace=False)
-    for uid in uids:
-        txn = latest[int(uid)]
-        turbo.handle_request(txn, now=txn.audit_at)
-    return turbo.responses
+    requests = [
+        PredictRequest(txn=latest[int(uid)], now=latest[int(uid)].audit_at)
+        for uid in uids
+    ]
+    scalar = [turbo.predict(r) for r in requests]
+    batched = []
+    for k in range(0, len(requests), BATCH_SIZE):
+        batched.extend(turbo.predict_batch(requests[k : k + BATCH_SIZE]))
+    return scalar, batched
 
 
 def test_fig8a_response_time(benchmark):
-    responses = once(benchmark, run_requests)
+    responses, batched = once(benchmark, run_requests)
 
     # Observability gate 1: no request may complete without a closed trace.
     assert_all_traced(responses)
@@ -98,3 +111,38 @@ def test_fig8a_response_time(benchmark):
     assert np.mean(total) < 2000.0
     # Shape 3: sampling is the cheapest module.
     assert np.mean(sampling) < np.mean(prediction) * 2
+
+    # ---- batched mode: the same stream through predict_batch -------------
+    # Gate 1: micro-batching must not change a single answer.
+    assert len(batched) == len(responses)
+    for b, s in zip(batched, responses):
+        assert b.probability == s.probability, "batched probability diverged"
+        assert b.blocked == s.blocked, "batched decision diverged"
+        assert b.degradation == s.degradation, "batched degradation diverged"
+    # Gate 2: every batched request closes a traced root whose stage spans
+    # reconcile with its LatencyBreakdown bit-for-bit.
+    assert_all_traced(batched)
+    for r in batched:
+        by_name = {child.name: child for child in r.span.children}
+        assert by_name["bn_sample"].duration == r.breakdown.sampling
+        assert by_name["feature_fetch"].duration == r.breakdown.features
+        assert by_name["inference"].duration == r.breakdown.prediction
+        assert r.span.duration == r.breakdown.total
+
+    warm_b = batched[len(batched) // 5 :]
+    b_sampling = [1000 * r.breakdown.sampling for r in warm_b]
+    b_features = [1000 * r.breakdown.features for r in warm_b]
+    b_prediction = [1000 * r.breakdown.prediction for r in warm_b]
+    b_total = [1000 * r.breakdown.total for r in warm_b]
+    emit()
+    emit(f"Batched mode — same stream in micro-batches of {BATCH_SIZE}, shared")
+    emit("work charged to its first toucher (responses bit-identical):")
+    emit("  " + format_percentiles("BN server (sampling)", b_sampling))
+    emit("  " + format_percentiles("feature management  ", b_features))
+    emit("  " + format_percentiles("prediction server   ", b_prediction))
+    emit("  " + format_percentiles("total               ", b_total))
+
+    # Shape 4: coalescing wins on the deployment's latency economics.
+    assert np.mean(b_total) < np.mean(total), (
+        "batched charged totals should beat sequential ones"
+    )

@@ -19,6 +19,7 @@ from .statistical import (
     UserLogIndex,
     statistical_feature_names,
     statistical_features,
+    statistical_features_batch,
 )
 from .transaction import TRANSACTION_FEATURE_NAMES, transaction_features
 
@@ -103,6 +104,42 @@ class FeatureManager:
         if self.include_stats:
             parts.append(statistical_features(self.log_index, txn.uid, when))
         return np.concatenate(parts)
+
+    def vector_batch(
+        self,
+        transactions: Sequence[Transaction],
+        as_ofs: Sequence[float | None],
+    ) -> list[np.ndarray]:
+        """Raw feature vectors for many applications, with columnar ``X_s``.
+
+        Row ``k`` is bit-for-bit ``self.vector(transactions[k], as_ofs[k])``;
+        the profile and transaction blocks are the same per-row calls, while
+        the behavior-statistics block for all rows comes from one
+        :func:`~repro.features.statistical.statistical_features_batch` pass
+        over the packed log index.
+        """
+        if len(transactions) != len(as_ofs):
+            raise ValueError("one as_of per transaction is required")
+        whens = [
+            txn.audit_at if as_of is None else as_of
+            for txn, as_of in zip(transactions, as_ofs)
+        ]
+        stats: np.ndarray | None = None
+        if self.include_stats and transactions:
+            stats = statistical_features_batch(
+                self.log_index,
+                [(txn.uid, when) for txn, when in zip(transactions, whens)],
+            )
+        rows: list[np.ndarray] = []
+        for k, (txn, when) in enumerate(zip(transactions, whens)):
+            user = self._users.get(txn.uid)
+            if user is None:
+                raise KeyError(f"unknown user {txn.uid}")
+            parts = [profile_features(user, when), transaction_features(txn, user)]
+            if stats is not None:
+                parts.append(stats[k])
+            rows.append(np.concatenate(parts))
+        return rows
 
     def matrix(self, transactions: Sequence[Transaction]) -> LabeledMatrix:
         """Raw feature matrix for a list of applications."""

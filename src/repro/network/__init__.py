@@ -12,7 +12,12 @@ from .bn import DEFAULT_EDGE_TTL, BehaviorNetwork, EdgeRecord
 from .builder import BNBuilder
 from .io import load_bn, save_bn
 from .normalize import normalized_weight, type_weighted_degrees
-from .sampling import ComputationSubgraph, computation_subgraph
+from .sampling import (
+    BatchSampleStats,
+    ComputationSubgraph,
+    computation_subgraph,
+    computation_subgraphs_batch,
+)
 from .snapshot import BNSnapshot, TypedEdgeArrays, build_snapshot
 from .windows import FAST_WINDOWS, PAPER_WINDOWS, validate_windows
 
@@ -36,6 +41,8 @@ __all__ = [
     "type_weighted_degrees",
     "ComputationSubgraph",
     "computation_subgraph",
+    "computation_subgraphs_batch",
+    "BatchSampleStats",
     "PAPER_WINDOWS",
     "FAST_WINDOWS",
     "validate_windows",

@@ -16,10 +16,15 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..datagen.behavior_types import BehaviorType
-from .adjacency import merged_adjacency, typed_adjacency
+from .adjacency import _output_index, _typed_entries, merged_adjacency, typed_adjacency
 from .bn import BehaviorNetwork
 
-__all__ = ["ComputationSubgraph", "computation_subgraph"]
+__all__ = [
+    "ComputationSubgraph",
+    "computation_subgraph",
+    "computation_subgraphs_batch",
+    "BatchSampleStats",
+]
 
 
 @dataclass(slots=True)
@@ -117,6 +122,144 @@ def computation_subgraph(
 
     adjacency = typed_adjacency(bn, selected, types, normalize=True)
     return ComputationSubgraph(target=target, nodes=selected, adjacency=adjacency)
+
+
+@dataclass(frozen=True, slots=True)
+class BatchSampleStats:
+    """Coalescing accounting for one :func:`computation_subgraphs_batch` call."""
+
+    requests: int
+    sampled_nodes: int  # sum of per-request subgraph sizes
+    unique_nodes: int  # size of the union node set
+    expansions: int  # (node, type) frontier expansions requested
+    unique_expansions: int  # distinct (node, type) pairs actually expanded
+
+    @property
+    def coalescing(self) -> float:
+        """Sampled-to-unique node ratio — >1 means frontiers overlapped."""
+        return self.sampled_nodes / max(1, self.unique_nodes)
+
+
+def computation_subgraphs_batch(
+    bn: BehaviorNetwork,
+    targets: Sequence[int],
+    hops: int = 2,
+    fanout: int | None = 25,
+    allowed: set[int] | None = None,
+    edge_types: Sequence[BehaviorType] | None = None,
+    selection_cache: dict[tuple[int, BehaviorType], list[int]] | None = None,
+) -> tuple[list[ComputationSubgraph], BatchSampleStats]:
+    """Sample every target's ``G_v`` with the union frontier coalesced.
+
+    Returns subgraphs that are bit-for-bit what per-target
+    :func:`computation_subgraph` calls produce — same node order, same CSR
+    bits — but shares work across requests two ways:
+
+    * neighbour selection is memoized per ``(node, type)``: deterministic
+      top-``fanout`` selection depends only on the node, so a hub expanded
+      by many requests is ranked once and each request replays the cached
+      list through its own BFS bookkeeping;
+    * adjacency extraction masks the snapshot's edge arrays once per type
+      against the *union* node set (the O(E) part), then slices each
+      request's entries out of the union block with O(E_union) index maps.
+
+    Weighted sampling (the scalar path's ``rng``) is intentionally not
+    offered: random draws are per-request by construction and would defeat
+    the memoization; the serving path uses deterministic top-k.
+
+    ``selection_cache`` lets a caller serving many batches against one
+    pinned BN version carry the per-``(node, type)`` rankings across calls
+    (the BN server does this keyed on ``bn.version``); entries are only
+    valid for the graph state and ``fanout`` they were ranked under, so the
+    owner must drop the dict when either changes.
+    """
+    if hops < 0:
+        raise ValueError("hops must be non-negative")
+    types = tuple(edge_types) if edge_types is not None else tuple(sorted(bn.edge_types()))
+
+    if selection_cache is None:
+        selection_cache = {}
+    expansions = 0
+    touched: set[tuple[int, BehaviorType]] = set()
+    node_lists: list[list[int]] = []
+    for target in targets:
+        selected: list[int] = [target]
+        seen: set[int] = {target}
+        frontier = [target]
+        for _ in range(hops):
+            next_frontier: list[int] = []
+            for node in frontier:
+                for btype in types:
+                    expansions += 1
+                    key = (node, btype)
+                    touched.add(key)
+                    neighbors = selection_cache.get(key)
+                    if neighbors is None:
+                        neighbors = _select_neighbors(bn, node, btype, fanout, None)
+                        selection_cache[key] = neighbors
+                    for neighbor in neighbors:
+                        if neighbor in seen:
+                            continue
+                        if allowed is not None and neighbor not in allowed:
+                            continue
+                        seen.add(neighbor)
+                        selected.append(neighbor)
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        node_lists.append(selected)
+
+    union_nodes: list[int] = []
+    union_index: dict[int, int] = {}
+    for nodes in node_lists:
+        for uid in nodes:
+            if uid not in union_index:
+                union_index[uid] = len(union_nodes)
+                union_nodes.append(uid)
+    union_lookup = _output_index(bn, union_nodes)
+    # Entries are indexed into the union node list and keep snapshot edge
+    # order; a per-request membership mask therefore reproduces exactly the
+    # entry sequence the scalar typed_adjacency builds its CSR from.
+    typed_entries = {
+        btype: _typed_entries(bn, union_lookup, btype, normalize=True)
+        for btype in types
+    }
+
+    subgraphs: list[ComputationSubgraph] = []
+    request_of_union = np.full(len(union_nodes), -1, dtype=np.int64)
+    for target, nodes in zip(targets, node_lists):
+        n = len(nodes)
+        positions = np.asarray([union_index[uid] for uid in nodes], dtype=np.int64)
+        request_of_union[positions] = np.arange(n, dtype=np.int64)
+        adjacency: dict[BehaviorType, sp.csr_matrix] = {}
+        for btype in types:
+            iu, iv, weights = typed_entries[btype]
+            riu = request_of_union[iu]
+            riv = request_of_union[iv]
+            keep = (riu >= 0) & (riv >= 0)
+            iu_kept, iv_kept, w_kept = riu[keep], riv[keep], weights[keep]
+            adjacency[btype] = sp.csr_matrix(
+                (
+                    np.concatenate([w_kept, w_kept]),
+                    (
+                        np.concatenate([iu_kept, iv_kept]),
+                        np.concatenate([iv_kept, iu_kept]),
+                    ),
+                ),
+                shape=(n, n),
+            )
+        request_of_union[positions] = -1
+        subgraphs.append(
+            ComputationSubgraph(target=target, nodes=nodes, adjacency=adjacency)
+        )
+
+    stats = BatchSampleStats(
+        requests=len(node_lists),
+        sampled_nodes=sum(len(nodes) for nodes in node_lists),
+        unique_nodes=len(union_nodes),
+        expansions=expansions,
+        unique_expansions=len(touched),
+    )
+    return subgraphs, stats
 
 
 def _select_neighbors(

@@ -28,6 +28,7 @@ from .tensor import (
     concat,
     is_grad_enabled,
     no_grad,
+    row_blocks,
     segment_sum,
     stack,
     where,
@@ -42,6 +43,7 @@ __all__ = [
     "where",
     "no_grad",
     "is_grad_enabled",
+    "row_blocks",
     "Module",
     "ModuleList",
     "Linear",

@@ -17,9 +17,10 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
+__all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled", "row_blocks"]
 
 _GRAD_ENABLED = True
+_ROW_BLOCKS: np.ndarray | None = None
 
 
 class no_grad:
@@ -39,6 +40,61 @@ class no_grad:
 def is_grad_enabled() -> bool:
     """Return whether operations are currently recorded for autograd."""
     return _GRAD_ENABLED
+
+
+class row_blocks:
+    """Compute dense matmuls one row block at a time inside the context.
+
+    BLAS kernels pick their blocking/threading strategy from the *full*
+    operand shapes, so the float64 result of ``packed[s:e] @ W`` computed as
+    part of one big product is not always bit-identical to the standalone
+    per-block product — summation order inside a dot product may differ.
+    Batched inference that promises bit-exact parity with the scalar path
+    (``HAG.predict_subgraphs``) therefore packs requests row-wise and enters
+    this context with the block boundaries: every 2-D matmul whose left
+    operand covers exactly ``boundaries[-1]`` rows is then evaluated per
+    block, which *is* the scalar computation by construction.  All other ops
+    in the forward (sparse aggregation, elementwise nonlinearities, row
+    softmax, stacked 3-D matmuls) are row-local already and run genuinely
+    packed.
+
+    ``boundaries`` is the cumulative row-offset array ``[0, n1, n1+n2, ...]``.
+    """
+
+    def __init__(self, boundaries: Sequence[int] | np.ndarray) -> None:
+        bounds = np.asarray(boundaries, dtype=np.int64)
+        if bounds.ndim != 1 or bounds.size < 2:
+            raise ValueError("boundaries must be a 1-D cumulative offset array")
+        if bounds[0] != 0 or np.any(np.diff(bounds) < 0):
+            raise ValueError("boundaries must start at 0 and be non-decreasing")
+        self.boundaries = bounds
+
+    def __enter__(self) -> "row_blocks":
+        global _ROW_BLOCKS
+        self._prev = _ROW_BLOCKS
+        _ROW_BLOCKS = self.boundaries
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        global _ROW_BLOCKS
+        _ROW_BLOCKS = self._prev
+
+
+def _blocked_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a @ b``, sliced per active row block when that reproduces scalar bits."""
+    bounds = _ROW_BLOCKS
+    if (
+        bounds is None
+        or a.ndim != 2
+        or b.ndim not in (1, 2)
+        or a.shape[0] != bounds[-1]
+    ):
+        return a @ b
+    shape = (a.shape[0], b.shape[1]) if b.ndim == 2 else (a.shape[0],)
+    out = np.empty(shape, dtype=np.result_type(a, b))
+    for start, stop in zip(bounds[:-1], bounds[1:]):
+        out[start:stop] = a[start:stop] @ b
+    return out
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -270,7 +326,7 @@ class Tensor:
 
     def __matmul__(self, other: "Tensor") -> "Tensor":
         other = as_tensor(other)
-        out_data = self.data @ other.data
+        out_data = _blocked_matmul(self.data, other.data)
 
         def backward(g: np.ndarray) -> list[tuple[Tensor, np.ndarray]]:
             grads: list[tuple[Tensor, np.ndarray]] = []

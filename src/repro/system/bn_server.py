@@ -17,11 +17,16 @@ import numpy as np
 from ..datagen.entities import DAY, BehaviorLog
 from ..network.bn import BehaviorNetwork
 from ..network.builder import BNBuilder
-from ..network.sampling import ComputationSubgraph, computation_subgraph
+from ..network.sampling import (
+    BatchSampleStats,
+    ComputationSubgraph,
+    computation_subgraph,
+    computation_subgraphs_batch,
+)
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import Span, current_span
 from .latency import LatencyModel
-from .storage import InMemoryCache, LocalDatabase
+from .storage import InMemoryCache, LocalDatabase, StorageError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from .faults import FaultInjector
@@ -66,6 +71,10 @@ class BNServer:
         self._next_epoch: dict[float, int] = {w: 0 for w in builder.windows}
         self._last_ttl_sweep = 0.0
         self.jobs_run = 0
+        # Per-(node, type) neighbour rankings carried across micro-batches;
+        # only valid for one (bn.version, fanout) pair, dropped on change.
+        self._selection_cache: dict = {}
+        self._selection_state: tuple[int, int | None] | None = None
 
     # ------------------------------------------------------------------
     # Ingestion & maintenance
@@ -254,3 +263,89 @@ class BNServer:
                 degree = self.bn.degree(node)
                 seconds += self.latency.charge_db_query(max(1, degree))
         return subgraph, seconds
+
+    def sample_batch(
+        self,
+        uids: Sequence[int],
+        nows: Sequence[float],
+        hops: int = 2,
+        fanout: int | None = 25,
+        allowed: set[int] | None = None,
+    ) -> tuple[
+        list[ComputationSubgraph | None],
+        list[float],
+        list[Exception | None],
+        BatchSampleStats,
+    ]:
+        """Coalesced ``bn_sample`` for a micro-batch of requests.
+
+        Subgraphs are bit-for-bit what per-request :meth:`sample` calls
+        produce (missing targets are registered up front; the batch then
+        runs against one pinned snapshot version).  Adjacency lookups are
+        charged once per *unique* node in the batch, attributed to the
+        first request that touches it — the coalescing economics the union
+        sampler makes real.
+
+        Failure contract: faults poison individual requests — the fault
+        gate runs once per request and a storage error while charging a
+        request's nodes marks only that request failed (its error is
+        returned, not raised), so one poisoned request degrades without
+        failing the batch.  Weighted (rng) sampling is not offered; the
+        batched path is deterministic top-k only.
+        """
+        n = len(uids)
+        subgraphs: list[ComputationSubgraph | None] = [None] * n
+        seconds = [0.0] * n
+        errors: list[Exception | None] = [None] * n
+        gates = [0.0] * n
+        alive: list[int] = []
+        for i, uid in enumerate(uids):
+            try:
+                gates[i] = self.faults.before_call(self.component) if self.faults else 0.0
+            except StorageError as exc:
+                errors[i] = exc
+                continue
+            if uid not in self.bn:
+                self.bn.add_node(uid)
+            alive.append(i)
+        selection_state = (self.bn.version, fanout)
+        if self._selection_state != selection_state:
+            self._selection_state = selection_state
+            self._selection_cache = {}
+        sampled, stats = computation_subgraphs_batch(
+            self.bn,
+            [uids[i] for i in alive],
+            hops=hops,
+            fanout=fanout,
+            allowed=allowed,
+            selection_cache=self._selection_cache,
+        )
+        charged: set[int] = set()
+        for k, i in enumerate(alive):
+            subgraph = sampled[k]
+            charge = gates[i]
+            try:
+                charge += self.latency.charge_network()
+                use_cache = self.cache is not None and self.cache.available
+                if not use_cache:
+                    charge += self.database.ping()
+                for node in subgraph.nodes:
+                    if node in charged:
+                        continue
+                    charged.add(node)
+                    if use_cache:
+                        _value, hit, cost = self.cache.get(("adj", node), nows[i])
+                        charge += cost + self.latency.charge_sample_node()
+                        if not hit:
+                            _rows, query_cost = self.database.query("edges", node)
+                            charge += query_cost
+                            charge += self.cache.set(("adj", node), True, nows[i])
+                    else:
+                        degree = self.bn.degree(node)
+                        charge += self.latency.charge_db_query(max(1, degree))
+            except StorageError as exc:
+                errors[i] = exc
+                continue
+            subgraphs[i] = subgraph
+            seconds[i] = charge
+        return subgraphs, seconds, errors, stats

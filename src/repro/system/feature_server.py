@@ -9,7 +9,8 @@ average request from 6.8 s to 0.8 s; this module reproduces both paths.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
@@ -17,13 +18,29 @@ from ..datagen.entities import Transaction
 from ..features.pipeline import FeatureManager
 from ..obs.tracing import Span
 from .latency import LatencyModel
-from .storage import InMemoryCache, LocalDatabase
+from .storage import InMemoryCache, LocalDatabase, StorageError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from .faults import FaultInjector
     from .service import RequestContext
 
-__all__ = ["FeatureServer"]
+__all__ = ["FeatureServer", "FeatureBatchStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class FeatureBatchStats:
+    """Coalescing accounting for one ``features_for_batch`` call."""
+
+    requests: int  # requests that reached feature assembly
+    node_touches: int  # feature rows requested across all requests
+    unique_rows: int  # distinct rows actually backing those touches
+    row_cache_hits: int  # context rows served from the (uid, bucket) cache
+    computed_rows: int  # context rows computed fresh this batch
+
+    @property
+    def coalescing(self) -> float:
+        """Touches per distinct row — >1 means overlap was amortized."""
+        return self.node_touches / max(1, self.unique_rows)
 
 
 class FeatureServer:
@@ -56,6 +73,47 @@ class FeatureServer:
         self._latest_txn = {
             txn.uid: txn for txn in feature_manager.latest_transactions()
         }
+        # Feature-row cache for *context* rows, keyed per uid with the
+        # time bucket it was written in: ``floor(now / cache_ttl)``.  Context
+        # rows are observed at the user's latest application time, so a
+        # cached row is bit-identical to a recomputed one until the latest
+        # transaction changes (observe/refresh invalidate) — the bucket only
+        # bounds how long a row is reused, mirroring the log-cache TTL.
+        self._row_cache: dict[int, tuple[int, np.ndarray]] = {}
+        self.row_cache_hits = 0
+        self.row_cache_misses = 0
+        self.refreshes = 0
+
+    # ------------------------------------------------------------------
+    # Post-deploy visibility (the latest-transaction table is not frozen)
+    # ------------------------------------------------------------------
+    def observe(self, transactions: Iterable[Transaction]) -> int:
+        """Make transactions ingested after deploy visible to assembly.
+
+        Updates the per-user latest-application table (and invalidates any
+        cached feature row) for every transaction newer than the one on
+        record.  Returns how many users were updated.
+        """
+        updated = 0
+        for txn in transactions:
+            current = self._latest_txn.get(txn.uid)
+            if current is None or txn.created_at > current.created_at:
+                self._latest_txn[txn.uid] = txn
+                self._row_cache.pop(txn.uid, None)
+                updated += 1
+        return updated
+
+    def refresh(self) -> None:
+        """Rebuild the latest-transaction table from the feature manager.
+
+        For deployments whose dataset grows in place; drops the feature-row
+        cache wholesale since any user's context row may have changed.
+        """
+        self._latest_txn = {
+            txn.uid: txn for txn in self.feature_manager.latest_transactions()
+        }
+        self._row_cache.clear()
+        self.refreshes += 1
 
     # ------------------------------------------------------------------
     # Service surface (see repro.system.service.Service)
@@ -75,6 +133,9 @@ class FeatureServer:
             "known_users": float(len(self._latest_txn)),
             "feature_dim": float(self.feature_manager.dim),
             "stat_windows": float(self.stat_windows),
+            "row_cache_rows": float(len(self._row_cache)),
+            "row_cache_hits": float(self.row_cache_hits),
+            "row_cache_misses": float(self.row_cache_misses),
         }
 
     def handle(
@@ -138,7 +199,7 @@ class FeatureServer:
         from 6.8 s to 0.8 s in Section V.
         """
         seconds = 0.0
-        n_logs = len(self.feature_manager.log_index.logs_before(uid, now))
+        n_logs = self._count_logs(uid, now)
         if self.cache is not None and self.cache.available:
             # Profile + transaction rows come from the in-memory store; the
             # statistics windows scan the cached log slice.
@@ -157,3 +218,132 @@ class FeatureServer:
             for _ in range(self.stat_windows):
                 seconds += self.latency.charge_db_query(max(1, n_logs))
         return seconds
+
+    def _count_logs(self, uid: int, now: float) -> int:
+        """History length that prices the ``X_s`` scan — bisect, no slice."""
+        return self.feature_manager.log_index.count_before(uid, now)
+
+    def _count_logs_reference(self, uid: int, now: float) -> int:
+        """Pinned pre-fix counting: materializes the full log slice."""
+        return len(self.feature_manager.log_index.logs_before(uid, now))
+
+    # ------------------------------------------------------------------
+    # Batched serving
+    # ------------------------------------------------------------------
+    def _bucket(self, now: float) -> int:
+        return int(now // self.cache_ttl) if self.cache_ttl > 0 else 0
+
+    def features_for_batch(
+        self,
+        node_lists: Sequence[Sequence[int] | None],
+        target_txns: Sequence[Transaction],
+        nows: Sequence[float],
+    ) -> tuple[
+        list[np.ndarray | None],
+        list[float],
+        list[Exception | None],
+        FeatureBatchStats,
+    ]:
+        """Coalesced feature assembly for a micro-batch of requests.
+
+        ``node_lists[i]`` are request ``i``'s subgraph nodes (``None`` for a
+        request already failed upstream — it is skipped).  Matrices are
+        bit-for-bit what :meth:`features_for` returns per request: target
+        rows are observed at the request's ``now``, context rows at the
+        user's latest application — which makes context rows shareable, so
+        each unique context uid is charged and computed once per batch (or
+        served from the ``(uid, time-bucket)`` row cache for a cache-get),
+        and the ``X_s`` block for every row to compute comes from one
+        columnar pass.
+
+        Failure contract: storage faults poison only the request whose
+        charging hit them; the per-request error is returned instead of
+        raised so the rest of the batch proceeds.
+        """
+        n = len(node_lists)
+        matrices: list[np.ndarray | None] = [None] * n
+        seconds = [0.0] * n
+        errors: list[Exception | None] = [None] * n
+        alive: list[int] = []
+        charged: set[int] = set()
+        batch_hits = 0
+        for i in range(n):
+            nodes = node_lists[i]
+            if nodes is None:
+                continue
+            try:
+                charge = self.faults.before_call(self.component) if self.faults else 0.0
+                charge += self.latency.charge_network()
+                if self.cache is None or not self.cache.available:
+                    charge += self.database.ping()
+                for position, uid in enumerate(nodes):
+                    if position == 0:
+                        charge += self._charge_node(uid, nows[i])
+                        charged.add(uid)
+                        continue
+                    if self._latest_txn.get(uid) is None or uid in charged:
+                        continue
+                    cached = self._row_cache.get(uid)
+                    if cached is not None and cached[0] == self._bucket(nows[i]):
+                        charge += self.latency.charge_cache_get()
+                        batch_hits += 1
+                    else:
+                        charge += self._charge_node(uid, nows[i])
+                    charged.add(uid)
+            except StorageError as exc:
+                errors[i] = exc
+                continue
+            seconds[i] = charge
+            alive.append(i)
+
+        # Row plan: first alive toucher of each context uid decides hit vs
+        # compute; cached rows are always bit-identical to a fresh compute
+        # (observe/refresh invalidate on any latest-transaction change).
+        plan: dict[int, str] = {}
+        bucket_of: dict[int, int] = {}
+        for i in alive:
+            for uid in node_lists[i][1:]:
+                if uid in plan or self._latest_txn.get(uid) is None:
+                    continue
+                bucket = self._bucket(nows[i])
+                cached = self._row_cache.get(uid)
+                plan[uid] = "hit" if cached is not None and cached[0] == bucket else "compute"
+                bucket_of[uid] = bucket
+        compute_uids = [uid for uid, decision in plan.items() if decision == "compute"]
+        self.row_cache_hits += batch_hits
+        self.row_cache_misses += len(compute_uids)
+
+        batch_txns = [target_txns[i] for i in alive]
+        batch_as_ofs: list[float | None] = [nows[i] for i in alive]
+        batch_txns.extend(self._latest_txn[uid] for uid in compute_uids)
+        batch_as_ofs.extend([None] * len(compute_uids))
+        rows = self.feature_manager.vector_batch(batch_txns, batch_as_ofs)
+        target_rows = dict(zip(alive, rows[: len(alive)]))
+        context_rows: dict[int, np.ndarray] = {}
+        for uid, row in zip(compute_uids, rows[len(alive):]):
+            context_rows[uid] = row
+            self._row_cache[uid] = (bucket_of[uid], row)
+        for uid, decision in plan.items():
+            if decision == "hit":
+                context_rows[uid] = self._row_cache[uid][1]
+
+        touches = 0
+        for i in alive:
+            nodes = node_lists[i]
+            touches += len(nodes)
+            request_rows = [target_rows[i]]
+            for uid in nodes[1:]:
+                row = context_rows.get(uid)
+                if row is None:
+                    request_rows.append(np.zeros(self.feature_manager.dim))
+                else:
+                    request_rows.append(row)
+            matrices[i] = np.stack(request_rows)
+        stats = FeatureBatchStats(
+            requests=len(alive),
+            node_touches=touches,
+            unique_rows=len(alive) + len(plan),
+            row_cache_hits=batch_hits,
+            computed_rows=len(compute_uids),
+        )
+        return matrices, seconds, errors, stats

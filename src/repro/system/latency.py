@@ -89,6 +89,22 @@ class LatencyModel:
             self.model_forward_base + self.model_forward_per_node * max(1, n_nodes)
         ) * self._jitter()
 
+    def charge_model_forward_batch(self, sizes: "list[int]") -> list[float]:
+        """Per-request cost of one *packed* forward over a micro-batch.
+
+        The forward's fixed cost (weight loads, kernel launches, framework
+        overhead — ``model_forward_base``) is paid once and amortized evenly
+        across the batch; the per-node cost stays per request.  One jitter
+        draw covers the whole batch because it is one physical forward.
+        """
+        if not sizes:
+            return []
+        jitter = self._jitter()
+        base = self.model_forward_base / len(sizes)
+        return [
+            (base + self.model_forward_per_node * max(1, n)) * jitter for n in sizes
+        ]
+
 
 @dataclass(slots=True)
 class LatencyBreakdown:

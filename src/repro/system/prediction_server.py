@@ -94,3 +94,32 @@ class PredictionServer:
         )
         self.requests_served += 1
         return probability, self.latency.charge_model_forward(subgraph.num_nodes) + extra
+
+    def predict_batch(
+        self,
+        subgraphs: Sequence[ComputationSubgraph],
+        features: Sequence[np.ndarray],
+        gate_extras: Sequence[float] | None = None,
+    ) -> tuple[list[float], list[float]]:
+        """One packed forward for a micro-batch; ``(probabilities, seconds)``.
+
+        Probabilities are bit-for-bit what per-request :meth:`predict` calls
+        return (see :meth:`repro.core.hag.HAG.predict_subgraphs`); the fixed
+        forward cost is amortized across the batch by the latency model.
+        The caller runs the per-request fault gate (``ping``) and passes the
+        charged extras through ``gate_extras`` so they land in the same
+        latency slot as the scalar path's.
+        """
+        if len(subgraphs) != len(features):
+            raise ValueError("one feature matrix per subgraph is required")
+        scaled = [self.scaler.transform(matrix) for matrix in features]
+        probabilities = self.model.predict_subgraphs(
+            subgraphs, scaled, edge_type_order=self.edge_type_order
+        )
+        self.requests_served += len(subgraphs)
+        seconds = self.latency.charge_model_forward_batch(
+            [subgraph.num_nodes for subgraph in subgraphs]
+        )
+        if gate_extras is not None:
+            seconds = [s + extra for s, extra in zip(seconds, gate_extras)]
+        return probabilities, seconds

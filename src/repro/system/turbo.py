@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
@@ -209,6 +209,278 @@ class Turbo:
     def handle_request(self, txn: Transaction, now: float | None = None) -> TurboResponse:
         """Transaction-first alias of :meth:`predict` (no deprecation noise)."""
         return self._serve(PredictRequest(txn=txn, now=now))
+
+    def predict_batch(self, requests: Sequence[PredictRequest]) -> list[TurboResponse]:
+        """Serve a micro-batch of requests against one pinned BN version.
+
+        Results are bit-for-bit what sequential :meth:`predict` calls
+        return — same probabilities, same decisions, same degradation tags
+        (pinned by ``tests/test_system/test_batch_serving.py``) — but each
+        stage runs once for the whole batch: the BN server coalesces the
+        union sampling frontier, the feature module assembles all unique
+        rows columnar, and HAG runs one packed forward.  Shared work is
+        charged to the first request that touches it, which is where the
+        batched path's latency win comes from.
+
+        Tracing: the batch opens one ``batch`` root whose children are the
+        three *coalesced* stage spans; every request still closes its own
+        ``request`` root (parented under the batch unless the request
+        carries an upstream trace) whose stage children reconcile with its
+        :class:`~repro.system.latency.LatencyBreakdown` exactly as in
+        scalar mode.
+
+        Resilience: the circuit breaker is consulted per request, faults
+        poison individual requests (one poisoned request degrades via the
+        fallback ladder without failing the batch), and per-request latency
+        budgets are enforced after every stage.  The batched path does not
+        retry — a transient storage fault degrades the request instead of
+        replaying it (``retries`` is always 0 in batched responses).
+
+        The simulated clock advances once, by the slowest request's total
+        (the batch's wall time), instead of by the per-request sum.
+        """
+        for request in requests:
+            if not isinstance(request, PredictRequest):
+                raise TypeError(
+                    "predict_batch takes PredictRequest instances, got "
+                    f"{type(request).__name__}"
+                )
+        if not requests:
+            return []
+        n = len(requests)
+        nows = [self.clock.now() if r.now is None else r.now for r in requests]
+        budgets = [
+            self.request_budget if r.budget is None else r.budget for r in requests
+        ]
+        breakdowns = [LatencyBreakdown() for _ in range(n)]
+        batch = self.tracer.start_trace("batch", at=min(nows), size=n)
+        roots = [
+            self.tracer.start_trace(
+                "request",
+                at=nows[i],
+                parent=requests[i].trace or batch.context(),
+                uid=requests[i].uid,
+                txn_id=requests[i].txn.txn_id,
+            )
+            for i in range(n)
+        ]
+        reasons = [""] * n
+        probabilities: list[float | None] = [None] * n
+        sizes = [0] * n
+        subgraphs: list[Any] = [None] * n
+        features: list[np.ndarray | None] = [None] * n
+
+        def fail(i: int, span: Span, charged: float, error: str, reason: str) -> None:
+            """Close a failed stage span the way the scalar path does."""
+            span.annotate("error", error)
+            span.finish(charged)
+            reasons[i] = reason
+            self.breaker.record_failure()
+
+        def stage_start(indices: list[int]) -> float:
+            return min(nows[i] + breakdowns[i].total for i in indices)
+
+        alive: list[int] = []
+        for i in range(n):
+            if self.breaker.allow():
+                alive.append(i)
+            else:
+                reasons[i] = "circuit_open"
+                roots[i].add_event("breaker.open", at=nows[i])
+
+        sample_stats = feature_stats = None
+        registry = self.metrics
+        # --- stage 1: coalesced bn_sample --------------------------------
+        if alive:
+            stage_span = batch.child("bn_sample", at=stage_start(alive))
+            spans = {
+                i: roots[i].child("bn_sample", at=nows[i] + breakdowns[i].total)
+                for i in alive
+            }
+            with use_span(stage_span):
+                sampled, stage_seconds, stage_errors, sample_stats = (
+                    self.bn_server.sample_batch(
+                        [requests[i].uid for i in alive],
+                        [nows[i] for i in alive],
+                        hops=self.hops,
+                        fanout=self.fanout,
+                        allowed=self.allowed_nodes,
+                    )
+                )
+            still: list[int] = []
+            for k, i in enumerate(alive):
+                span = spans[i]
+                error = stage_errors[k]
+                if error is not None:
+                    self.monitor.record_error(type(error).__name__)
+                    fail(i, span, 0.0, type(error).__name__, "graph_path_down")
+                    continue
+                span.annotate("subgraph_size", sampled[k].num_nodes)
+                breakdowns[i].sampling += stage_seconds[k]
+                if budgets[i] is not None and breakdowns[i].total > budgets[i]:
+                    fail(i, span, stage_seconds[k], "BudgetExceeded", "over_budget")
+                    continue
+                subgraphs[i] = sampled[k]
+                span.finish(stage_seconds[k])
+                still.append(i)
+            stage_span.annotate("requests", len(alive))
+            stage_span.annotate("coalescing", sample_stats.coalescing)
+            stage_span.finish(sum(stage_seconds))
+            alive = still
+
+        # --- stage 2: columnar feature_fetch -----------------------------
+        if alive:
+            stage_span = batch.child("feature_fetch", at=stage_start(alive))
+            spans = {
+                i: roots[i].child("feature_fetch", at=nows[i] + breakdowns[i].total)
+                for i in alive
+            }
+            with use_span(stage_span):
+                matrices, stage_seconds, stage_errors, feature_stats = (
+                    self.feature_server.features_for_batch(
+                        [subgraphs[i].nodes for i in alive],
+                        [requests[i].txn for i in alive],
+                        [nows[i] for i in alive],
+                    )
+                )
+            still = []
+            for k, i in enumerate(alive):
+                span = spans[i]
+                error = stage_errors[k]
+                if error is not None:
+                    self.monitor.record_error(type(error).__name__)
+                    fail(i, span, 0.0, type(error).__name__, "graph_path_down")
+                    continue
+                span.annotate("feature_rows", int(matrices[k].shape[0]))
+                breakdowns[i].features += stage_seconds[k]
+                if budgets[i] is not None and breakdowns[i].total > budgets[i]:
+                    fail(i, span, stage_seconds[k], "BudgetExceeded", "over_budget")
+                    continue
+                features[i] = matrices[k]
+                span.finish(stage_seconds[k])
+                still.append(i)
+            stage_span.annotate("requests", len(alive))
+            stage_span.annotate("coalescing", feature_stats.coalescing)
+            stage_span.finish(sum(stage_seconds))
+            alive = still
+
+        # --- stage 3: packed inference -----------------------------------
+        if alive:
+            stage_span = batch.child("inference", at=stage_start(alive))
+            spans = {
+                i: roots[i].child("inference", at=nows[i] + breakdowns[i].total)
+                for i in alive
+            }
+            gate_extras: list[float] = []
+            survivors: list[int] = []
+            for i in alive:
+                # The per-request fault gate the scalar ``predict`` runs
+                # inside the server; batched, the orchestrator runs it so a
+                # poisoned request drops out before the packed forward.
+                try:
+                    with use_span(spans[i]):
+                        extra = self.prediction_server.ping()
+                except StorageError as exc:
+                    self.monitor.record_error(type(exc).__name__)
+                    fail(i, spans[i], 0.0, type(exc).__name__, "graph_path_down")
+                    continue
+                gate_extras.append(extra)
+                survivors.append(i)
+            stage_seconds = []
+            if survivors:
+                with use_span(stage_span):
+                    stage_probs, stage_seconds = self.prediction_server.predict_batch(
+                        [subgraphs[i] for i in survivors],
+                        [features[i] for i in survivors],
+                        gate_extras,
+                    )
+                for k, i in enumerate(survivors):
+                    span = spans[i]
+                    span.annotate("probability", stage_probs[k])
+                    breakdowns[i].prediction += stage_seconds[k]
+                    if budgets[i] is not None and breakdowns[i].total > budgets[i]:
+                        fail(i, span, stage_seconds[k], "BudgetExceeded", "over_budget")
+                        continue
+                    probabilities[i] = stage_probs[k]
+                    sizes[i] = subgraphs[i].num_nodes
+                    span.finish(stage_seconds[k])
+                    self.breaker.record_success()
+            stage_span.annotate("requests", len(alive))
+            stage_span.finish(sum(stage_seconds))
+
+        # --- finalize: degrade failures, close traces, record telemetry --
+        responses: list[TurboResponse] = []
+        for i in range(n):
+            breakdown = breakdowns[i]
+            probability = probabilities[i]
+            degradation = "full"
+            if probability is None:
+                degradation, probability, blocked = self._degrade(
+                    requests[i].txn, breakdown, root=roots[i], now=nows[i]
+                )
+            else:
+                blocked = probability >= self.threshold
+            root = roots[i]
+            root.annotate("probability", probability)
+            root.annotate("blocked", blocked)
+            root.annotate("retries", 0)
+            root.annotate("degradation", degradation)
+            if degradation != "full":
+                root.annotate_tree("degradation", degradation)
+                root.annotate_tree("degradation_reason", reasons[i])
+            responses.append(
+                TurboResponse(
+                    uid=requests[i].uid,
+                    txn_id=requests[i].txn.txn_id,
+                    probability=probability,
+                    blocked=blocked,
+                    breakdown=breakdown,
+                    subgraph_size=sizes[i],
+                    timestamp=nows[i],
+                    degradation=degradation,
+                    degradation_reason=reasons[i],
+                    retries=0,
+                    span=root,
+                )
+            )
+
+        wall = max(breakdown.total for breakdown in breakdowns)
+        self.clock.advance(wall)
+        for i, response in enumerate(responses):
+            self.tracer.finish_trace(response.span, breakdowns[i].total)
+            self.responses.append(response)
+            self.monitor.record_request(
+                breakdowns[i],
+                blocked=response.blocked,
+                subgraph_size=response.subgraph_size,
+                degradation=response.degradation,
+                retries=0,
+            )
+            registry.histogram("turbo.batch.latency.sampling").observe(
+                breakdowns[i].sampling
+            )
+            registry.histogram("turbo.batch.latency.features").observe(
+                breakdowns[i].features
+            )
+            registry.histogram("turbo.batch.latency.prediction").observe(
+                breakdowns[i].prediction
+            )
+        registry.counter("turbo.batch.batches").inc()
+        registry.counter("turbo.batch.requests").inc(n)
+        registry.histogram("turbo.batch.size").observe(float(n))
+        batch.annotate("wall", wall)
+        if sample_stats is not None:
+            registry.histogram("turbo.batch.coalescing").observe(
+                sample_stats.coalescing
+            )
+            batch.annotate("sample_coalescing", sample_stats.coalescing)
+        if feature_stats is not None:
+            registry.histogram("turbo.batch.feature_coalescing").observe(
+                feature_stats.coalescing
+            )
+            batch.annotate("feature_coalescing", feature_stats.coalescing)
+        self.tracer.finish_trace(batch, wall)
+        return responses
 
     def _coerce_request(self, args: tuple, kwargs: dict) -> PredictRequest:
         """Normalize the three accepted ``predict`` call shapes.

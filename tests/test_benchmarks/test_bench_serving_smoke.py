@@ -1,0 +1,72 @@
+"""Tiny-scale smoke run of the batched-serving benchmark harness.
+
+The full harness is a slow-marked test; this keeps its plumbing — the
+ring-heavy workload builder, the bit-exact parity and span-reconciliation
+asserts inside every section, the shared gate contract, JSON emission —
+covered by the fast tier.  Speedup *values* at toy scale are noise, so the
+gates' pass/fail outcome is deliberately not asserted here.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+from pathlib import Path
+
+BENCHMARKS_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+SECTIONS = ("scalar_path", "end_to_end", "feature_assembly")
+GATES = (
+    "batched_throughput_speedup",
+    "batched_compute_speedup",
+    "feature_assembly_speedup",
+    "scalar_not_slower",
+)
+
+
+def test_serving_harness_smoke(tmp_path, monkeypatch, capsys):
+    monkeypatch.syspath_prepend(str(BENCHMARKS_DIR))
+    bench = importlib.import_module("bench_serving_batch")
+    from repro.datagen import make_d1
+
+    monkeypatch.setattr(bench, "d1_dataset", lambda: make_d1(scale=0.1, seed=0))
+    monkeypatch.setattr(bench, "TRAIN_EPOCHS", 2)
+    monkeypatch.setattr(bench, "N_REQUESTS", 8)
+    monkeypatch.setattr(bench, "BATCH_SIZE", 4)
+    result_path = tmp_path / "BENCH_serving_batch.json"
+
+    result = bench.run_harness(result_path=result_path)
+    capsys.readouterr()  # keep the harness banner out of the test output
+
+    # Every section ran, timed both sides, and passed its internal
+    # bit-exact parity / span-reconciliation asserts (run_harness would
+    # have raised otherwise).
+    assert set(SECTIONS) <= set(result["sections"])
+    for name in SECTIONS:
+        section = result["sections"][name]
+        assert section["reference_s"] > 0.0
+        assert section["vectorized_s"] > 0.0
+    end_to_end = result["sections"]["end_to_end"]
+    assert end_to_end["requests"] == 8
+    assert end_to_end["batch_size"] == 4
+    assert end_to_end["throughput_speedup"] > 0.0
+    assert end_to_end["compute_speedup"] > 0.0
+    assert end_to_end["sample_coalescing"] >= 1.0
+    assert end_to_end["feature_coalescing"] >= 1.0
+    assert result["sections"]["feature_assembly"]["unique_rows"] > 0
+
+    # The shared gate contract attached its verdicts and wrote the JSON.
+    assert set(result["gates"]) == set(GATES)
+    assert isinstance(result["gates_met"], bool)
+    on_disk = json.loads(result_path.read_text())
+    assert set(SECTIONS) <= set(on_disk["sections"])
+
+
+def test_committed_serving_result_meets_gates():
+    """The committed BENCH_serving_batch.json must have been green when written."""
+    committed = json.loads(
+        (BENCHMARKS_DIR.parent / "BENCH_serving_batch.json").read_text()
+    )
+    assert committed["gates_met"] is True
+    for name, gate in committed["gates"].items():
+        assert gate["value"] >= gate["minimum"], (name, gate)

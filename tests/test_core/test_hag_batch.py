@@ -1,0 +1,75 @@
+"""Packed batch inference parity: one forward, per-request bits unchanged."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import HAG
+from repro.datagen import BehaviorType
+from repro.network import ComputationSubgraph
+
+TYPES = (BehaviorType.DEVICE_ID, BehaviorType.IPV4)
+
+
+def random_subgraph(rng: np.random.Generator, n_nodes: int) -> ComputationSubgraph:
+    adjacency = {}
+    for btype in TYPES:
+        dense = rng.random((n_nodes, n_nodes)) < 0.3
+        dense = np.triu(dense, 1)
+        dense = (dense + dense.T) * rng.random((n_nodes, n_nodes))
+        adjacency[btype] = sp.csr_matrix(dense)
+    return ComputationSubgraph(
+        target=0, nodes=list(range(n_nodes)), adjacency=adjacency
+    )
+
+
+def build_batch(rng, sizes):
+    subgraphs = [random_subgraph(rng, n) for n in sizes]
+    features = [rng.normal(size=(n, 6)) for n in sizes]
+    return subgraphs, features
+
+
+class TestPredictSubgraphsParity:
+    @pytest.mark.parametrize("use_cfo", [True, False])
+    @pytest.mark.parametrize("sizes", [(1,), (3, 3), (1, 7, 2, 12, 5)])
+    def test_bitexact_vs_scalar(self, rng, use_cfo, sizes):
+        model = HAG(
+            6, len(TYPES), rng, hidden=(8, 4), cfo_out_dim=2, mlp_hidden=(4,),
+            use_cfo=use_cfo,
+        )
+        subgraphs, features = build_batch(rng, sizes)
+        order = TYPES if use_cfo else None
+        packed = model.predict_subgraphs(subgraphs, features, edge_type_order=order)
+        for probability, subgraph, matrix in zip(packed, subgraphs, features):
+            scalar = model.predict_subgraph(subgraph, matrix, edge_type_order=order)
+            assert probability == scalar  # bit-for-bit, no approx
+
+    def test_order_independence(self, rng):
+        model = HAG(6, len(TYPES), rng, hidden=(8, 4), cfo_out_dim=2, mlp_hidden=(4,))
+        subgraphs, features = build_batch(rng, (4, 9, 2, 6))
+        forward = model.predict_subgraphs(subgraphs, features, edge_type_order=TYPES)
+        backward = model.predict_subgraphs(
+            subgraphs[::-1], features[::-1], edge_type_order=TYPES
+        )
+        assert forward == backward[::-1]
+
+    def test_empty_batch(self, rng):
+        model = HAG(6, len(TYPES), rng, hidden=(8, 4))
+        assert model.predict_subgraphs([], [], edge_type_order=TYPES) == []
+
+    def test_misaligned_features_rejected(self, rng):
+        model = HAG(6, len(TYPES), rng, hidden=(8, 4))
+        subgraphs, features = build_batch(rng, (3, 4))
+        with pytest.raises(ValueError):
+            model.predict_subgraphs(subgraphs, features[:1], edge_type_order=TYPES)
+        features[1] = features[1][:2]
+        with pytest.raises(ValueError):
+            model.predict_subgraphs(subgraphs, features, edge_type_order=TYPES)
+
+    def test_cfo_requires_explicit_type_order(self, rng):
+        model = HAG(6, len(TYPES), rng, hidden=(8, 4))
+        subgraphs, features = build_batch(rng, (3,))
+        with pytest.raises(ValueError):
+            model.predict_subgraphs(subgraphs, features)

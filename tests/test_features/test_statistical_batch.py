@@ -1,0 +1,100 @@
+"""Columnar feature assembly parity: batched == scalar, bit for bit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.features import FeatureManager
+from repro.features.statistical import (
+    UserLogIndex,
+    statistical_features,
+    statistical_features_batch,
+)
+
+
+@pytest.fixture(scope="module")
+def index(tiny_dataset):
+    return UserLogIndex(tiny_dataset.logs)
+
+
+class TestVectorizedConstruction:
+    def test_matches_reference_tables(self, tiny_dataset, index):
+        """The lexsort constructor reproduces the pinned per-user-sort
+        construction exactly: same keys, same order, same log objects."""
+        by_user, by_time = UserLogIndex.reference_tables(tiny_dataset.logs)
+        assert list(index._logs) == list(by_user)  # insertion order too
+        for uid in by_user:
+            assert index._logs[uid] == by_user[uid]
+            assert index._times[uid] == by_time[uid]
+
+    def test_stable_on_equal_timestamps(self, tiny_dataset):
+        """Ties keep input order (lexsort stability == list.sort stability)."""
+        logs = list(tiny_dataset.logs[:50])
+        tied = [l for l in logs]
+        for log in logs[:25]:
+            tied.append(type(log)(uid=log.uid, btype=log.btype, value=log.value,
+                                  timestamp=log.timestamp))
+        got = UserLogIndex(tied)
+        by_user, _ = UserLogIndex.reference_tables(tied)
+        for uid in by_user:
+            assert got._logs[uid] == by_user[uid]
+
+    def test_empty_logs(self):
+        empty = UserLogIndex([])
+        assert empty.users() == []
+        assert empty.count_before(1, 1e12) == 0
+        assert empty.logs_before(1, 1e12) == []
+
+
+class TestCountBefore:
+    def test_equals_len_logs_before(self, tiny_dataset, index):
+        times = [l.timestamp for l in tiny_dataset.logs]
+        cuts = np.quantile(times, [0.0, 0.1, 0.5, 0.9, 1.0])
+        for uid in index.users()[:40]:
+            for as_of in cuts:
+                assert index.count_before(uid, as_of) == len(
+                    index.logs_before(uid, as_of)
+                )
+
+    def test_unknown_user(self, index):
+        assert index.count_before(10**9, 1e12) == 0
+
+
+class TestStatisticalBatchParity:
+    def test_bitexact_rows(self, tiny_dataset, index):
+        times = [l.timestamp for l in tiny_dataset.logs]
+        end = max(times)
+        pairs = []
+        for uid in index.users()[:60]:
+            first = index._times[uid][0]
+            pairs.extend(
+                [
+                    (uid, end),
+                    (uid, (first + end) / 2.0),
+                    (uid, first - 1.0),  # empty history
+                ]
+            )
+        pairs.append((10**9, end))  # unknown user
+        batch = statistical_features_batch(index, pairs)
+        for row, (uid, as_of) in zip(batch, pairs):
+            np.testing.assert_array_equal(
+                row, statistical_features(index, uid, as_of)
+            )
+
+    def test_empty_pairs(self, index):
+        assert statistical_features_batch(index, []).shape[0] == 0
+
+
+class TestVectorBatchParity:
+    def test_bitexact_vs_scalar_vector(self, tiny_dataset):
+        manager = FeatureManager(tiny_dataset, include_stats=True)
+        transactions = tiny_dataset.transactions[:24]
+        # Mix of target-style (explicit as_of) and context-style (audit time).
+        as_ofs = [
+            t.audit_at if i % 2 == 0 else None for i, t in enumerate(transactions)
+        ]
+        batch = manager.vector_batch(transactions, as_ofs)
+        assert len(batch) == len(transactions)
+        for row, txn, as_of in zip(batch, transactions, as_ofs):
+            np.testing.assert_array_equal(row, manager.vector(txn, as_of=as_of))

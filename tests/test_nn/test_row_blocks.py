@@ -1,0 +1,89 @@
+"""Row-blocked matmul: per-block GEMMs inside one packed traversal.
+
+OpenBLAS GEMM is not row-stable — ``(vstack(A, B) @ W)[:len(A)]`` is not
+bit-identical to ``A @ W`` in general — so the packed batch forward wraps
+its traversal in ``nn.row_blocks(boundaries)``: every 2-D dense matmul whose
+left operand spans the full packed row count is computed block by block,
+reproducing the per-request bits, while everything else runs packed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+
+
+@pytest.fixture()
+def blocks(rng):
+    sizes = [3, 1, 8, 5]
+    boundaries = np.concatenate(([0], np.cumsum(sizes)))
+    parts = [rng.normal(size=(n, 6)) for n in sizes]
+    return boundaries, parts
+
+
+class TestRowBlocks:
+    def test_blocked_matmul_matches_per_block_bits(self, rng, blocks):
+        boundaries, parts = blocks
+        weight = Tensor(rng.normal(size=(6, 4)))
+        packed = Tensor(np.vstack(parts))
+        with nn.row_blocks(boundaries):
+            out = (packed @ weight).data
+        for part, start, stop in zip(parts, boundaries[:-1], boundaries[1:]):
+            np.testing.assert_array_equal(
+                out[start:stop], (Tensor(part) @ weight).data
+            )
+
+    def test_matvec_blocked_too(self, rng, blocks):
+        boundaries, parts = blocks
+        vector = Tensor(rng.normal(size=6))
+        packed = Tensor(np.vstack(parts))
+        with nn.row_blocks(boundaries):
+            out = (packed @ vector).data
+        for part, start, stop in zip(parts, boundaries[:-1], boundaries[1:]):
+            np.testing.assert_array_equal(
+                out[start:stop], (Tensor(part) @ vector).data
+            )
+
+    def test_non_matching_shapes_pass_through(self, rng, blocks):
+        """Only left operands spanning the packed row count are blocked —
+        weight @ weight style products inside the context stay one GEMM."""
+        boundaries, _parts = blocks
+        a = Tensor(rng.normal(size=(6, 5)))
+        b = Tensor(rng.normal(size=(5, 3)))
+        plain = (a @ b).data
+        with nn.row_blocks(boundaries):
+            inside = (a @ b).data
+        np.testing.assert_array_equal(inside, plain)
+
+    def test_context_restores_previous_state(self, blocks):
+        boundaries, _parts = blocks
+        with nn.row_blocks(boundaries):
+            inner = np.asarray([0, 2, 4])
+            with nn.row_blocks(inner):
+                pass
+            # Outer boundaries restored after the inner context exits.
+            from repro.nn import tensor as tensor_module
+
+            np.testing.assert_array_equal(tensor_module._ROW_BLOCKS, boundaries)
+        assert tensor_module._ROW_BLOCKS is None
+
+    def test_gradients_flow_through_blocked_matmul(self, rng, blocks):
+        boundaries, parts = blocks
+        weight = Tensor(rng.normal(size=(6, 4)), requires_grad=True)
+        packed = Tensor(np.vstack(parts), requires_grad=True)
+        with nn.row_blocks(boundaries):
+            ((packed @ weight).sum()).backward()
+        assert weight.grad is not None
+        assert packed.grad is not None
+        assert np.isfinite(weight.grad).all()
+
+    def test_invalid_boundaries_rejected(self):
+        with pytest.raises(ValueError):
+            nn.row_blocks(np.asarray([1, 2, 3]))  # must start at 0
+        with pytest.raises(ValueError):
+            nn.row_blocks(np.asarray([0, 3, 2]))  # must be non-decreasing
+        with pytest.raises(ValueError):
+            nn.row_blocks(np.zeros((2, 2)))  # must be 1-D
