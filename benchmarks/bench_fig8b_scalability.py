@@ -9,6 +9,13 @@ the same request set sampled through ``computation_subgraphs_batch`` (union
 frontier, shared neighbour rankings) and scored through one packed
 ``predict_subgraphs`` forward, amortized per request.  The batched results
 are asserted bit-for-bit equal to the scalar ones at every scale.
+
+Since the sharding PR the table additionally carries a shard-count column:
+the same requests served data-parallel off a hash-partitioned BN facade
+(``SHARDS`` request partitions over one merged shard index), reported on
+the deployment clock (slowest partition — partitions run on separate
+cores in production).  Sharded results are asserted bit-for-bit equal to
+the batched ones at every scale.
 """
 
 from __future__ import annotations
@@ -20,11 +27,19 @@ import numpy as np
 from repro.core import HAG, TrainConfig, prepare_aggregators, train_node_classifier
 from repro.datagen import make_d1
 from repro.eval.runner import prepare_experiment
-from repro.network import BNBuilder, computation_subgraph, computation_subgraphs_batch
+from repro.network import (
+    BNBuilder,
+    ShardedBehaviorNetwork,
+    computation_subgraph,
+    computation_subgraphs_batch,
+    shard_of,
+)
+from repro.system import index_sample_batch
 
 from _shared import SCALE, WINDOWS, emit, emit_header, once
 
 SCALES = (0.15, 0.3, 0.6)
+SHARDS = 2
 
 
 def measure_at_scale(scale: float) -> dict[str, float]:
@@ -69,9 +84,12 @@ def measure_at_scale(scale: float) -> dict[str, float]:
     scalar_probs = []
     for uid in uids:
         start = time.perf_counter()
+        # Sampler default = sorted type order — the canonical order the
+        # merged shard index also uses, so all three serving modes expand
+        # frontiers identically (prediction still packs per
+        # ``data.edge_types``).
         subgraph = computation_subgraph(
-            data.bn, uid, hops=2, fanout=10, allowed=allowed,
-            edge_types=data.edge_types,
+            data.bn, uid, hops=2, fanout=10, allowed=allowed
         )
         sample_times.append(time.perf_counter() - start)
         features = data.features[[index[v] for v in subgraph.nodes]]
@@ -86,8 +104,7 @@ def measure_at_scale(scale: float) -> dict[str, float]:
     # and one packed forward, amortized per request — bit-exact by contract.
     start = time.perf_counter()
     batch_subgraphs, _stats = computation_subgraphs_batch(
-        data.bn, uids, hops=2, fanout=10, allowed=allowed,
-        edge_types=data.edge_types,
+        data.bn, uids, hops=2, fanout=10, allowed=allowed
     )
     batch_sample_s = time.perf_counter() - start
     batch_features = [
@@ -99,6 +116,40 @@ def measure_at_scale(scale: float) -> dict[str, float]:
     )
     batch_predict_s = time.perf_counter() - start
     assert batch_probs == scalar_probs, "batched predictions diverged from scalar"
+
+    # Sharded mode: the same requests partitioned by owner shard over one
+    # merged shard index, each partition sampled + scored independently.
+    # Deployment clock = slowest partition; bit-exact vs the batched path.
+    sharded = ShardedBehaviorNetwork.from_network(data.bn, SHARDS)
+    shard_index = sharded.index()
+    owners = shard_of(np.asarray(uids, dtype=np.int64), SHARDS)
+    partition_s = []
+    sharded_probs: dict[int, float] = {}
+    for shard_id in range(SHARDS):
+        member = np.flatnonzero(owners == shard_id)
+        if not len(member):
+            partition_s.append(0.0)
+            continue
+        part_uids = [uids[i] for i in member]
+        start = time.perf_counter()
+        part_subgraphs, _pstats = index_sample_batch(
+            shard_index, part_uids, hops=2, fanout=10, allowed=allowed
+        )
+        part_features = [
+            data.features[[index[v] for v in sg.nodes]] for sg in part_subgraphs
+        ]
+        part_probs = model.predict_subgraphs(
+            part_subgraphs, part_features, edge_type_order=data.edge_types
+        )
+        partition_s.append(time.perf_counter() - start)
+        for j, i in enumerate(member):
+            assert_sub = part_subgraphs[j]
+            assert assert_sub.nodes == batch_subgraphs[i].nodes
+            sharded_probs[int(i)] = part_probs[j]
+    assert [sharded_probs[i] for i in range(len(uids))] == batch_probs, (
+        "sharded predictions diverged from batched"
+    )
+    shard_serve_s = max(partition_s)
     return {
         "nodes": float(len(data.nodes)),
         "edges": float(data.bn.num_edges()),
@@ -110,6 +161,8 @@ def measure_at_scale(scale: float) -> dict[str, float]:
         "predict_ms": 1000 * float(np.mean(predict_times)),
         "batch_sample_ms": 1000 * batch_sample_s / len(uids),
         "batch_predict_ms": 1000 * batch_predict_s / len(uids),
+        "shards": float(SHARDS),
+        "shard_serve_ms": 1000 * shard_serve_s / len(uids),
         "subgraph_nodes": float(np.mean(sizes)),
     }
 
@@ -124,7 +177,8 @@ def test_fig8b_scalability(benchmark):
     emit(
         f"{'scale':>6}{'nodes':>8}{'edges':>9}{'ingest s':>10}{'logs/s':>9}"
         f"{'train s/ep':>12}{'sample ms':>11}{'predict ms':>12}"
-        f"{'b.sample':>10}{'b.predict':>11}{'|G_v|':>8}"
+        f"{'b.sample':>10}{'b.predict':>11}{'shards':>8}{'sh.serve':>10}"
+        f"{'|G_v|':>8}"
     )
     for scale, row in sweep.items():
         emit(
@@ -132,13 +186,17 @@ def test_fig8b_scalability(benchmark):
             f"{row['ingest_s']:>10.2f}{row['ingest_logs_per_s']:>9.0f}"
             f"{row['train_s_per_epoch']:>12.2f}{row['sample_ms']:>11.1f}"
             f"{row['predict_ms']:>12.1f}{row['batch_sample_ms']:>10.1f}"
-            f"{row['batch_predict_ms']:>11.1f}{row['subgraph_nodes']:>8.0f}"
+            f"{row['batch_predict_ms']:>11.1f}{row['shards']:>8.0f}"
+            f"{row['shard_serve_ms']:>10.1f}{row['subgraph_nodes']:>8.0f}"
         )
     emit()
     emit("Paper shape: training cost grows with BN size; per-request sampling")
     emit("and prediction latencies grow slowly (inductive, subgraph-bounded).")
     emit("b.sample / b.predict: the same 20 requests through the batched path")
     emit("(union-frontier sampling, one packed forward), amortized per request.")
+    emit("sh.serve: the same requests partitioned across BN shards and served")
+    emit("data-parallel off the merged shard index, deployment clock (slowest")
+    emit("partition), amortized per request — bit-exact vs the batched path.")
 
     small, large = sweep[SCALES[0]], sweep[SCALES[-1]]
     population_growth = large["nodes"] / small["nodes"]

@@ -12,7 +12,11 @@ stack and asserts the recovery invariants of ``docs/RESILIENCE.md``:
   unlucky tail degrades;
 * ``bn_server_brownout`` — a latency spike on the BN server blows the
   per-request budget; the circuit breaker opens and restores fast
-  (degraded) serving until the spike clears.
+  (degraded) serving until the spike clears;
+* ``shard_brownout`` — one BN shard of a sharded deployment crashes;
+  sampling continues on the surviving frontier and affected requests are
+  served by the real HAG model tagged ``"partial"`` (not the fallback
+  stack), until the operator recovers the shard.
 
 Every scenario runs three phases — healthy baseline, chaos, recovery —
 and checks, per scenario:
@@ -85,7 +89,7 @@ def _experiment():
     )
 
 
-def _deploy(replicated: bool):
+def _deploy(replicated: bool, shards: int = 1):
     """A fresh system per scenario (shared experiment, fresh storage/model)."""
     turbo, data = deploy_turbo(
         _dataset(),
@@ -95,6 +99,7 @@ def _deploy(replicated: bool):
         seed=0,
         data=_experiment(),
         replicated=replicated,
+        shards=shards,
     )
     turbo.monitor.set_slo(
         FULL_SLO_MS, degraded_target_ms=DEGRADED_SLO_MS, error_budget=0.05
@@ -124,9 +129,14 @@ def _replay(turbo, txns):
 
 
 def _fallback_bitexact(turbo, responses, txn_by_id) -> bool:
-    """Every degraded response must equal the fallback decision bit-for-bit."""
+    """Every degraded response must equal the fallback decision bit-for-bit.
+
+    ``"partial"`` responses are excluded: a shard-loss request is still
+    served by the real HAG model over the surviving frontier, so its
+    probability comes from the model, not the fallback stack.
+    """
     for response in responses:
-        if response.degradation == "full":
+        if response.degradation in ("full", "partial"):
             continue
         decision = turbo.fallbacks.decide(txn_by_id[response.txn_id])
         if (
@@ -368,6 +378,58 @@ def scenario_bn_server_brownout() -> dict:
     )
 
 
+def scenario_shard_brownout() -> dict:
+    """One BN shard dies: partial serving on the surviving frontier."""
+    turbo, _data = _deploy(replicated=False, shards=2)
+    txns = _request_stream(turbo, REQUESTS)
+    txn_by_id = {t.txn_id: t for t in txns}
+    third = len(txns) // 3
+    pre, chaos, post = txns[:third], txns[third : 2 * third], txns[2 * third :]
+    uncaught: list[str] = []
+
+    pre_resp, err = _replay(turbo, pre)
+    uncaught += err
+    baseline = {r.txn_id: r.probability for r in pre_resp}
+
+    turbo.faults.add_crash("bn_shard1", 0.0, 1e12)
+    chaos_resp, err = _replay(turbo, chaos)
+    uncaught += err
+
+    turbo.faults.clear_plans("bn_shard1")
+    turbo.recover()  # also resets the per-shard breakers
+    post_resp, err = _replay(turbo, post)
+    uncaught += err
+    recheck, err = _replay(turbo, pre)
+    uncaught += err
+    recovered = {r.txn_id: r.probability for r in recheck}
+
+    partial = [r for r in chaos_resp if r.degradation == "partial"]
+    return _finish(
+        "shard_brownout",
+        turbo,
+        txn_by_id,
+        baseline,
+        recovered,
+        [
+            ("pre", pre_resp),
+            ("chaos_shard_down", chaos_resp),
+            ("post_recovery", post_resp),
+        ],
+        uncaught,
+        extra={
+            # Losing a shard surfaces partial degradation (not an outage)...
+            "partial_degradation_surfaced": bool(partial)
+            and all(r.degradation_reason == "shard_down" for r in partial),
+            # ...and partial requests still ride the graph path: the HAG
+            # probability is real, never the scorecard fallback.
+            "no_fallback_during_brownout": all(
+                r.degradation in ("full", "partial") for r in chaos_resp
+            ),
+            "chaos_p99_under_slo": _p99_ms(chaos_resp) < FULL_SLO_MS,
+        },
+    )
+
+
 # ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
@@ -379,6 +441,7 @@ def run_harness() -> dict:
         scenario_primary_db_outage(),
         scenario_cache_flap(),
         scenario_bn_server_brownout(),
+        scenario_shard_brownout(),
     ]
     result = {
         "scale": SCALE,

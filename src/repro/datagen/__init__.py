@@ -15,6 +15,7 @@ from .entities import DAY, HOUR, MINUTE, SECOND, BehaviorLog, Dataset, Transacti
 from .datasets import DatasetStatistics, dataset_statistics, make_d1, make_d2
 from .drift import DriftPeriod, DriftScenario, generate_drift_scenario
 from .generator import LeasingPlatformSimulator, UserPersona
+from .scale import EdgeChunk, ScaleConfig, edge_stream, sample_targets
 
 __all__ = [
     "BehaviorType",
@@ -32,6 +33,10 @@ __all__ = [
     "dataset_statistics",
     "make_d1",
     "make_d2",
+    "ScaleConfig",
+    "EdgeChunk",
+    "edge_stream",
+    "sample_targets",
     "DriftPeriod",
     "DriftScenario",
     "generate_drift_scenario",

@@ -18,6 +18,14 @@ from .sampling import (
     computation_subgraph,
     computation_subgraphs_batch,
 )
+from .sharding import (
+    ShardBlock,
+    ShardIndex,
+    ShardedBehaviorNetwork,
+    build_shard_index,
+    shard_of,
+)
+from .shm import AttachedSegment, SegmentHandle, SharedSnapshotStore, attach_segment
 from .snapshot import BNSnapshot, TypedEdgeArrays, build_snapshot
 from .windows import FAST_WINDOWS, PAPER_WINDOWS, validate_windows
 
@@ -43,6 +51,15 @@ __all__ = [
     "computation_subgraph",
     "computation_subgraphs_batch",
     "BatchSampleStats",
+    "shard_of",
+    "ShardBlock",
+    "ShardIndex",
+    "ShardedBehaviorNetwork",
+    "build_shard_index",
+    "SegmentHandle",
+    "AttachedSegment",
+    "SharedSnapshotStore",
+    "attach_segment",
     "PAPER_WINDOWS",
     "FAST_WINDOWS",
     "validate_windows",

@@ -19,7 +19,13 @@ from ..datagen.entities import DAY
 from .segments import INT64_SAFE_SPAN, segment_fold_max, segment_fold_sum
 from .snapshot import BNSnapshot, build_snapshot
 
-__all__ = ["EdgeRecord", "BehaviorNetwork", "DEFAULT_EDGE_TTL"]
+__all__ = [
+    "EdgeRecord",
+    "BehaviorNetwork",
+    "DEFAULT_EDGE_TTL",
+    "WeightGroups",
+    "prepare_weight_groups",
+]
 
 #: Section V: "a max TTL is set to 60 days for each edge".
 DEFAULT_EDGE_TTL: float = 60.0 * DAY
@@ -42,6 +48,167 @@ def _key(u: int, v: int) -> tuple[int, int]:
     return (u, v) if u < v else (v, u)
 
 
+@dataclass(slots=True)
+class WeightGroups:
+    """One ``add_weights`` batch, validated, grouped and reduced per typed edge.
+
+    Produced by :func:`prepare_weight_groups` — the stateless half of batched
+    ingest (validation, lo/hi canonicalization, stable grouping, segment
+    folds, key boxing).  Applying it with
+    :meth:`BehaviorNetwork.apply_weight_groups` is bit-for-bit the original
+    ``add_weights``.  The split exists so a sharded deployment's router tier
+    can run the preparation for every owner shard off the shard workers'
+    critical path (see :mod:`repro.network.sharding`).
+    """
+
+    n: int  # contributions in the batch
+    w_s: np.ndarray  # weights in grouped order
+    starts: np.ndarray  # segment starts into the grouped columns
+    lengths: np.ndarray  # segment lengths
+    key_lo: list[int]  # per-segment pair lo
+    key_hi: list[int]  # per-segment pair hi
+    key_types: list[BehaviorType]  # per-segment behavior type
+    totals: list[float]  # per-segment left-to-right fold from a 0.0 seed
+    ts_scalar: float  # shared stamp when ``latest`` is None
+    latest: list[float] | None  # per-segment max timestamp (None: scalar ts)
+    bucket_ids: list[int] | None  # per-segment expiry bucket (None: scalar ts)
+
+
+def prepare_weight_groups(
+    u: Sequence[int] | np.ndarray,
+    v: Sequence[int] | np.ndarray,
+    btypes: BehaviorType | Sequence[BehaviorType] | np.ndarray,
+    weights: Sequence[float] | np.ndarray,
+    timestamps: Sequence[float] | np.ndarray,
+    btype_table: Sequence[BehaviorType] | None = None,
+    *,
+    expiry_width: float,
+) -> WeightGroups | None:
+    """Validate and group one ``add_weights`` batch; ``None`` when empty.
+
+    Pure function of the batch columns plus the target network's expiry
+    bucket width — no network state is read, so it can run on a different
+    process (the shard router) from the one that applies it.
+    """
+    u_arr = np.asarray(u, dtype=np.int64)
+    v_arr = np.asarray(v, dtype=np.int64)
+    w_arr = np.asarray(weights, dtype=np.float64)
+    scalar_ts = np.ndim(timestamps) == 0
+    ts_scalar = float(timestamps) if scalar_ts else 0.0
+    ts_arr = None if scalar_ts else np.asarray(timestamps, dtype=np.float64)
+    n = len(u_arr)
+    if not len(v_arr) == len(w_arr) == n:
+        raise ValueError("add_weights columns must share one length")
+    if ts_arr is not None and len(ts_arr) != n:
+        raise ValueError("add_weights columns must share one length")
+    single_type = isinstance(btypes, BehaviorType)
+    precoded = btype_table is not None and not single_type
+    if precoded:
+        code_arr = np.asarray(btypes, dtype=np.int64)
+        if len(code_arr) != n:
+            raise ValueError("add_weights columns must share one length")
+        if len(code_arr) and (
+            int(code_arr.min()) < 0 or int(code_arr.max()) >= len(btype_table)
+        ):
+            raise ValueError("add_weights type codes out of btype_table range")
+    elif not single_type:
+        type_list = list(btypes)
+        if len(type_list) != n:
+            raise ValueError("add_weights columns must share one length")
+    if n == 0:
+        return None
+    if np.any(w_arr <= 0):
+        raise ValueError("edge weight contributions must be positive")
+    if bool(np.all(u_arr < v_arr)):
+        # Canonical input (the pair enumerator emits u < v): no
+        # self-loops possible and no per-row min/max needed.
+        lo, hi = u_arr, v_arr
+    else:
+        if np.any(u_arr == v_arr):
+            raise ValueError("self-loops are not part of BN")
+        lo = np.minimum(u_arr, v_arr)
+        hi = np.maximum(u_arr, v_arr)
+    # Stable sort groups each typed edge's contributions contiguously
+    # while preserving their array order within the group.
+    boundary = np.empty(n, dtype=bool)
+    boundary[0] = True
+    if single_type:
+        order = np.lexsort((hi, lo))
+        lo_s, hi_s = lo[order], hi[order]
+        boundary[1:] = (lo_s[1:] != lo_s[:-1]) | (hi_s[1:] != hi_s[:-1])
+    else:
+        if precoded:
+            decode = list(btype_table)
+            codes = code_arr
+        else:
+            type_ids: dict[BehaviorType, int] = {}
+            codes = np.fromiter(
+                (type_ids.setdefault(t, len(type_ids)) for t in type_list),
+                dtype=np.int64,
+                count=n,
+            )
+            decode = list(type_ids)
+        # One packed int64 key sorts in a single stable (radix) pass
+        # instead of three lexsort passes; fall back to lexsort when the
+        # value spans could overflow the packing.
+        lo0, hi0 = int(lo.min()), int(hi.min())
+        span_hi = int(hi.max()) - hi0 + 1
+        span_code = int(codes.max()) + 1
+        span_lo = int(lo.max()) - lo0 + 1
+        if span_lo * span_hi * span_code < INT64_SAFE_SPAN:
+            packed = ((lo - lo0) * span_hi + (hi - hi0)) * span_code + codes
+            order = np.argsort(packed, kind="stable")
+            lo_s, hi_s, code_s = lo[order], hi[order], codes[order]
+            packed_s = packed[order]
+            boundary[1:] = packed_s[1:] != packed_s[:-1]
+        else:
+            order = np.lexsort((codes, hi, lo))
+            lo_s, hi_s, code_s = lo[order], hi[order], codes[order]
+            boundary[1:] = (
+                (lo_s[1:] != lo_s[:-1])
+                | (hi_s[1:] != hi_s[:-1])
+                | (code_s[1:] != code_s[:-1])
+            )
+    w_s = w_arr[order]
+    starts = np.flatnonzero(boundary)
+    lengths = np.diff(np.append(starts, n))
+
+    key_lo = lo_s[starts].tolist()
+    key_hi = hi_s[starts].tolist()
+    if single_type:
+        key_types: list[BehaviorType] = [btypes] * len(starts)
+    else:
+        key_types = [decode[c] for c in code_s[starts].tolist()]
+
+    # Reduce every segment as if its record started at weight 0.0 — exact
+    # for created records (``0.0 + x == x``); records that already exist
+    # are re-folded at apply time seeded with their current weight, which
+    # is the scalar path's accumulation order bit-for-bit.
+    totals = segment_fold_sum(w_s, starts, lengths).tolist()
+    if scalar_ts:
+        # Every contribution shares one stamp: the per-segment max is
+        # that stamp, and every registration lands in one bucket.
+        latest = None
+        bucket_ids = None
+    else:
+        latest_arr = segment_fold_max(ts_arr[order], starts, lengths)
+        latest = latest_arr.tolist()
+        bucket_ids = (latest_arr // expiry_width).astype(np.int64).tolist()
+    return WeightGroups(
+        n=n,
+        w_s=w_s,
+        starts=starts,
+        lengths=lengths,
+        key_lo=key_lo,
+        key_hi=key_hi,
+        key_types=key_types,
+        totals=totals,
+        ts_scalar=ts_scalar,
+        latest=latest,
+        bucket_ids=bucket_ids,
+    )
+
+
 class BehaviorNetwork:
     """Typed, weighted, timestamped user-user multigraph.
 
@@ -55,7 +222,17 @@ class BehaviorNetwork:
             raise ValueError("ttl must be positive")
         self.ttl = ttl
         self._edges: dict[tuple[int, int], dict[BehaviorType, EdgeRecord]] = {}
-        self._adjacency: dict[int, set[int]] = {}
+        # Insertion-ordered neighbour index (dict-as-ordered-set): neighbour
+        # iteration order equals pair-creation order, which is what lets a
+        # sharded deployment reconstruct the exact same order from flat
+        # arrays (see repro.network.sharding).
+        self._adjacency: dict[int, dict[int, None]] = {}
+        # Pair-creation sequence tags: ``(lo, hi) -> seq`` stamped when the
+        # pair first appears (and re-stamped on re-creation after expiry).
+        # Sorting pairs by ``(seq, lo, hi)`` reproduces ``_edges`` insertion
+        # order because one batch creates its pairs in (lo, hi) order.
+        self._pair_seq: dict[tuple[int, int], int] = {}
+        self._next_seq = 0
         self._version = 0
         self._snapshot: BNSnapshot | None = None
         self._num_edges = 0
@@ -69,21 +246,40 @@ class BehaviorNetwork:
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
+    def _take_seq(self, seq: int | None) -> int:
+        """Claim a pair-creation sequence value, keeping the counter monotone."""
+        if seq is None:
+            seq = self._next_seq
+        self._next_seq = max(self._next_seq, seq + 1)
+        return seq
+
     def add_weight(
-        self, u: int, v: int, btype: BehaviorType, weight: float, timestamp: float
+        self,
+        u: int,
+        v: int,
+        btype: BehaviorType,
+        weight: float,
+        timestamp: float,
+        seq: int | None = None,
     ) -> None:
         """Accumulate ``weight`` onto the typed edge ``(u, v, btype)``.
 
         Thin scalar wrapper over the same record-update core as
         :meth:`add_weights`; every call bumps the snapshot version (batch
-        callers should use :meth:`add_weights`, which bumps once).
+        callers should use :meth:`add_weights`, which bumps once).  ``seq``
+        overrides the pair-creation sequence tag (sharded deployments pass
+        one global value so shards agree on creation order).
         """
         if u == v:
             raise ValueError("self-loops are not part of BN")
         if weight <= 0:
             raise ValueError("edge weight contributions must be positive")
         key = _key(u, v)
-        records = self._edges.setdefault(key, {})
+        records = self._edges.get(key)
+        if records is None:
+            records = {}
+            self._edges[key] = records
+            self._pair_seq[key] = self._take_seq(seq)
         record = records.get(btype)
         if record is None:
             record = EdgeRecord()
@@ -91,8 +287,8 @@ class BehaviorNetwork:
             self._num_edges += 1
         record.weight += weight
         record.last_update = max(record.last_update, timestamp)
-        self._adjacency.setdefault(u, set()).add(v)
-        self._adjacency.setdefault(v, set()).add(u)
+        self._adjacency.setdefault(u, {})[v] = None
+        self._adjacency.setdefault(v, {})[u] = None
         self._register_expiry(key, btype, record.last_update)
         self._version += 1
 
@@ -104,6 +300,7 @@ class BehaviorNetwork:
         weights: Sequence[float] | np.ndarray,
         timestamps: Sequence[float] | np.ndarray,
         btype_table: Sequence[BehaviorType] | None = None,
+        seq: int | None = None,
     ) -> int:
         """Apply a batch of weight contributions with **one** version bump.
 
@@ -127,113 +324,49 @@ class BehaviorNetwork:
         timestamp reduction and registers all touched edges under one
         expiry bucket in bulk.
         """
-        u_arr = np.asarray(u, dtype=np.int64)
-        v_arr = np.asarray(v, dtype=np.int64)
-        w_arr = np.asarray(weights, dtype=np.float64)
-        scalar_ts = np.ndim(timestamps) == 0
-        ts_scalar = float(timestamps) if scalar_ts else 0.0
-        ts_arr = None if scalar_ts else np.asarray(timestamps, dtype=np.float64)
-        n = len(u_arr)
-        if not len(v_arr) == len(w_arr) == n:
-            raise ValueError("add_weights columns must share one length")
-        if ts_arr is not None and len(ts_arr) != n:
-            raise ValueError("add_weights columns must share one length")
-        single_type = isinstance(btypes, BehaviorType)
-        precoded = btype_table is not None and not single_type
-        if precoded:
-            code_arr = np.asarray(btypes, dtype=np.int64)
-            if len(code_arr) != n:
-                raise ValueError("add_weights columns must share one length")
-            if len(code_arr) and (
-                int(code_arr.min()) < 0 or int(code_arr.max()) >= len(btype_table)
-            ):
-                raise ValueError("add_weights type codes out of btype_table range")
-        elif not single_type:
-            type_list = list(btypes)
-            if len(type_list) != n:
-                raise ValueError("add_weights columns must share one length")
-        if n == 0:
+        groups = prepare_weight_groups(
+            u,
+            v,
+            btypes,
+            weights,
+            timestamps,
+            btype_table,
+            expiry_width=self._expiry_width,
+        )
+        if groups is None:
             return 0
-        if np.any(w_arr <= 0):
-            raise ValueError("edge weight contributions must be positive")
-        if bool(np.all(u_arr < v_arr)):
-            # Canonical input (the pair enumerator emits u < v): no
-            # self-loops possible and no per-row min/max needed.
-            lo, hi = u_arr, v_arr
-        else:
-            if np.any(u_arr == v_arr):
-                raise ValueError("self-loops are not part of BN")
-            lo = np.minimum(u_arr, v_arr)
-            hi = np.maximum(u_arr, v_arr)
-        # Stable sort groups each typed edge's contributions contiguously
-        # while preserving their array order within the group.
-        boundary = np.empty(n, dtype=bool)
-        boundary[0] = True
-        if single_type:
-            order = np.lexsort((hi, lo))
-            lo_s, hi_s = lo[order], hi[order]
-            boundary[1:] = (lo_s[1:] != lo_s[:-1]) | (hi_s[1:] != hi_s[:-1])
-        else:
-            if precoded:
-                decode = list(btype_table)
-                codes = code_arr
-            else:
-                type_ids: dict[BehaviorType, int] = {}
-                codes = np.fromiter(
-                    (type_ids.setdefault(t, len(type_ids)) for t in type_list),
-                    dtype=np.int64,
-                    count=n,
-                )
-                decode = list(type_ids)
-            # One packed int64 key sorts in a single stable (radix) pass
-            # instead of three lexsort passes; fall back to lexsort when the
-            # value spans could overflow the packing.
-            lo0, hi0 = int(lo.min()), int(hi.min())
-            span_hi = int(hi.max()) - hi0 + 1
-            span_code = int(codes.max()) + 1
-            span_lo = int(lo.max()) - lo0 + 1
-            if span_lo * span_hi * span_code < INT64_SAFE_SPAN:
-                packed = ((lo - lo0) * span_hi + (hi - hi0)) * span_code + codes
-                order = np.argsort(packed, kind="stable")
-                lo_s, hi_s, code_s = lo[order], hi[order], codes[order]
-                packed_s = packed[order]
-                boundary[1:] = packed_s[1:] != packed_s[:-1]
-            else:
-                order = np.lexsort((codes, hi, lo))
-                lo_s, hi_s, code_s = lo[order], hi[order], codes[order]
-                boundary[1:] = (
-                    (lo_s[1:] != lo_s[:-1])
-                    | (hi_s[1:] != hi_s[:-1])
-                    | (code_s[1:] != code_s[:-1])
-                )
-        w_s = w_arr[order]
-        starts = np.flatnonzero(boundary)
-        lengths = np.diff(np.append(starts, n))
+        return self.apply_weight_groups(groups, seq=seq)
 
-        key_lo = lo_s[starts].tolist()
-        key_hi = hi_s[starts].tolist()
-        if single_type:
-            key_types: list[BehaviorType] = [btypes] * len(starts)
-        else:
-            key_types = [decode[c] for c in code_s[starts].tolist()]
+    def apply_weight_groups(self, groups: WeightGroups, seq: int | None = None) -> int:
+        """Apply a prepared batch (see :func:`prepare_weight_groups`).
 
-        # Reduce every segment as if its record started at weight 0.0 — exact
-        # for created records (``0.0 + x == x``); records that already exist
-        # are re-folded below seeded with their current weight, which is the
-        # scalar path's accumulation order bit-for-bit.
-        totals = segment_fold_sum(w_s, starts, lengths).tolist()
-        if scalar_ts:
-            # Every contribution shares one stamp: the per-segment max is
-            # that stamp, and every registration lands in one bucket.
-            latest = None
-            bucket_ids = None
-        else:
-            latest_arr = segment_fold_max(ts_arr[order], starts, lengths)
-            latest = latest_arr.tolist()
-            bucket_ids = (latest_arr // self._expiry_width).astype(np.int64).tolist()
+        The stateful half of :meth:`add_weights`: walks the batch's typed-edge
+        segments once, mutating the edge/adjacency/expiry maps, then re-folds
+        the segments whose record already existed seeded with the record's
+        current weight.  ``groups`` must have been prepared with this
+        network's expiry bucket width.  One version bump; returns the number
+        of contributions applied.
+        """
+        n = groups.n
+        w_s = groups.w_s
+        starts = groups.starts
+        lengths = groups.lengths
+        key_lo = groups.key_lo
+        key_hi = groups.key_hi
+        key_types = groups.key_types
+        totals = groups.totals
+        scalar_ts = groups.latest is None
+        ts_scalar = groups.ts_scalar
+        latest = groups.latest
+        bucket_ids = groups.bucket_ids
 
         edges = self._edges
         adjacency = self._adjacency
+        pair_seq = self._pair_seq
+        # Pairs created by this batch share one sequence tag; within the
+        # batch they are created in (lo, hi) order, so ``(seq, lo, hi)``
+        # totally orders pair creation across batches.
+        batch_seq = self._take_seq(seq)
         created = 0
         warm_pos: list[int] = []
         warm_records: list[EdgeRecord] = []
@@ -244,16 +377,17 @@ class BehaviorNetwork:
             if records is None:
                 records = {}
                 edges[(a, b)] = records
+                pair_seq[(a, b)] = batch_seq
                 neighbours = adjacency.get(a)
                 if neighbours is None:
-                    adjacency[a] = {b}
+                    adjacency[a] = {b: None}
                 else:
-                    neighbours.add(b)
+                    neighbours[b] = None
                 neighbours = adjacency.get(b)
                 if neighbours is None:
-                    adjacency[b] = {a}
+                    adjacency[b] = {a: None}
                 else:
-                    neighbours.add(a)
+                    neighbours[a] = None
             record = records.get(btype)
             stamp = ts_scalar if latest is None else latest[k]
             if record is None:
@@ -305,7 +439,7 @@ class BehaviorNetwork:
     def add_node(self, uid: int) -> None:
         """Register a node even if it has no edges yet."""
         if uid not in self._adjacency:
-            self._adjacency[uid] = set()
+            self._adjacency[uid] = {}
             self._version += 1
 
     def _register_expiry(
@@ -356,8 +490,9 @@ class BehaviorNetwork:
                     removed += 1
                     if not records:
                         del edges[(a, b)]
-                        adjacency[a].discard(b)
-                        adjacency[b].discard(a)
+                        self._pair_seq.pop((a, b), None)
+                        adjacency[a].pop(b, None)
+                        adjacency[b].pop(a, None)
                 elif survivors is not None and int(record.last_update // width) == bucket_id:
                     survivors.add(key)
             if survivors:
@@ -386,8 +521,9 @@ class BehaviorNetwork:
                 dead_pairs.append(pair)
         for u, v in dead_pairs:
             del self._edges[(u, v)]
-            self._adjacency[u].discard(v)
-            self._adjacency[v].discard(u)
+            self._pair_seq.pop((u, v), None)
+            self._adjacency[u].pop(v, None)
+            self._adjacency[v].pop(u, None)
         self._num_edges -= removed
         if removed:
             self._version += 1

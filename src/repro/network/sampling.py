@@ -133,6 +133,9 @@ class BatchSampleStats:
     unique_nodes: int  # size of the union node set
     expansions: int  # (node, type) frontier expansions requested
     unique_expansions: int  # distinct (node, type) pairs actually expanded
+    #: Request indices served from an incomplete frontier because one or
+    #: more shards were down (always empty on the single-network path).
+    partial: tuple[int, ...] = ()
 
     @property
     def coalescing(self) -> float:

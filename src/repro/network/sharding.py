@@ -1,0 +1,914 @@
+"""Hash-partitioned sharding of the Behavior Network (ROADMAP item 1).
+
+The deployed Turbo serves hundreds of millions of edges by partitioning the
+BN across machines (PAPER.md Fig. 8b); this module is that substrate in
+reproduction form.  Users are routed to shards by a stable integer hash
+(:func:`shard_of`), every shard holds an ordinary
+:class:`~repro.network.bn.BehaviorNetwork`, and
+:class:`ShardedBehaviorNetwork` presents the union as one network with a
+single cross-shard mutation counter (the *version barrier*).
+
+Storage is **single-copy**: a pair ``(lo, hi)`` lives only on ``lo``'s owner
+shard, so one ingest batch splits into disjoint per-shard sub-batches and
+shard applies scale with the shard count (mirroring every edge on both
+endpoint owners would cap ingest speedup at ~2x).  The price is that no
+single shard can answer a neighbourhood query by itself — reads go through
+a published, merged :class:`ShardIndex` instead (the *publish-time mirror
+exchange*), which is exactly the read-only-snapshot serving split the
+deployment needs anyway (BRIGHT-style decoupling of graph access from
+scoring, PAPERS.md).
+
+Bit-exactness is the contract that makes all of this testable: the merged
+index reproduces, bit for bit, what the equivalent unsharded
+``BehaviorNetwork`` would expose —
+
+* pair-creation order is reconstructed from per-pair sequence tags
+  (``BehaviorNetwork`` stamps ``_pair_seq`` at creation; one ingest batch
+  shares a tag and creates its pairs in ``(lo, hi)`` order, so sorting by
+  ``(seq, lo, hi)`` is the global ``_edges`` insertion order);
+* per-type edge arrays, and therefore :class:`BNSnapshot` exports, match
+  the unsharded ``to_arrays()`` including ``np.add.at`` degree
+  accumulation order;
+* per-``(node, type)`` neighbour selection replays the exact
+  creation-order neighbour lists and stable top-``fanout`` ranking of
+  :func:`repro.network.sampling._select_neighbors`.
+
+``tests/test_network/test_sharding.py`` pins all three for shard counts
+{1, 2, 4, 8}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from ..datagen.behavior_types import BehaviorType
+from .bn import (
+    DEFAULT_EDGE_TTL,
+    BehaviorNetwork,
+    EdgeRecord,
+    WeightGroups,
+    prepare_weight_groups,
+)
+from .snapshot import BNSnapshot, TypedEdgeArrays
+
+__all__ = [
+    "shard_of",
+    "ShardBlock",
+    "ShardIndex",
+    "build_shard_index",
+    "ShardedBehaviorNetwork",
+]
+
+_MASK64 = (1 << 64) - 1
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+
+def shard_of(uids: Sequence[int] | np.ndarray, n_shards: int) -> np.ndarray:
+    """Stable ``uid -> shard`` routing (vectorized splitmix64 finalizer).
+
+    Pure function of ``(uid, n_shards)`` — the same user lands on the same
+    shard in every process, which is what lets ingest routing, the published
+    index and remote workers agree without coordination.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    z = np.asarray(uids, dtype=np.int64).astype(np.uint64)
+    z = z + np.uint64(0x9E3779B97F4A7C15)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    z = z ^ (z >> np.uint64(31))
+    return (z % np.uint64(n_shards)).astype(np.int64)
+
+
+def _shard_of_int(uid: int, n_shards: int) -> int:
+    """Scalar twin of :func:`shard_of` (bit-identical, no array overhead)."""
+    z = (int(uid) + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    z = z ^ (z >> 31)
+    return int(z % n_shards)
+
+
+@dataclass(slots=True)
+class ShardBlock:
+    """One shard's slice of the merged neighbour index.
+
+    ``own_positions`` are the snapshot positions this shard owns (sorted);
+    row ``i`` of the CSR (``indptr[i]:indptr[i+1]``) lists the half-edges of
+    ``own_positions[i]`` in pair-creation order: neighbour positions in
+    ``nbr_pos`` and the global pair-table index in ``pair_idx``.
+    """
+
+    own_positions: np.ndarray  # int64, sorted snapshot positions
+    indptr: np.ndarray  # int64, len(own_positions) + 1
+    nbr_pos: np.ndarray  # int64 neighbour snapshot positions
+    pair_idx: np.ndarray  # int64 indices into the global pair table
+
+    def row(self, position: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(nbr_pos, pair_idx)`` slices of one owned node's half-edges."""
+        local = int(np.searchsorted(self.own_positions, position))
+        start, end = int(self.indptr[local]), int(self.indptr[local + 1])
+        return self.nbr_pos[start:end], self.pair_idx[start:end]
+
+
+@dataclass
+class ShardIndex:
+    """The published, merged, read-only view of a sharded BN.
+
+    The pair table (``pair_lo_pos``/``pair_hi_pos`` plus per-type dense
+    weight columns) is in global pair-creation order, so per-type masks of
+    it reproduce the unsharded snapshot's edge arrays verbatim; the
+    per-shard :class:`ShardBlock` CSRs give each worker creation-order
+    neighbour lists for the nodes it owns.  All fields are flat numpy
+    arrays — :meth:`to_payload` / :meth:`from_payload` round-trip the whole
+    index through ``multiprocessing.shared_memory`` segments zero-copy.
+    """
+
+    version: int
+    n_shards: int
+    node_ids: np.ndarray  # sorted int64 user ids
+    owner_of_pos: np.ndarray  # int64 owner shard per snapshot position
+    pair_lo_pos: np.ndarray  # int64, len P
+    pair_hi_pos: np.ndarray  # int64, len P
+    types: tuple[BehaviorType, ...]
+    type_weights: dict[BehaviorType, np.ndarray]  # dense P raw weights
+    type_norm_weights: dict[BehaviorType, np.ndarray]  # dense P normalized
+    type_last_update: dict[BehaviorType, np.ndarray]  # dense P timestamps
+    shards: list[ShardBlock]
+    _snapshot: BNSnapshot | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def num_pairs(self) -> int:
+        return len(self.pair_lo_pos)
+
+    def position_of(self, uid: int) -> int:
+        """Snapshot position of ``uid`` (-1 when not registered)."""
+        pos = int(np.searchsorted(self.node_ids, uid))
+        if pos < len(self.node_ids) and int(self.node_ids[pos]) == uid:
+            return pos
+        return -1
+
+    def neighbors(self, uid: int, btype: BehaviorType | None = None) -> list[int]:
+        """Creation-order neighbour ids (``BehaviorNetwork.neighbors`` parity)."""
+        pos = self.position_of(uid)
+        if pos < 0:
+            return []
+        block = self.shards[int(self.owner_of_pos[pos])]
+        nbr, pid = block.row(pos)
+        if btype is None:
+            return self.node_ids[nbr].tolist()
+        weights = self.type_weights.get(btype)
+        if weights is None:
+            return []
+        return self.node_ids[nbr[weights[pid] > 0.0]].tolist()
+
+    def select_neighbors(
+        self, uid: int, btype: BehaviorType, fanout: int | None
+    ) -> list[int]:
+        """Deterministic top-``fanout`` selection, bit-exact against
+        :func:`repro.network.sampling._select_neighbors` on the equivalent
+        unsharded network (same creation-order candidate list, same stable
+        ``argsort(-weights)`` ranking)."""
+        pos = self.position_of(uid)
+        if pos < 0:
+            return []
+        weights = self.type_weights.get(btype)
+        if weights is None:
+            return []
+        block = self.shards[int(self.owner_of_pos[pos])]
+        nbr, pid = block.row(pos)
+        w = weights[pid]
+        mask = w > 0.0
+        candidates = self.node_ids[nbr[mask]]
+        if fanout is None or len(candidates) <= fanout:
+            return candidates.tolist()
+        order = np.argsort(-w[mask], kind="stable")[:fanout]
+        return candidates[order].tolist()
+
+    def induced_entries(
+        self,
+        union_positions: np.ndarray,
+        types: Sequence[BehaviorType],
+        live_shards: Sequence[int] | None = None,
+    ) -> dict[BehaviorType, tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Per-type ``(iu, iv, w)`` entries induced by the union node set.
+
+        Frontier-local counterpart of
+        :func:`repro.network.adjacency._typed_entries`: instead of masking
+        every edge in the graph (O(E) per batch), gather the union nodes'
+        CSR rows (O(sum deg)), dedup pairs on their ``lo`` side, and sort
+        the surviving pair indices ascending — pair-table order **is**
+        snapshot edge order, so the kept entries match the full-graph mask
+        in content *and* order, which keeps the downstream per-request CSR
+        construction bit-exact.  ``union_positions`` may contain ``-1``
+        (unregistered nodes stay isolated rows, as in the dense path);
+        ``live_shards`` drops rows owned by dead shards (partial serving).
+        """
+        union_of_pos = np.full(self.num_nodes, -1, dtype=np.int64)
+        inside = union_positions >= 0
+        inside_pos = union_positions[inside]
+        union_of_pos[inside_pos] = np.flatnonzero(inside)
+        live = None if live_shards is None else set(int(s) for s in live_shards)
+        owner = self.owner_of_pos[inside_pos]
+        # Candidate pair ids are finished with np.unique (sorted), so the
+        # gather order is free — group union members by owner shard and
+        # slice every member's CSR row in one vectorized gather instead of
+        # a per-node Python loop (the serve-path hot spot at 10^6 nodes).
+        chunks: list[np.ndarray] = []
+        for s, block in enumerate(self.shards):
+            if live is not None and s not in live:
+                continue
+            members = inside_pos[owner == s]
+            if not len(members):
+                continue
+            local = np.searchsorted(block.own_positions, members)
+            starts = block.indptr[local]
+            lengths = block.indptr[local + 1] - starts
+            total = int(lengths.sum())
+            if not total:
+                continue
+            bounds = np.cumsum(lengths)
+            gidx = (
+                np.arange(total, dtype=np.int64)
+                - np.repeat(bounds - lengths, lengths)
+                + np.repeat(starts, lengths)
+            )
+            nbr = block.nbr_pos[gidx]
+            pid = block.pair_idx[gidx]
+            keep = (union_of_pos[nbr] >= 0) & (
+                self.pair_lo_pos[pid] == np.repeat(members, lengths)
+            )
+            if keep.any():
+                chunks.append(pid[keep])
+        candidates = (
+            np.unique(np.concatenate(chunks)) if chunks else _EMPTY_I64
+        )
+        out: dict[BehaviorType, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        for btype in types:
+            norm = self.type_norm_weights.get(btype)
+            if norm is None:
+                out[btype] = (_EMPTY_I64, _EMPTY_I64, np.empty(0))
+                continue
+            w = norm[candidates]
+            mask = w > 0.0
+            kept = candidates[mask]
+            out[btype] = (
+                union_of_pos[self.pair_lo_pos[kept]],
+                union_of_pos[self.pair_hi_pos[kept]],
+                w[mask],
+            )
+        return out
+
+    def snapshot(self) -> BNSnapshot:
+        """Merged :class:`BNSnapshot`, bit-exact against the unsharded
+        ``BehaviorNetwork.to_arrays()`` (same node order, same per-type edge
+        order, same weights — so the memoized degree accumulation inside the
+        snapshot replays identically too)."""
+        if self._snapshot is None:
+            edges: dict[BehaviorType, TypedEdgeArrays] = {}
+            for btype in self.types:
+                w = self.type_weights[btype]
+                idx = np.flatnonzero(w > 0.0)
+                edges[btype] = TypedEdgeArrays(
+                    rows=self.pair_lo_pos[idx],
+                    cols=self.pair_hi_pos[idx],
+                    weights=w[idx],
+                    last_update=self.type_last_update[btype][idx],
+                )
+            self._snapshot = BNSnapshot(
+                node_ids=self.node_ids, edges=edges, version=self.version
+            )
+        return self._snapshot
+
+    # ------------------------------------------------------------------
+    # Shared-memory round trip
+    # ------------------------------------------------------------------
+    def to_payload(self) -> tuple[dict[str, np.ndarray], dict[str, Any]]:
+        """Flatten to named arrays + JSON-safe meta for shm publication."""
+        arrays: dict[str, np.ndarray] = {
+            "node_ids": self.node_ids,
+            "owner_of_pos": self.owner_of_pos,
+            "pair_lo_pos": self.pair_lo_pos,
+            "pair_hi_pos": self.pair_hi_pos,
+        }
+        for btype in self.types:
+            arrays[f"w:{btype.value}"] = self.type_weights[btype]
+            arrays[f"wn:{btype.value}"] = self.type_norm_weights[btype]
+            arrays[f"lu:{btype.value}"] = self.type_last_update[btype]
+        for s, block in enumerate(self.shards):
+            arrays[f"blk{s}:own"] = block.own_positions
+            arrays[f"blk{s}:indptr"] = block.indptr
+            arrays[f"blk{s}:nbr"] = block.nbr_pos
+            arrays[f"blk{s}:pair"] = block.pair_idx
+        meta = {
+            "version": self.version,
+            "n_shards": self.n_shards,
+            "types": [btype.value for btype in self.types],
+        }
+        return arrays, meta
+
+    @classmethod
+    def from_payload(
+        cls, arrays: dict[str, np.ndarray], meta: dict[str, Any]
+    ) -> "ShardIndex":
+        """Rebuild from :meth:`to_payload` output (views are kept as-is)."""
+        types = tuple(BehaviorType(value) for value in meta["types"])
+        n_shards = int(meta["n_shards"])
+        return cls(
+            version=int(meta["version"]),
+            n_shards=n_shards,
+            node_ids=arrays["node_ids"],
+            owner_of_pos=arrays["owner_of_pos"],
+            pair_lo_pos=arrays["pair_lo_pos"],
+            pair_hi_pos=arrays["pair_hi_pos"],
+            types=types,
+            type_weights={t: arrays[f"w:{t.value}"] for t in types},
+            type_norm_weights={t: arrays[f"wn:{t.value}"] for t in types},
+            type_last_update={t: arrays[f"lu:{t.value}"] for t in types},
+            shards=[
+                ShardBlock(
+                    own_positions=arrays[f"blk{s}:own"],
+                    indptr=arrays[f"blk{s}:indptr"],
+                    nbr_pos=arrays[f"blk{s}:nbr"],
+                    pair_idx=arrays[f"blk{s}:pair"],
+                )
+                for s in range(n_shards)
+            ],
+        )
+
+
+def _export_pair_table(
+    bn: BehaviorNetwork,
+) -> tuple[
+    np.ndarray,
+    np.ndarray,
+    np.ndarray,
+    dict[BehaviorType, np.ndarray],
+    dict[BehaviorType, np.ndarray],
+]:
+    """One pass over a shard's edge dict -> (lo, hi, seq, w-by-type, lu-by-type).
+
+    Rows come out in the shard's ``_edges`` insertion order; per-type dense
+    columns carry 0.0 where the pair lacks the type (edge weights are
+    strictly positive, so 0.0 unambiguously means "absent").
+    """
+    count = len(bn._edges)
+    lo = np.empty(count, dtype=np.int64)
+    hi = np.empty(count, dtype=np.int64)
+    seq = np.empty(count, dtype=np.int64)
+    w_by: dict[BehaviorType, np.ndarray] = {}
+    lu_by: dict[BehaviorType, np.ndarray] = {}
+    pair_seq = bn._pair_seq
+    for i, ((a, b), records) in enumerate(bn._edges.items()):
+        lo[i] = a
+        hi[i] = b
+        seq[i] = pair_seq[(a, b)]
+        for btype, record in records.items():
+            w_col = w_by.get(btype)
+            if w_col is None:
+                w_col = np.zeros(count)
+                w_by[btype] = w_col
+                lu_col = np.zeros(count)
+                lu_by[btype] = lu_col
+            else:
+                lu_col = lu_by[btype]
+            w_col[i] = record.weight
+            lu_col[i] = record.last_update
+    return lo, hi, seq, w_by, lu_by
+
+
+def build_shard_index(
+    shards: Sequence[BehaviorNetwork], n_shards: int, version: int
+) -> ShardIndex:
+    """Merge per-shard pair tables into one :class:`ShardIndex`.
+
+    This is the publish-time mirror exchange: each shard exports only the
+    pairs it stores (single copy, owner of ``lo``); the merge sorts the
+    concatenation by ``(seq, lo, hi)`` — the global pair-creation order —
+    and then redistributes *half-edges* to the owner of each endpoint, so
+    every shard block can serve creation-order neighbour lists for all the
+    nodes it owns, including those whose pairs live elsewhere.
+    """
+    tables = [_export_pair_table(shard) for shard in shards]
+    lo = np.concatenate([t[0] for t in tables])
+    hi = np.concatenate([t[1] for t in tables])
+    seq = np.concatenate([t[2] for t in tables])
+    order = np.lexsort((hi, lo, seq))
+    lo, hi = lo[order], hi[order]
+    types = tuple(sorted(set().union(*(t[3].keys() for t in tables))))
+    type_weights: dict[BehaviorType, np.ndarray] = {}
+    type_last_update: dict[BehaviorType, np.ndarray] = {}
+    for btype in types:
+        w_parts = [
+            t[3].get(btype, None) for t in tables
+        ]
+        lu_parts = [t[4].get(btype, None) for t in tables]
+        w_parts = [
+            part if part is not None else np.zeros(len(t[0]))
+            for part, t in zip(w_parts, tables)
+        ]
+        lu_parts = [
+            part if part is not None else np.zeros(len(t[0]))
+            for part, t in zip(lu_parts, tables)
+        ]
+        type_weights[btype] = np.concatenate(w_parts)[order]
+        type_last_update[btype] = np.concatenate(lu_parts)[order]
+
+    node_arrays = [
+        np.fromiter(shard._adjacency.keys(), dtype=np.int64, count=len(shard._adjacency))
+        for shard in shards
+    ]
+    node_ids = np.unique(np.concatenate(node_arrays)) if node_arrays else _EMPTY_I64
+    lo_pos = np.searchsorted(node_ids, lo)
+    hi_pos = np.searchsorted(node_ids, hi)
+    owner_of_pos = shard_of(node_ids, n_shards)
+
+    type_norm: dict[BehaviorType, np.ndarray] = {}
+    num_pairs = len(lo)
+    for btype in types:
+        w = type_weights[btype]
+        mask = w > 0.0
+        idx = np.flatnonzero(mask)
+        rows, cols, values = lo_pos[idx], hi_pos[idx], w[idx]
+        # Replays BNSnapshot.weighted_degrees' two np.add.at passes over the
+        # same arrays in the same order, so degrees (and the normalized
+        # weights below) match the unsharded export to the last ulp.
+        degrees = np.zeros(len(node_ids))
+        np.add.at(degrees, rows, values)
+        np.add.at(degrees, cols, values)
+        product = degrees[rows] * degrees[cols]
+        normalized = np.divide(
+            values,
+            np.sqrt(product, out=np.zeros_like(product), where=product > 0),
+            out=np.zeros_like(values),
+            where=product > 0,
+        )
+        dense = np.zeros(num_pairs)
+        dense[idx] = normalized
+        type_norm[btype] = dense
+
+    pair_range = np.arange(num_pairs, dtype=np.int64)
+    node_half = np.concatenate([lo_pos, hi_pos])
+    nbr_half = np.concatenate([hi_pos, lo_pos])
+    pair_half = np.concatenate([pair_range, pair_range])
+    owner_half = owner_of_pos[node_half] if len(node_half) else _EMPTY_I64
+    half_order = np.lexsort((pair_half, node_half, owner_half))
+    node_half = node_half[half_order]
+    nbr_half = nbr_half[half_order]
+    pair_half = pair_half[half_order]
+    owner_half = owner_half[half_order]
+    bounds = np.searchsorted(owner_half, np.arange(n_shards + 1))
+    blocks: list[ShardBlock] = []
+    for s in range(n_shards):
+        start, end = int(bounds[s]), int(bounds[s + 1])
+        own_positions = np.flatnonzero(owner_of_pos == s).astype(np.int64)
+        local = np.searchsorted(own_positions, node_half[start:end])
+        counts = np.bincount(local, minlength=len(own_positions))
+        indptr = np.zeros(len(own_positions) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        blocks.append(
+            ShardBlock(
+                own_positions=own_positions,
+                indptr=indptr,
+                nbr_pos=np.ascontiguousarray(nbr_half[start:end]),
+                pair_idx=np.ascontiguousarray(pair_half[start:end]),
+            )
+        )
+    return ShardIndex(
+        version=version,
+        n_shards=n_shards,
+        node_ids=node_ids,
+        owner_of_pos=owner_of_pos,
+        pair_lo_pos=lo_pos,
+        pair_hi_pos=hi_pos,
+        types=types,
+        type_weights=type_weights,
+        type_norm_weights=type_norm,
+        type_last_update=type_last_update,
+        shards=blocks,
+    )
+
+
+class ShardedBehaviorNetwork:
+    """N hash-partitioned :class:`BehaviorNetwork` shards behind one facade.
+
+    Duck-types the ``BehaviorNetwork`` surface the ingest pipeline and the
+    servers use (``add_node``, ``add_weights``, ``expire_edges``,
+    membership, counts, ``to_arrays``), so ``BNBuilder.run_window_job`` and
+    ``BNServer`` run unchanged on top of it.  Mutations route by the owner
+    of the pair's ``lo`` endpoint and bump **one** facade version per batch
+    (the cross-shard version barrier); reads that need cross-shard order
+    (neighbour lists, snapshots, sampling) go through the memoized
+    :meth:`index`.
+    """
+
+    def __init__(self, n_shards: int, ttl: float = DEFAULT_EDGE_TTL) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.n_shards = n_shards
+        self.ttl = ttl
+        self.shards = [BehaviorNetwork(ttl) for _ in range(n_shards)]
+        self._version = 0
+        self._next_seq = 0
+        self._index: ShardIndex | None = None
+        self._stats = {"batches": 0, "rows": 0, "cross_shard": 0}
+        self._shard_rows = [0] * n_shards
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def owner_of(self, uid: int) -> int:
+        """Owner shard of ``uid`` (stable hash routing)."""
+        return _shard_of_int(uid, self.n_shards)
+
+    def claim_seq(self, seq: int | None = None) -> int:
+        """Claim the next global pair-creation sequence tag."""
+        if seq is None:
+            seq = self._next_seq
+        self._next_seq = max(self._next_seq, seq + 1)
+        return seq
+
+    def route_weights(
+        self,
+        u: Sequence[int] | np.ndarray,
+        v: Sequence[int] | np.ndarray,
+        btypes: BehaviorType | Sequence[BehaviorType] | np.ndarray,
+        weights: Sequence[float] | np.ndarray,
+        timestamps: Sequence[float] | np.ndarray,
+        btype_table: Sequence[BehaviorType] | None = None,
+    ) -> tuple[list[dict[str, Any] | None], int, int]:
+        """Split one mutation batch into per-shard ``add_weights`` kwargs.
+
+        Validates all-or-nothing up front (so no shard is mutated when a
+        later row is bad), then masks every column by the owner of
+        ``min(u, v)``.  Returns ``(per_shard_kwargs, cross_shard_rows,
+        total_rows)``; entry ``s`` is ``None`` when shard ``s`` receives no
+        rows.  ``cross_shard_rows`` counts rows whose two endpoints hash to
+        different owners — the half-edges the publish-time exchange will
+        mirror.  Exposed separately from :meth:`add_weights` so benchmarks
+        can time each shard's apply on its own.
+        """
+        u_arr = np.asarray(u, dtype=np.int64)
+        v_arr = np.asarray(v, dtype=np.int64)
+        w_arr = np.asarray(weights, dtype=np.float64)
+        n = len(u_arr)
+        if not len(v_arr) == len(w_arr) == n:
+            raise ValueError("add_weights columns must share one length")
+        scalar_ts = np.ndim(timestamps) == 0
+        ts_arr = None if scalar_ts else np.asarray(timestamps, dtype=np.float64)
+        if ts_arr is not None and len(ts_arr) != n:
+            raise ValueError("add_weights columns must share one length")
+        single_type = isinstance(btypes, BehaviorType)
+        if single_type:
+            codes = None
+            table: list[BehaviorType] | None = None
+        elif btype_table is not None:
+            codes = np.asarray(btypes, dtype=np.int64)
+            table = list(btype_table)
+            if len(codes) != n:
+                raise ValueError("add_weights columns must share one length")
+            if len(codes) and (
+                int(codes.min()) < 0 or int(codes.max()) >= len(table)
+            ):
+                raise ValueError("add_weights type codes out of btype_table range")
+        else:
+            type_list = list(btypes)
+            if len(type_list) != n:
+                raise ValueError("add_weights columns must share one length")
+            type_ids: dict[BehaviorType, int] = {}
+            codes = np.fromiter(
+                (type_ids.setdefault(t, len(type_ids)) for t in type_list),
+                dtype=np.int64,
+                count=n,
+            )
+            table = list(type_ids)
+        if n == 0:
+            return [None] * self.n_shards, 0, 0
+        if np.any(w_arr <= 0):
+            raise ValueError("edge weight contributions must be positive")
+        if np.any(u_arr == v_arr):
+            raise ValueError("self-loops are not part of BN")
+        lo = np.minimum(u_arr, v_arr)
+        hi = np.maximum(u_arr, v_arr)
+        owner = shard_of(lo, self.n_shards)
+        cross = int(np.count_nonzero(owner != shard_of(hi, self.n_shards)))
+        routed: list[dict[str, Any] | None] = [None] * self.n_shards
+        for s in range(self.n_shards):
+            mask = owner == s
+            if not mask.any():
+                continue
+            routed[s] = {
+                "u": u_arr[mask],
+                "v": v_arr[mask],
+                "btypes": btypes if single_type else codes[mask],
+                "weights": w_arr[mask],
+                "timestamps": timestamps if scalar_ts else ts_arr[mask],
+                "btype_table": None if single_type else table,
+            }
+        return routed, cross, n
+
+    # ------------------------------------------------------------------
+    # Mutation (BehaviorNetwork surface)
+    # ------------------------------------------------------------------
+    def add_weight(
+        self,
+        u: int,
+        v: int,
+        btype: BehaviorType,
+        weight: float,
+        timestamp: float,
+        seq: int | None = None,
+    ) -> None:
+        """Scalar contribution, routed to the owner of ``min(u, v)``."""
+        if u == v:
+            raise ValueError("self-loops are not part of BN")
+        lo, hi = (u, v) if u < v else (v, u)
+        owner = self.owner_of(lo)
+        self.shards[owner].add_weight(
+            u, v, btype, weight, timestamp, seq=self.claim_seq(seq)
+        )
+        self._stats["rows"] += 1
+        if owner != self.owner_of(hi):
+            self._stats["cross_shard"] += 1
+        self._shard_rows[owner] += 1
+        self._version += 1
+
+    def add_weights(
+        self,
+        u: Sequence[int] | np.ndarray,
+        v: Sequence[int] | np.ndarray,
+        btypes: BehaviorType | Sequence[BehaviorType] | np.ndarray,
+        weights: Sequence[float] | np.ndarray,
+        timestamps: Sequence[float] | np.ndarray,
+        btype_table: Sequence[BehaviorType] | None = None,
+        seq: int | None = None,
+    ) -> int:
+        """Batched contributions with one cross-shard version barrier.
+
+        Same contract as :meth:`BehaviorNetwork.add_weights` — per-record
+        results are bit-for-bit identical because every pair's rows land on
+        one shard as an order-preserving subsequence of the batch, and all
+        shards stamp created pairs with the same global sequence tag.
+        """
+        routed, cross, n = self.route_weights(
+            u, v, btypes, weights, timestamps, btype_table
+        )
+        if n == 0:
+            return 0
+        # The router tier runs the stateless preparation (canonicalize,
+        # group, segment-fold, box keys) for every owner up front, so each
+        # shard's apply is only the state-mutation walk.  In the
+        # multi-process deployment this preparation pipelines with the
+        # previous batch's shard applies — it stays off the shard workers'
+        # critical path.
+        grouped: list[tuple[int, WeightGroups, int]] = []
+        for s, kwargs in enumerate(routed):
+            if kwargs is None:
+                continue
+            groups = prepare_weight_groups(
+                kwargs["u"],
+                kwargs["v"],
+                kwargs["btypes"],
+                kwargs["weights"],
+                kwargs["timestamps"],
+                kwargs["btype_table"],
+                expiry_width=self.shards[s]._expiry_width,
+            )
+            if groups is None:
+                continue
+            grouped.append((s, groups, len(kwargs["u"])))
+        batch_seq = self.claim_seq(seq)
+        for s, groups, shard_rows in grouped:
+            self.shards[s].apply_weight_groups(groups, seq=batch_seq)
+            self._shard_rows[s] += shard_rows
+        self._stats["batches"] += 1
+        self._stats["rows"] += n
+        self._stats["cross_shard"] += cross
+        self._version += 1
+        return n
+
+    def add_node(self, uid: int) -> None:
+        """Register a node on its owner shard."""
+        shard = self.shards[self.owner_of(uid)]
+        if uid not in shard._adjacency:
+            shard.add_node(uid)
+            self._version += 1
+
+    def expire_edges(self, now: float) -> int:
+        """TTL sweep on every shard under one version barrier."""
+        removed = sum(shard.expire_edges(now) for shard in self.shards)
+        if removed:
+            self._version += 1
+        return removed
+
+    def drain_route_stats(self) -> dict[str, Any]:
+        """Return and reset accumulated routing counters (BNServer drains
+        these into the ``bn.shard.ingest.*`` metrics)."""
+        stats = dict(self._stats)
+        stats["shard_rows"] = tuple(self._shard_rows)
+        self._stats = {"batches": 0, "rows": 0, "cross_shard": 0}
+        self._shard_rows = [0] * self.n_shards
+        return stats
+
+    # ------------------------------------------------------------------
+    # Queries (BehaviorNetwork surface)
+    # ------------------------------------------------------------------
+    def __contains__(self, uid: int) -> bool:
+        return any(uid in shard._adjacency for shard in self.shards)
+
+    def nodes(self) -> list[int]:
+        """All registered node ids (sorted — cross-shard order is hash
+        noise, so the facade canonicalizes)."""
+        seen: set[int] = set()
+        for shard in self.shards:
+            seen.update(shard._adjacency)
+        return sorted(seen)
+
+    def num_nodes(self) -> int:
+        """Distinct registered users across all shards."""
+        seen: set[int] = set()
+        for shard in self.shards:
+            seen.update(shard._adjacency)
+        return len(seen)
+
+    def num_edges(self) -> int:
+        """Live typed edges (pairs stored once, so shard sums are exact)."""
+        return sum(shard.num_edges() for shard in self.shards)
+
+    def num_edges_scan(self) -> int:
+        """Full-scan edge count (diagnostic twin of :meth:`num_edges`)."""
+        return sum(shard.num_edges_scan() for shard in self.shards)
+
+    def num_pairs(self) -> int:
+        """Distinct user pairs with at least one live edge."""
+        return sum(shard.num_pairs() for shard in self.shards)
+
+    def edge_types(self) -> set[BehaviorType]:
+        """Union of behavior types present on any shard."""
+        types: set[BehaviorType] = set()
+        for shard in self.shards:
+            types.update(shard.edge_types())
+        return types
+
+    def edge(self, u: int, v: int) -> dict[BehaviorType, EdgeRecord]:
+        """Per-type records of pair ``(u, v)`` from its owner shard."""
+        return self.shards[self.owner_of(min(u, v))].edge(u, v)
+
+    def weight(self, u: int, v: int, btype: BehaviorType) -> float:
+        """Accumulated weight of ``(u, v)`` under ``btype`` (0.0 if absent)."""
+        return self.shards[self.owner_of(min(u, v))].weight(u, v, btype)
+
+    def total_weight(self, u: int, v: int) -> float:
+        """Sum of ``(u, v)``'s weights over every behavior type."""
+        return self.shards[self.owner_of(min(u, v))].total_weight(u, v)
+
+    def degree(self, uid: int, btype: BehaviorType | None = None) -> int:
+        """Neighbour count of ``uid`` (optionally restricted to one type)."""
+        # A node's pairs are spread across shards (each stored once), so
+        # the per-shard degrees are disjoint and sum exactly.
+        return sum(shard.degree(uid, btype) for shard in self.shards)
+
+    def weighted_degree(self, uid: int, btype: BehaviorType | None = None) -> float:
+        """Sum of edge weights incident to ``uid``, bit-exact vs unsharded.
+
+        The addend multiset is identical either way (pairs are stored
+        once), but float addition is fold-order sensitive — so instead of
+        adding per-shard subtotals, replay the unsharded walk: neighbours
+        in global pair-creation order, each pair's records in insertion
+        order.
+        """
+        total = 0.0
+        for v in self.neighbors(uid):
+            lo = uid if uid < v else v
+            records = self.shards[self.owner_of(lo)].edge(uid, v)
+            if btype is None:
+                total += sum(rec.weight for rec in records.values())
+            elif btype in records:
+                total += records[btype].weight
+        return total
+
+    def neighbors(self, uid: int, btype: BehaviorType | None = None) -> list[int]:
+        """Creation-order neighbours, merged across shards by pair seq tag
+        (bit-exact ``BehaviorNetwork.neighbors`` parity without building the
+        full index)."""
+        tagged: list[tuple[int, int, int, int]] = []
+        for shard in self.shards:
+            for v in shard.neighbors(uid, btype):
+                key = (uid, v) if uid < v else (v, uid)
+                tagged.append((shard._pair_seq[key], key[0], key[1], v))
+        tagged.sort()
+        return [v for _, _, _, v in tagged]
+
+    def iter_edges(
+        self, btype: BehaviorType | None = None
+    ) -> Iterator[tuple[int, int, BehaviorType, EdgeRecord]]:
+        """Yield ``(u, v, type, record)`` in global pair-creation order."""
+        pairs: list[tuple[int, int, int, dict[BehaviorType, EdgeRecord]]] = []
+        for shard in self.shards:
+            for (a, b), records in shard._edges.items():
+                pairs.append((shard._pair_seq[(a, b)], a, b, records))
+        pairs.sort(key=lambda item: item[:3])
+        for _, a, b, records in pairs:
+            for t, record in records.items():
+                if btype is None or t == btype:
+                    yield a, b, t, record
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Facade mutation counter (one bump per cross-shard barrier)."""
+        return self._version
+
+    def index(self) -> ShardIndex:
+        """The merged read index, memoized against :attr:`version`."""
+        cached = self._index
+        if cached is None or cached.version != self._version:
+            cached = build_shard_index(self.shards, self.n_shards, self._version)
+            self._index = cached
+        return cached
+
+    def to_arrays(self) -> BNSnapshot:
+        """Merged snapshot (bit-exact vs the unsharded ``to_arrays``)."""
+        return self.index().snapshot()
+
+    def khop_neighborhood(
+        self, uid: int, hops: int, allowed: set[int] | None = None
+    ) -> dict[int, int]:
+        """Node -> hop distance map (``BehaviorNetwork`` parity incl. BFS
+        discovery order, via creation-order neighbour lists)."""
+        if hops < 0:
+            raise ValueError("hops must be non-negative")
+        distances = {uid: 0}
+        frontier = [uid]
+        for depth in range(1, hops + 1):
+            next_frontier: list[int] = []
+            for node in frontier:
+                for neighbor in self.neighbors(node):
+                    if neighbor in distances:
+                        continue
+                    if allowed is not None and neighbor not in allowed:
+                        continue
+                    distances[neighbor] = depth
+                    next_frontier.append(neighbor)
+            frontier = next_frontier
+        return distances
+
+    # ------------------------------------------------------------------
+    # Construction / rebalancing
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_network(
+        cls, bn: BehaviorNetwork, n_shards: int
+    ) -> "ShardedBehaviorNetwork":
+        """Partition an existing network, preserving pair-creation order.
+
+        Each pair is replayed onto its owner shard tagged with its rank in
+        the source's ``_edges`` insertion order, so the sharded index (and
+        every sample taken from it) is bit-exact against the source.
+        """
+        sharded = cls(n_shards, ttl=bn.ttl)
+        for uid in bn._adjacency:
+            shard = sharded.shards[sharded.owner_of(uid)]
+            if uid not in shard._adjacency:
+                shard.add_node(uid)
+        for rank, ((a, b), records) in enumerate(bn._edges.items()):
+            shard = sharded.shards[sharded.owner_of(a)]
+            for btype, record in records.items():
+                shard.add_weight(
+                    a, b, btype, record.weight, record.last_update, seq=rank
+                )
+        sharded._next_seq = len(bn._edges)
+        sharded._version += 1
+        return sharded
+
+    def reshard(self, n_shards: int) -> "ShardedBehaviorNetwork":
+        """Rebuild under a new shard count, preserving global pair order."""
+        out = ShardedBehaviorNetwork(n_shards, ttl=self.ttl)
+        for shard in self.shards:
+            for uid in shard._adjacency:
+                dst = out.shards[out.owner_of(uid)]
+                if uid not in dst._adjacency:
+                    dst.add_node(uid)
+        pairs: list[tuple[int, int, int, dict[BehaviorType, EdgeRecord]]] = []
+        for shard in self.shards:
+            for (a, b), records in shard._edges.items():
+                pairs.append((shard._pair_seq[(a, b)], a, b, records))
+        pairs.sort(key=lambda item: item[:3])
+        for rank, (_, a, b, records) in enumerate(pairs):
+            dst = out.shards[out.owner_of(a)]
+            for btype, record in records.items():
+                dst.add_weight(
+                    a, b, btype, record.weight, record.last_update, seq=rank
+                )
+        out._next_seq = len(pairs)
+        out._version += 1
+        return out

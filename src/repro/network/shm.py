@@ -1,0 +1,344 @@
+"""Zero-copy snapshot publication over ``multiprocessing.shared_memory``.
+
+The sharded serving path separates *writers* (the ingest process mutating
+per-shard :class:`~repro.network.bn.BehaviorNetwork` dicts) from *readers*
+(sampling/inference workers that only ever see flat arrays).  This module
+is the transport between them: a :class:`SharedSnapshotStore` lays a named
+bundle of numpy arrays into one OS shared-memory segment — an 8-byte
+little-endian header with the manifest length, a JSON manifest (per-array
+dtype/shape/offset plus caller meta), then the raw array payloads — and
+readers in any process map the segment and slice zero-copy views out of it.
+
+Lifecycle contract (pinned by ``tests/test_network/test_shm.py``):
+
+* segment names are versioned (``{prefix}-{name}-v{version}``), so a new
+  publish never races readers of the previous version;
+* the **creating** store is the only unlink owner.  Readers attach with
+  ``create=False`` and close their mapping; worker crashes therefore leak
+  nothing — the segment disappears when the owner retires it;
+* ``retire`` + refcounts: ``acquire``/``release`` track in-flight readers
+  the owner handed the segment to, and a retired segment is unlinked as
+  soon as its count drops to zero (immediately when zero already);
+* ``close()`` unlinks everything the store ever created, even segments
+  still marked busy (teardown beats leaks);
+* when shared memory is unavailable (``use_shm=False`` or the OS refuses),
+  the store degrades to an in-process table with the same API —
+  ``attachable`` tells callers whether cross-process readers are possible.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+import numpy as np
+
+try:  # pragma: no cover - import guard exercised only on exotic platforms
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+__all__ = [
+    "SegmentHandle",
+    "AttachedSegment",
+    "SharedSnapshotStore",
+    "attach_segment",
+]
+
+_HEADER = struct.Struct("<Q")
+
+
+def _pack(arrays: dict[str, np.ndarray], meta: dict[str, Any]) -> tuple[bytes, int, dict]:
+    """Compute the manifest and total segment size for one bundle."""
+    entries: dict[str, dict[str, Any]] = {}
+    offset = 0
+    for name, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        entries[name] = {
+            "dtype": array.dtype.str,
+            "shape": list(array.shape),
+            "offset": offset,
+        }
+        offset += array.nbytes
+    manifest = json.dumps({"meta": meta, "arrays": entries}).encode("utf-8")
+    payload_base = _HEADER.size + len(manifest)
+    total = payload_base + offset
+    return manifest, total, entries
+
+
+def _unpack(buffer: memoryview) -> tuple[dict[str, np.ndarray], dict[str, Any]]:
+    """Slice zero-copy array views + meta out of a packed segment buffer."""
+    (manifest_len,) = _HEADER.unpack_from(buffer, 0)
+    manifest = json.loads(bytes(buffer[_HEADER.size : _HEADER.size + manifest_len]))
+    base = _HEADER.size + manifest_len
+    arrays: dict[str, np.ndarray] = {}
+    for name, entry in manifest["arrays"].items():
+        dtype = np.dtype(entry["dtype"])
+        shape = tuple(entry["shape"])
+        count = int(np.prod(shape)) if shape else 1
+        start = base + entry["offset"]
+        view = np.frombuffer(buffer, dtype=dtype, count=count, offset=start)
+        arrays[name] = view.reshape(shape)
+    return arrays, manifest["meta"]
+
+
+@dataclass
+class SegmentHandle:
+    """One published bundle: where it lives and how to read it back.
+
+    ``segment`` is the store-wide key (``{prefix}-{name}-v{version}``);
+    ``shared`` says whether it is an OS shared-memory segment other
+    processes can :func:`attach_segment` to, or an in-process fallback
+    readable only through the owning store.
+    """
+
+    name: str
+    segment: str
+    shared: bool
+    arrays: dict[str, np.ndarray]
+    meta: dict[str, Any]
+
+
+class AttachedSegment:
+    """A reader's mapping of one published segment.
+
+    Keeps the underlying ``SharedMemory`` alive while ``arrays`` views are
+    in use; ``close()`` drops the views it owns and tears the mapping down
+    (never ``unlink`` — the publisher owns the segment's lifetime).  Safe
+    to close even when the caller still holds stray views: the OS mapping
+    is then released when those views are garbage collected.
+    """
+
+    def __init__(self, segment: str, shm: Any) -> None:
+        self.segment = segment
+        self._shm = shm
+        arrays, meta = _unpack(shm.buf)
+        self.arrays = arrays
+        self.meta = meta
+
+    def close(self) -> None:
+        """Drop this reader's views and release the OS mapping."""
+        self.arrays = {}
+        shm, self._shm = self._shm, None
+        if shm is not None:
+            try:
+                shm.close()
+            except BufferError:
+                # A caller still holds views into the buffer; the mapping
+                # is released when they are collected.  Detach our side so
+                # __del__ does not retry noisily.
+                shm._mmap = None
+                shm._buf = None
+
+    def __enter__(self) -> "AttachedSegment":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def attach_segment(segment: str, untrack: bool = True) -> AttachedSegment:
+    """Map an existing segment read-only from any process.
+
+    With ``untrack`` (the default) the mapping is never registered with
+    Python's ``resource_tracker`` — on 3.11 ``SharedMemory`` registers even
+    ``create=False`` attachments, and the tracker then unlinks segments it
+    saw when the attaching process exits: exactly the wrong owner.
+    Registration is suppressed up front (rather than unregistered after)
+    because forked workers share the parent's tracker, and paired
+    register/unregister messages from several readers race the publisher's
+    own unlink-time unregister.
+    """
+    if _shared_memory is None:  # pragma: no cover
+        raise RuntimeError("multiprocessing.shared_memory is unavailable")
+    if untrack:
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            shm = _shared_memory.SharedMemory(name=segment, create=False)
+        finally:
+            resource_tracker.register = original
+    else:
+        shm = _shared_memory.SharedMemory(name=segment, create=False)
+    return AttachedSegment(segment, shm)
+
+
+class SharedSnapshotStore:
+    """Versioned publish/attach/retire lifecycle for array bundles.
+
+    One store instance is one *publisher*: it creates segments, hands out
+    handles, counts readers and is the only place unlink happens.
+    """
+
+    def __init__(self, prefix: str | None = None, use_shm: bool = True) -> None:
+        if prefix is None:
+            prefix = f"repro-bn-{os.getpid()}-{id(self) & 0xFFFF:x}"
+        self.prefix = prefix
+        self._want_shm = bool(use_shm and _shared_memory is not None)
+        self._fell_back = False
+        # segment name -> {"shm": SharedMemory|None, "refs": int,
+        #                  "retired": bool, "handle": SegmentHandle}
+        self._segments: dict[str, dict[str, Any]] = {}
+
+    @property
+    def attachable(self) -> bool:
+        """Whether cross-process readers can map published segments."""
+        return self._want_shm
+
+    @property
+    def fell_back(self) -> bool:
+        """Whether any publication degraded to the in-process fallback."""
+        return self._fell_back
+
+    def publish(
+        self,
+        name: str,
+        arrays: dict[str, np.ndarray],
+        meta: dict[str, Any] | None = None,
+        version: int = 0,
+    ) -> SegmentHandle:
+        """Publish one bundle under ``{prefix}-{name}-v{version}``.
+
+        Re-publishing the same ``(name, version)`` returns the existing
+        handle (publication is idempotent per version).  Falls back to an
+        in-process handle when the OS refuses a segment.
+        """
+        segment = f"{self.prefix}-{name}-v{version}"
+        record = self._segments.get(segment)
+        if record is not None:
+            return record["handle"]
+        meta = dict(meta or {})
+        meta.setdefault("version", version)
+        shm = None
+        if self._want_shm:
+            manifest, total, entries = _pack(arrays, meta)
+            try:
+                shm = _shared_memory.SharedMemory(
+                    name=segment, create=True, size=max(total, 1)
+                )
+            except OSError:
+                self._fell_back = True
+                shm = None
+            if shm is not None:
+                _HEADER.pack_into(shm.buf, 0, len(manifest))
+                shm.buf[_HEADER.size : _HEADER.size + len(manifest)] = manifest
+                base = _HEADER.size + len(manifest)
+                for array_name, entry in entries.items():
+                    array = np.ascontiguousarray(arrays[array_name])
+                    start = base + entry["offset"]
+                    shm.buf[start : start + array.nbytes] = array.tobytes()
+                views, _ = _unpack(shm.buf)
+                handle = SegmentHandle(
+                    name=name, segment=segment, shared=True, arrays=views, meta=meta
+                )
+                self._segments[segment] = {
+                    "shm": shm,
+                    "refs": 0,
+                    "retired": False,
+                    "handle": handle,
+                }
+                return handle
+        if not self._want_shm:
+            self._fell_back = True
+        handle = SegmentHandle(
+            name=name, segment=segment, shared=False, arrays=dict(arrays), meta=meta
+        )
+        self._segments[segment] = {
+            "shm": None,
+            "refs": 0,
+            "retired": False,
+            "handle": handle,
+        }
+        return handle
+
+    def attach(self, segment: str) -> SegmentHandle:
+        """Reader-side view of a published segment from the owning process."""
+        record = self._segments.get(segment)
+        if record is None:
+            raise KeyError(f"unknown segment {segment!r}")
+        return record["handle"]
+
+    def acquire(self, segment: str) -> None:
+        """Count one in-flight reader of ``segment``."""
+        self._record(segment)["refs"] += 1
+
+    def release(self, segment: str) -> None:
+        """Drop one reader; unlinks immediately if retired and unreferenced."""
+        record = self._record(segment)
+        if record["refs"] <= 0:
+            raise ValueError(f"release without acquire on {segment!r}")
+        record["refs"] -= 1
+        if record["retired"] and record["refs"] == 0:
+            self._unlink(segment)
+
+    def retire(self, segment: str) -> None:
+        """Mark a segment obsolete; unlink happens at refcount zero."""
+        record = self._record(segment)
+        record["retired"] = True
+        if record["refs"] == 0:
+            self._unlink(segment)
+
+    def refcount(self, segment: str) -> int:
+        """Current in-flight reader count of ``segment``."""
+        return int(self._record(segment)["refs"])
+
+    def segments(self) -> list[str]:
+        """Names of segments the store currently keeps alive."""
+        return list(self._segments)
+
+    def close(self) -> None:
+        """Unlink every segment this store created (teardown beats leaks)."""
+        for segment in list(self._segments):
+            self._unlink(segment)
+
+    def __enter__(self) -> "SharedSnapshotStore":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        # A store dropped without close() (a garbage-collected deployment)
+        # must still unlink its segments — _unlink drops the handle views
+        # first, so the mapping closes cleanly instead of the OS-level
+        # BufferError the bare SharedMemory destructor hits.
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    def _record(self, segment: str) -> dict[str, Any]:
+        record = self._segments.get(segment)
+        if record is None:
+            raise KeyError(f"unknown segment {segment!r}")
+        return record
+
+    def _unlink(self, segment: str) -> None:
+        record = self._segments.pop(segment, None)
+        if record is None:
+            return
+        shm = record["shm"]
+        # Drop the handle's views before tearing down the mapping, else the
+        # exported memoryview keeps the buffer pinned and close() raises.
+        record["handle"].arrays = {}
+        if shm is not None:
+            try:
+                shm.close()
+            except BufferError:
+                # An outside reader still holds views; detach our side so
+                # GC does not retry noisily.  The name is removed below —
+                # the memory itself goes when the last view is collected.
+                shm._mmap = None
+                shm._buf = None
+            except OSError:  # pragma: no cover - defensive
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass

@@ -20,6 +20,7 @@ from .model_management import ModelManager, ModelVersion
 from .monitoring import LatencyHistogram, SystemMonitor
 from .prediction_server import PredictionServer
 from .service import PredictRequest, RequestContext, Service
+from .shard_router import ShardRouter, ShardWorkerPool, index_sample_batch
 from .storage import InMemoryCache, LocalDatabase, ReplicatedStore, StorageError
 from .turbo import Turbo, TurboResponse, deploy_turbo
 
@@ -44,6 +45,9 @@ __all__ = [
     "BudgetExceeded",
     "random_fault_plan",
     "BNServer",
+    "ShardRouter",
+    "ShardWorkerPool",
+    "index_sample_batch",
     "FeatureServer",
     "PredictionServer",
     "ModelManager",

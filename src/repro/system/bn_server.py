@@ -10,6 +10,7 @@ subgraph.  All storage access is charged through the latency model.
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
+from dataclasses import replace
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -23,9 +24,11 @@ from ..network.sampling import (
     computation_subgraph,
     computation_subgraphs_batch,
 )
+from ..network.sharding import ShardedBehaviorNetwork
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import Span, current_span
 from .latency import LatencyModel
+from .shard_router import ShardRouter
 from .storage import InMemoryCache, LocalDatabase, StorageError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
@@ -53,6 +56,8 @@ class BNServer:
         faults: "FaultInjector | None" = None,
         component: str = "bn_server",
         metrics: MetricsRegistry | None = None,
+        shards: int = 1,
+        use_shm: bool = True,
     ) -> None:
         self.builder = builder
         self.latency = latency
@@ -64,7 +69,15 @@ class BNServer:
         # directly by tests/benchmarks); ``bn.ingest.*`` series stay silent
         # when left unset.
         self.metrics = metrics
-        self.bn = BehaviorNetwork(ttl=builder.ttl)
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.bn: BehaviorNetwork | ShardedBehaviorNetwork = (
+            ShardedBehaviorNetwork(shards, ttl=builder.ttl)
+            if shards > 1
+            else BehaviorNetwork(ttl=builder.ttl)
+        )
+        self._use_shm = use_shm
+        self._router: ShardRouter | None = None
         self.ttl_sweep_interval = ttl_sweep_interval
         self._logs: list[BehaviorLog] = []
         self._log_times: list[float] = []
@@ -75,6 +88,47 @@ class BNServer:
         # only valid for one (bn.version, fanout) pair, dropped on change.
         self._selection_cache: dict = {}
         self._selection_state: tuple[int, int | None] | None = None
+        # Whether the most recent scalar sample was served from a frontier
+        # missing a downed shard (handle() copies it onto the context).
+        self._last_sample_partial = False
+
+    # ------------------------------------------------------------------
+    # Sharding
+    # ------------------------------------------------------------------
+    @property
+    def sharded(self) -> bool:
+        """Whether the server maintains a hash-partitioned BN."""
+        return isinstance(self.bn, ShardedBehaviorNetwork)
+
+    @property
+    def router(self) -> ShardRouter | None:
+        """The shard router fronting :attr:`bn` (``None`` when unsharded).
+
+        Built lazily against the *current* ``bn`` object so the bootstrap
+        idiom (``server.bn = ShardedBehaviorNetwork.from_network(...)``)
+        re-points it, with one circuit breaker per shard; the metrics
+        registry is re-synced on every access because the Turbo
+        orchestrator wires :attr:`metrics` after construction.
+        """
+        bn = self.bn
+        if not isinstance(bn, ShardedBehaviorNetwork):
+            return None
+        router = self._router
+        if router is None or router.sharded is not bn:
+            if router is not None:
+                router.close()
+            from .faults import CircuitBreaker  # runtime import avoids a cycle
+
+            router = ShardRouter(
+                bn,
+                faults=self.faults,
+                metrics=self.metrics,
+                breakers={s: CircuitBreaker() for s in range(bn.n_shards)},
+                use_shm=self._use_shm,
+            )
+            self._router = router
+        router.metrics = self.metrics
+        return router
 
     # ------------------------------------------------------------------
     # Ingestion & maintenance
@@ -147,6 +201,9 @@ class BNServer:
         if jobs:
             self._count("bn.ingest.jobs", jobs)
             self._count("bn.ingest.contributions", contributions_total)
+            if self.sharded:
+                self._count("bn.shard.ingest.jobs", jobs)
+                self._count("bn.shard.ingest.contributions", contributions_total)
 
         if now - self._last_ttl_sweep >= self.ttl_sweep_interval:
             removed = self.bn.expire_edges(now)
@@ -154,6 +211,21 @@ class BNServer:
             self._last_ttl_sweep = now
             if removed:
                 self._count("bn.ingest.expired_edges", removed)
+                if self.sharded:
+                    self._count("bn.shard.ingest.expired_edges", removed)
+
+        if self.sharded:
+            # Mirror the routing economics of the window jobs just applied:
+            # batches are the cross-shard version barriers (one bump per
+            # mutation batch regardless of how many shards it touched).
+            routed = self.bn.drain_route_stats()
+            if routed["batches"] or routed["rows"]:
+                self._count("bn.shard.ingest.barriers", routed["batches"])
+                self._count("bn.shard.ingest.rows", routed["rows"])
+                self._count("bn.shard.ingest.cross_shard", routed["cross_shard"])
+                for s, shard_rows in enumerate(routed["shard_rows"]):
+                    if shard_rows:
+                        self._count(f"bn.shard.ingest.shard{s}.rows", shard_rows)
 
         self._prune_logs(now)
         self._observe("bn.ingest.maintenance_seconds", seconds)
@@ -187,12 +259,17 @@ class BNServer:
 
     def stats(self) -> dict[str, float]:
         """BN maintenance counters (jobs, buffered logs, graph size)."""
-        return {
+        out = {
             "jobs_run": float(self.jobs_run),
             "logs_buffered": float(len(self._logs)),
             "bn_nodes": float(self.bn.num_nodes()),
             "bn_edges": float(self.bn.num_edges()),
         }
+        if self.sharded:
+            out["shards"] = float(self.bn.n_shards)
+            for s, shard in enumerate(self.bn.shards):
+                out[f"shard{s}_nodes"] = float(shard.num_nodes())
+        return out
 
     def handle(
         self, request: "RequestContext", span: Span | None = None
@@ -211,6 +288,8 @@ class BNServer:
             allowed=request.allowed,
         )
         request.subgraph = subgraph
+        if self._last_sample_partial:
+            request.attributes["shard_partial"] = True
         if span is not None:
             span.annotate("subgraph_size", subgraph.num_nodes)
         return subgraph, seconds
@@ -218,6 +297,14 @@ class BNServer:
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
+    def _batch_selection_cache(self, fanout: int | None) -> dict:
+        """The per-(node, type) ranking cache for the current BN version."""
+        selection_state = (self.bn.version, fanout)
+        if self._selection_state != selection_state:
+            self._selection_state = selection_state
+            self._selection_cache = {}
+        return self._selection_cache
+
     def sample(
         self,
         uid: int,
@@ -236,14 +323,32 @@ class BNServer:
         Failure contract: raises :class:`~repro.system.storage.StorageError`
         (or an injected fault) when the server, the cache mid-lookup, or the
         database behind a cold cache cannot serve — the Turbo orchestrator
-        owns the retry/degrade decision.
+        owns the retry/degrade decision.  On a sharded server the
+        deterministic (``rng=None``) path runs through the shard router: a
+        downed *shard* does not raise but serves the surviving frontier and
+        latches :attr:`_last_sample_partial` for :meth:`handle`.
         """
         seconds = self.faults.before_call(self.component) if self.faults else 0.0
+        self._last_sample_partial = False
         if uid not in self.bn:
             self.bn.add_node(uid)
-        subgraph = computation_subgraph(
-            self.bn, uid, hops=hops, fanout=fanout, allowed=allowed, rng=rng
-        )
+        router = self.router if rng is None else None
+        if router is not None:
+            sampled, shard_stats, gate_seconds = router.sample_batch(
+                [uid],
+                hops=hops,
+                fanout=fanout,
+                allowed=allowed,
+                selection_cache=self._batch_selection_cache(fanout),
+                now=now,
+            )
+            subgraph = sampled[0]
+            seconds += gate_seconds
+            self._last_sample_partial = bool(shard_stats.partial)
+        else:
+            subgraph = computation_subgraph(
+                self.bn, uid, hops=hops, fanout=fanout, allowed=allowed, rng=rng
+            )
         seconds += self.latency.charge_network()
         use_cache = self.cache is not None and self.cache.available
         if not use_cache:
@@ -308,18 +413,36 @@ class BNServer:
             if uid not in self.bn:
                 self.bn.add_node(uid)
             alive.append(i)
-        selection_state = (self.bn.version, fanout)
-        if self._selection_state != selection_state:
-            self._selection_state = selection_state
-            self._selection_cache = {}
-        sampled, stats = computation_subgraphs_batch(
-            self.bn,
-            [uids[i] for i in alive],
-            hops=hops,
-            fanout=fanout,
-            allowed=allowed,
-            selection_cache=self._selection_cache,
-        )
+        selection_cache = self._batch_selection_cache(fanout)
+        router = self.router
+        if router is not None:
+            sampled, stats, shard_gate = router.sample_batch(
+                [uids[i] for i in alive],
+                hops=hops,
+                fanout=fanout,
+                allowed=allowed,
+                selection_cache=selection_cache,
+                now=max(nows, default=0.0),
+            )
+            # Router indices are relative to the alive sublist; callers see
+            # batch positions.  The per-shard probe cost is batch-level work,
+            # charged to the first alive request (the first-toucher rule the
+            # unique-node charging below already follows).
+            if stats.partial:
+                stats = replace(
+                    stats, partial=tuple(alive[j] for j in stats.partial)
+                )
+            if alive and shard_gate:
+                gates[alive[0]] += shard_gate
+        else:
+            sampled, stats = computation_subgraphs_batch(
+                self.bn,
+                [uids[i] for i in alive],
+                hops=hops,
+                fanout=fanout,
+                allowed=allowed,
+                selection_cache=selection_cache,
+            )
         charged: set[int] = set()
         for k, i in enumerate(alive):
             subgraph = sampled[k]

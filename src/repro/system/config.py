@@ -33,7 +33,8 @@ class TurboConfig:
     (computation-subgraph sampling), ``request_budget`` (seconds; ``None``
     disables).  Infrastructure: ``windows`` (BN window hierarchy),
     ``use_cache``, ``replicated`` (primary/replica database),
-    ``with_fallbacks``.  Resilience: ``retry_policy``, ``breaker`` and
+    ``with_fallbacks``, ``shards`` (hash-partition the BN across this many
+    shards; 1 keeps the single-network server).  Resilience: ``retry_policy``, ``breaker`` and
     ``faults`` (``None`` creates deployment-local defaults), ``latency``
     (the latency model; ``None`` creates one from ``seed``).  Tracing:
     ``trace_max`` bounds retained traces (``None`` keeps all).
@@ -48,6 +49,7 @@ class TurboConfig:
     hops: int = 2
     fanout: int | None = 10
     replicated: bool = False
+    shards: int = 1
     request_budget: float | None = 15.0
     with_fallbacks: bool = True
     retry_policy: RetryPolicy | None = None
@@ -71,6 +73,8 @@ class TurboConfig:
             raise ValueError("hops must be non-negative")
         if self.fanout is not None and self.fanout < 0:
             raise ValueError("fanout must be non-negative (or None)")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
         if not self.windows:
             raise ValueError("windows must be non-empty")
         if not self.hidden:

@@ -83,7 +83,8 @@ class TurboResponse:
     subgraph_size: int = 0
     timestamp: float = 0.0
     #: which rung of the ladder served this request: "full" (HAG graph
-    #: path), "scorecard", "blocklist" or "reject".
+    #: path), "partial" (HAG, but the subgraph was sampled with one or more
+    #: BN shards down), "scorecard", "blocklist" or "reject".
     degradation: str = "full"
     #: why the graph path was abandoned ("" on the full path).
     degradation_reason: str = ""
@@ -289,6 +290,7 @@ class Turbo:
                 roots[i].add_event("breaker.open", at=nows[i])
 
         sample_stats = feature_stats = None
+        shard_partial: set[int] = set()
         registry = self.metrics
         # --- stage 1: coalesced bn_sample --------------------------------
         if alive:
@@ -307,6 +309,9 @@ class Turbo:
                         allowed=self.allowed_nodes,
                     )
                 )
+            # Requests sampled while a BN shard was down: still served by
+            # HAG below, but tagged "partial" at finalize.
+            shard_partial = {alive[k] for k in sample_stats.partial}
             still: list[int] = []
             for k, i in enumerate(alive):
                 span = spans[i]
@@ -420,6 +425,9 @@ class Turbo:
                 )
             else:
                 blocked = probability >= self.threshold
+                if i in shard_partial:
+                    degradation = "partial"
+                    reasons[i] = "shard_down"
             root = roots[i]
             root.annotate("probability", probability)
             root.annotate("blocked", blocked)
@@ -571,6 +579,11 @@ class Turbo:
             degradation, probability, blocked = self._degrade(
                 txn, breakdown, root=root, now=now
             )
+        elif ctx.attributes.get("shard_partial"):
+            # Served by HAG, but the subgraph was sampled with a BN shard
+            # down — surviving-frontier answer, tagged not degraded-away.
+            degradation = "partial"
+            reason = "shard_down"
 
         root.annotate("probability", probability)
         root.annotate("blocked", blocked)
@@ -751,6 +764,10 @@ class Turbo:
             if cache is not None:
                 cache.recover()
         self.breaker.reset()
+        router = getattr(self.bn_server, "router", None)
+        if router is not None:
+            for shard_breaker in router.breakers.values():
+                shard_breaker.reset()
 
 
 def deploy_turbo(
@@ -854,10 +871,24 @@ def deploy_turbo(
     from ..network.builder import BNBuilder  # local import avoids cycle at module load
 
     builder = BNBuilder(windows=config.windows, edge_types=data.edge_types)
-    bn_server = BNServer(builder, latency, database=database, cache=cache, faults=faults)
+    bn_server = BNServer(
+        builder,
+        latency,
+        database=database,
+        cache=cache,
+        faults=faults,
+        shards=config.shards,
+    )
     # Bootstrap the server with the offline-built BN (production would have
-    # replayed the log history through the window jobs).
-    bn_server.bn = data.bn
+    # replayed the log history through the window jobs).  A sharded
+    # deployment partitions it pair-order-preserving, so the served
+    # subgraphs stay bit-exact against the single-network deployment.
+    if config.shards > 1:
+        from ..network.sharding import ShardedBehaviorNetwork
+
+        bn_server.bn = ShardedBehaviorNetwork.from_network(data.bn, config.shards)
+    else:
+        bn_server.bn = data.bn
     feature_server = FeatureServer(
         data.feature_manager, latency, database=database, cache=cache, faults=faults
     )

@@ -1,0 +1,214 @@
+"""Hash-partitioned BN parity: the pinned sharding bit-exactness suite.
+
+Every test here compares a :class:`ShardedBehaviorNetwork` against the
+plain single-network :class:`BehaviorNetwork` fed the *same* mutation
+stream, and requires bit-for-bit identity — same node order, same
+per-type edge order, same weights and timestamps in the merged export,
+and identical sampled subgraphs (node lists and CSR bits) at every shard
+count.  The sweep covers shard counts {1, 2, 4, 8}, shuffled ingest
+orderings, facade construction from an existing network, resharding, and
+TTL expiry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen import BehaviorType
+from repro.network import (
+    BehaviorNetwork,
+    ShardedBehaviorNetwork,
+    computation_subgraphs_batch,
+    shard_of,
+)
+from repro.system import index_sample_batch
+
+from .test_sampling_batch import assert_subgraph_equal
+
+pytestmark = pytest.mark.sharding
+
+TYPES = (BehaviorType.DEVICE_ID, BehaviorType.IPV4, BehaviorType.WIFI_MAC)
+SHARD_COUNTS = (1, 2, 4, 8)
+
+
+def contribution_batches(rng, n_users=200, n_batches=6, rows=400):
+    """A mixed-type mutation stream with plenty of duplicate pairs."""
+    batches = []
+    for b in range(n_batches):
+        u = rng.integers(0, n_users, size=rows)
+        off = rng.integers(0, n_users - 1, size=rows)
+        v = (u + 1 + off) % n_users
+        codes = rng.integers(0, len(TYPES), size=rows)
+        weights = rng.random(rows) + 0.1
+        stamps = float(b) * 3600.0
+        batches.append((u, v, codes, weights, stamps))
+    return batches
+
+
+def build_pair(batches, n_shards, ttl=None):
+    """Feed the same batches to an unsharded BN and an ``n_shards`` facade."""
+    kwargs = {} if ttl is None else {"ttl": ttl}
+    bn = BehaviorNetwork(**kwargs)
+    sharded = ShardedBehaviorNetwork(n_shards, **kwargs)
+    for u, v, codes, weights, stamps in batches:
+        bn.add_weights(u, v, codes, weights, stamps, btype_table=TYPES)
+        sharded.add_weights(u, v, codes, weights, stamps, btype_table=TYPES)
+    return bn, sharded
+
+
+def assert_export_bitexact(bn: BehaviorNetwork, sharded: ShardedBehaviorNetwork):
+    """Merged snapshot equality: node order, per-type edge order, bits."""
+    want, got = bn.to_arrays(), sharded.to_arrays()
+    np.testing.assert_array_equal(got.node_ids, want.node_ids)
+    assert set(got.edges) == set(want.edges)
+    for btype, arrays in want.edges.items():
+        other = got.edges[btype]
+        np.testing.assert_array_equal(other.rows, arrays.rows)
+        np.testing.assert_array_equal(other.cols, arrays.cols)
+        np.testing.assert_array_equal(other.weights, arrays.weights)
+        np.testing.assert_array_equal(other.last_update, arrays.last_update)
+
+
+def assert_sampling_bitexact(bn, sharded, targets, fanout=5):
+    """Frontier sampling off the shard index equals the single-network path."""
+    want, want_stats = computation_subgraphs_batch(
+        bn, targets, hops=2, fanout=fanout, edge_types=TYPES
+    )
+    got, got_stats = index_sample_batch(
+        sharded.index(), targets, hops=2, fanout=fanout
+    )
+    for want_sub, got_sub in zip(want, got):
+        assert_subgraph_equal(got_sub, want_sub)
+    assert got_stats.requests == want_stats.requests
+    assert got_stats.sampled_nodes == want_stats.sampled_nodes
+    assert got_stats.unique_nodes == want_stats.unique_nodes
+    assert got_stats.expansions == want_stats.expansions
+    assert got_stats.partial == ()
+
+
+class TestShardOf:
+    def test_stable_and_in_range(self):
+        uids = np.arange(0, 5000, dtype=np.int64)
+        for n in SHARD_COUNTS:
+            owners = shard_of(uids, n)
+            assert owners.min() >= 0 and owners.max() < n
+            np.testing.assert_array_equal(owners, shard_of(uids, n))
+
+    def test_roughly_balanced(self):
+        owners = shard_of(np.arange(0, 40000, dtype=np.int64), 8)
+        counts = np.bincount(owners, minlength=8)
+        assert counts.max() / counts.mean() < 1.1
+
+    def test_single_shard_owns_everything(self):
+        assert np.all(shard_of(np.arange(100, dtype=np.int64), 1) == 0)
+
+
+class TestShardedParity:
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_export_and_sampling_bitexact(self, rng, n_shards):
+        batches = contribution_batches(rng)
+        bn, sharded = build_pair(batches, n_shards)
+        assert bn.num_edges() == sharded.num_edges()
+        assert sorted(bn.nodes()) == sorted(sharded.nodes())
+        assert_export_bitexact(bn, sharded)
+        targets = [int(t) for t in rng.integers(0, 200, size=24)]
+        assert_sampling_bitexact(bn, sharded, targets)
+
+    @pytest.mark.parametrize("n_shards", (2, 4))
+    def test_shuffled_ingest_orderings(self, rng, n_shards):
+        """Any row order fed identically to both sides stays bit-exact."""
+        base = contribution_batches(rng, n_batches=3)
+        for shuffle_seed in (0, 1):
+            shuffler = np.random.default_rng(shuffle_seed)
+            batches = []
+            for u, v, codes, weights, stamps in base:
+                order = shuffler.permutation(len(u))
+                batches.append((u[order], v[order], codes[order], weights[order], stamps))
+            bn, sharded = build_pair(batches, n_shards)
+            assert_export_bitexact(bn, sharded)
+            assert_sampling_bitexact(bn, sharded, [0, 7, 31, 100])
+
+    def test_query_surface_matches(self, rng):
+        bn, sharded = build_pair(contribution_batches(rng, n_batches=2), 4)
+        some = sorted(bn.nodes())[:20]
+        for uid in some:
+            assert sharded.degree(uid) == bn.degree(uid)
+            assert sharded.weighted_degree(uid) == bn.weighted_degree(uid)
+            assert list(sharded.neighbors(uid)) == list(bn.neighbors(uid))
+            assert (uid in sharded) == (uid in bn)
+            for v in bn.neighbors(uid):
+                assert sharded.total_weight(uid, v) == bn.total_weight(uid, v)
+        assert sharded.num_pairs() == bn.num_pairs()
+        assert sharded.edge_types() == bn.edge_types()
+
+    def test_route_weights_covers_every_row(self, rng):
+        batches = contribution_batches(rng, n_batches=1)
+        sharded = ShardedBehaviorNetwork(4)
+        u, v, codes, weights, stamps = batches[0]
+        routed, cross, n = sharded.route_weights(
+            u, v, codes, weights, stamps, btype_table=TYPES
+        )
+        assert n == len(u)
+        assert sum(len(k["u"]) for k in routed if k is not None) == n
+        lo = np.minimum(u, v)
+        for s, kwargs in enumerate(routed):
+            if kwargs is None:
+                continue
+            owners = shard_of(np.minimum(kwargs["u"], kwargs["v"]), 4)
+            assert np.all(owners == s)
+        assert 0 <= cross <= n
+
+    def test_route_stats_drain(self, rng):
+        _bn, sharded = build_pair(contribution_batches(rng, n_batches=2), 2)
+        stats = sharded.drain_route_stats()
+        assert stats["batches"] == 2
+        assert stats["rows"] == 800
+        assert sum(stats["shard_rows"]) == 800
+        empty = sharded.drain_route_stats()
+        assert empty["batches"] == empty["rows"] == 0
+
+
+class TestRebalance:
+    def test_from_network_bitexact(self, rng):
+        batches = contribution_batches(rng)
+        bn = BehaviorNetwork()
+        for u, v, codes, weights, stamps in batches:
+            bn.add_weights(u, v, codes, weights, stamps, btype_table=TYPES)
+        sharded = ShardedBehaviorNetwork.from_network(bn, 4)
+        assert_export_bitexact(bn, sharded)
+        assert_sampling_bitexact(bn, sharded, [1, 5, 50, 150])
+
+    @pytest.mark.parametrize("before,after", [(2, 4), (4, 2), (4, 8), (8, 1)])
+    def test_reshard_preserves_bits(self, rng, before, after):
+        batches = contribution_batches(rng, n_batches=3)
+        bn, sharded = build_pair(batches, before)
+        rebalanced = sharded.reshard(after)
+        assert rebalanced.n_shards == after
+        assert_export_bitexact(bn, rebalanced)
+        assert_sampling_bitexact(bn, rebalanced, [3, 9, 81, 123])
+
+
+class TestShardedTTL:
+    def test_expiry_parity(self, rng):
+        ttl = 2.5 * 3600.0
+        batches = contribution_batches(rng, n_batches=5)
+        bn, sharded = build_pair(batches, 4, ttl=ttl)
+        now = 5.0 * 3600.0
+        removed = bn.expire_edges(now)
+        removed_sharded = sharded.expire_edges(now)
+        assert removed == removed_sharded
+        assert removed > 0
+        assert_export_bitexact(bn, sharded)
+        assert_sampling_bitexact(bn, sharded, [2, 11, 42])
+
+    def test_index_version_tracks_barriers(self, rng):
+        sharded = ShardedBehaviorNetwork(4)
+        v0 = sharded.version
+        batches = contribution_batches(rng, n_batches=1)
+        u, v, codes, weights, stamps = batches[0]
+        sharded.add_weights(u, v, codes, weights, stamps, btype_table=TYPES)
+        assert sharded.version == v0 + 1  # one barrier per batch
+        index = sharded.index()
+        assert index.version == sharded.version
+        assert sharded.index() is index  # memoized until the next barrier

@@ -1,0 +1,191 @@
+"""Shared-memory snapshot lifecycle: publish / attach / refcount / unlink.
+
+Pins the ``SharedSnapshotStore`` contract the sharded serving path relies
+on: versioned segment names, publisher-owned unlink, refcounted retirement,
+cross-process zero-copy attachment, no leaked ``/dev/shm`` segments even
+when a reader process crashes mid-read, and the in-process fallback when
+shared memory is unavailable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.network import SharedSnapshotStore, attach_segment
+from repro.network.shm import _shared_memory
+
+pytestmark = pytest.mark.sharding
+
+needs_shm = pytest.mark.skipif(
+    _shared_memory is None, reason="multiprocessing.shared_memory unavailable"
+)
+
+
+def bundle(seed: int = 0) -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return {
+        "indptr": np.arange(11, dtype=np.int64),
+        "weights": rng.random(10),
+        "flags": rng.integers(0, 2, size=10, dtype=np.int8),
+    }
+
+
+def shm_listing() -> set[str]:
+    try:
+        return set(os.listdir("/dev/shm"))
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
+
+
+@needs_shm
+class TestPublishAttach:
+    def test_roundtrip_same_process(self):
+        with SharedSnapshotStore(prefix="repro-test-rt") as store:
+            arrays = bundle()
+            handle = store.publish("idx", arrays, meta={"kind": "t"}, version=3)
+            assert handle.segment == "repro-test-rt-idx-v3"
+            assert handle.shared
+            assert handle.meta["kind"] == "t" and handle.meta["version"] == 3
+            for name, array in arrays.items():
+                np.testing.assert_array_equal(handle.arrays[name], array)
+
+    def test_publish_idempotent_per_version(self):
+        with SharedSnapshotStore(prefix="repro-test-idem") as store:
+            first = store.publish("idx", bundle(), version=1)
+            again = store.publish("idx", bundle(seed=9), version=1)
+            assert again is first  # same (name, version) → same handle
+            newer = store.publish("idx", bundle(seed=9), version=2)
+            assert newer is not first
+            assert len(store.segments()) == 2
+
+    def test_attach_is_zero_copy_view(self):
+        with SharedSnapshotStore(prefix="repro-test-zc") as store:
+            handle = store.publish("idx", bundle(), version=0)
+            with attach_segment(handle.segment) as reader:
+                np.testing.assert_array_equal(
+                    reader.arrays["weights"], handle.arrays["weights"]
+                )
+                # Same physical buffer: a write on the publisher's view is
+                # seen by the reader without any copy or message.
+                handle.arrays["indptr"][0] = 77
+                assert reader.arrays["indptr"][0] == 77
+
+    def test_attach_unknown_segment_raises(self):
+        store = SharedSnapshotStore(prefix="repro-test-unk")
+        with pytest.raises(KeyError):
+            store.attach("repro-test-unk-missing-v0")
+        store.close()
+
+
+@needs_shm
+class TestRefcountUnlink:
+    def test_retire_waits_for_readers(self):
+        store = SharedSnapshotStore(prefix="repro-test-ref")
+        handle = store.publish("idx", bundle(), version=0)
+        store.acquire(handle.segment)
+        store.acquire(handle.segment)
+        assert store.refcount(handle.segment) == 2
+        store.retire(handle.segment)  # busy → deferred
+        assert handle.segment in store.segments()
+        store.release(handle.segment)
+        assert handle.segment in store.segments()
+        store.release(handle.segment)  # last reader out → unlinked
+        assert handle.segment not in store.segments()
+        with pytest.raises(FileNotFoundError):
+            attach_segment(handle.segment)
+
+    def test_retire_idle_unlinks_immediately(self):
+        store = SharedSnapshotStore(prefix="repro-test-idle")
+        handle = store.publish("idx", bundle(), version=0)
+        store.retire(handle.segment)
+        assert store.segments() == []
+        with pytest.raises(FileNotFoundError):
+            attach_segment(handle.segment)
+
+    def test_release_without_acquire_rejected(self):
+        store = SharedSnapshotStore(prefix="repro-test-rel")
+        handle = store.publish("idx", bundle(), version=0)
+        with pytest.raises(ValueError):
+            store.release(handle.segment)
+        store.close()
+
+    def test_close_unlinks_everything_even_busy(self):
+        store = SharedSnapshotStore(prefix="repro-test-close")
+        first = store.publish("a", bundle(), version=0)
+        second = store.publish("b", bundle(), version=0)
+        store.acquire(first.segment)  # still "in flight"
+        before = shm_listing()
+        assert any("repro-test-close" in name for name in before)
+        store.close()
+        assert store.segments() == []
+        assert not any("repro-test-close" in name for name in shm_listing())
+        for segment in (first.segment, second.segment):
+            with pytest.raises(FileNotFoundError):
+                attach_segment(segment)
+
+
+@needs_shm
+class TestCrossProcess:
+    def test_child_reads_zero_copy(self):
+        ctx = multiprocessing.get_context("fork")
+        with SharedSnapshotStore(prefix="repro-test-xp") as store:
+            handle = store.publish("idx", bundle(), version=0)
+            parent, child = ctx.Pipe()
+
+            def reader(conn, segment):
+                with attach_segment(segment) as seg:
+                    conn.send(float(seg.arrays["weights"].sum()))
+                conn.close()
+
+            proc = ctx.Process(target=reader, args=(child, handle.segment))
+            proc.start()
+            child.close()
+            assert parent.recv() == float(handle.arrays["weights"].sum())
+            proc.join(timeout=10)
+            assert proc.exitcode == 0
+
+    def test_worker_crash_leaks_nothing(self):
+        """A reader dying mid-attachment must not unlink or leak segments."""
+        ctx = multiprocessing.get_context("fork")
+        store = SharedSnapshotStore(prefix="repro-test-crash")
+        handle = store.publish("idx", bundle(), version=0)
+
+        def crasher(segment):
+            attach_segment(segment)  # holds a live mapping...
+            os._exit(13)  # ...and dies without closing it
+
+        proc = ctx.Process(target=crasher, args=(handle.segment,))
+        proc.start()
+        proc.join(timeout=10)
+        assert proc.exitcode == 13
+        # The publisher still owns a healthy segment (the crash didn't
+        # trigger any resource-tracker unlink)...
+        with attach_segment(handle.segment) as seg:
+            np.testing.assert_array_equal(
+                seg.arrays["weights"], handle.arrays["weights"]
+            )
+        # ...and teardown removes it without leftovers.
+        store.close()
+        assert not any("repro-test-crash" in name for name in shm_listing())
+
+
+class TestFallback:
+    def test_in_process_fallback_keeps_api(self):
+        store = SharedSnapshotStore(prefix="repro-test-fb", use_shm=False)
+        assert not store.attachable
+        arrays = bundle()
+        handle = store.publish("idx", arrays, version=0)
+        assert not handle.shared
+        assert store.fell_back
+        np.testing.assert_array_equal(
+            store.attach(handle.segment).arrays["weights"], arrays["weights"]
+        )
+        store.acquire(handle.segment)
+        store.retire(handle.segment)
+        store.release(handle.segment)
+        assert store.segments() == []
+        store.close()

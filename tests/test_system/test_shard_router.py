@@ -1,0 +1,316 @@
+"""Shard router + worker pool: frontier exchange, failover, Turbo serving.
+
+Covers the system half of the sharding tentpole:
+
+* :meth:`ShardRouter.sample_batch` is bit-exact vs the single-network
+  batched sampler and emits the ``turbo.shard.*`` series;
+* a crashed shard degrades sampling to the surviving frontier (requests
+  flagged partial, nothing raises, breaker opens) and recovery restores
+  bit-exact full serving;
+* :class:`ShardWorkerPool` serves sub-batches bit-identically from forked
+  processes over shared memory, survives worker crashes via in-process
+  failover, and leaks no segments;
+* a sharded :class:`BNServer` mirrors ingest into ``bn.shard.ingest.*``;
+* ``deploy_turbo(..., shards=N)`` serves bit-for-bit what the unsharded
+  deployment serves, and tags shard-down requests ``partial``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen import DAY, HOUR, BehaviorLog, BehaviorType
+from repro.network import (
+    FAST_WINDOWS,
+    BNBuilder,
+    BehaviorNetwork,
+    ShardedBehaviorNetwork,
+    computation_subgraphs_batch,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.system import (
+    BNServer,
+    CircuitBreaker,
+    FaultInjector,
+    LatencyModel,
+    PredictRequest,
+    ShardRouter,
+    ShardWorkerPool,
+    deploy_turbo,
+)
+
+from tests.test_network.test_sampling_batch import assert_subgraph_equal
+from tests.test_network.test_sharding import TYPES, contribution_batches, build_pair
+
+pytestmark = pytest.mark.sharding
+
+DEV = BehaviorType.DEVICE_ID
+
+
+def make_router(rng, n_shards=4, with_faults=False, metrics=None):
+    bn, sharded = build_pair(contribution_batches(rng), n_shards)
+    faults = FaultInjector() if with_faults else None
+    breakers = {s: CircuitBreaker() for s in range(n_shards)} if with_faults else None
+    router = ShardRouter(sharded, faults=faults, metrics=metrics, breakers=breakers)
+    return bn, sharded, router
+
+
+class TestRouterSampling:
+    def test_bitexact_and_observable(self, rng):
+        registry = MetricsRegistry()
+        bn, _sharded, router = make_router(rng, metrics=registry)
+        targets = [int(t) for t in rng.integers(0, 200, size=16)]
+        try:
+            got, stats, gate_s = router.sample_batch(targets, hops=2, fanout=5)
+            want, _ = computation_subgraphs_batch(
+                bn, targets, hops=2, fanout=5, edge_types=TYPES
+            )
+            for want_sub, got_sub in zip(want, got):
+                assert_subgraph_equal(got_sub, want_sub)
+            assert stats.partial == ()
+            assert gate_s == 0.0  # healthy path: no probe gate charged
+            counters = registry.snapshot()["counters"]
+            assert counters["turbo.shard.publish.count"] == 1
+            assert counters["turbo.shard.frontier.exchanges"] >= 1
+            assert counters["turbo.shard.frontier.keys"] > 0
+            assert "turbo.shard.frontier.lost" not in counters
+        finally:
+            router.close()
+
+    def test_selection_cache_reused_across_calls(self, rng):
+        bn, _sharded, router = make_router(rng, n_shards=2)
+        cache: dict = {}
+        try:
+            first, _, _ = router.sample_batch([3, 9], fanout=5, selection_cache=cache)
+            cached = len(cache)
+            assert cached > 0
+            again, _, _ = router.sample_batch([3, 9], fanout=5, selection_cache=cache)
+            assert len(cache) == cached
+            for a, b in zip(first, again):
+                assert_subgraph_equal(b, a)
+        finally:
+            router.close()
+
+
+class TestShardLoss:
+    def test_dead_shard_degrades_not_raises(self, rng):
+        registry = MetricsRegistry()
+        bn, _sharded, router = make_router(
+            rng, with_faults=True, metrics=registry
+        )
+        router.faults.add_crash("bn_shard1", 0.0, 1e12)
+        targets = [int(t) for t in rng.integers(0, 200, size=32)]
+        try:
+            got, stats, gate_s = router.sample_batch(targets, fanout=5, now=1.0)
+            assert len(got) == len(targets)
+            assert stats.partial, "a crashed shard must flag partial requests"
+            assert gate_s >= 0.0  # crash probes fail fast (no latency charged)
+            counters = registry.snapshot()["counters"]
+            assert counters["turbo.shard.down"] >= 1
+            assert counters["turbo.shard.partial_requests"] == len(stats.partial)
+            # Intact requests are still bit-exact vs the healthy sampler.
+            want, _ = computation_subgraphs_batch(
+                bn, targets, hops=2, fanout=5, edge_types=TYPES
+            )
+            for i, (want_sub, got_sub) in enumerate(zip(want, got)):
+                if i not in stats.partial:
+                    assert_subgraph_equal(got_sub, want_sub)
+        finally:
+            router.close()
+
+    def test_breaker_opens_then_recovery_restores_bits(self, rng):
+        bn, _sharded, router = make_router(rng, with_faults=True)
+        router.faults.add_crash("bn_shard1", 0.0, 1e12)
+        targets = [int(t) for t in rng.integers(0, 200, size=16)]
+        try:
+            for _ in range(4):  # past the breaker's failure threshold
+                router.sample_batch(targets, fanout=5, now=1.0)
+            assert not router.breakers[1].allow()
+            # Operator recovery: plans cleared, breakers reset.
+            router.faults.clear_plans()
+            for breaker in router.breakers.values():
+                breaker.reset()
+            got, stats, _ = router.sample_batch(targets, fanout=5, now=2.0)
+            assert stats.partial == ()
+            want, _ = computation_subgraphs_batch(
+                bn, targets, hops=2, fanout=5, edge_types=TYPES
+            )
+            for want_sub, got_sub in zip(want, got):
+                assert_subgraph_equal(got_sub, want_sub)  # no stale emptiness
+        finally:
+            router.close()
+
+
+class TestWorkerPool:
+    def test_worker_sample_bitexact_and_failover(self, rng):
+        registry = MetricsRegistry()
+        bn, _sharded, router = make_router(rng, n_shards=2, metrics=registry)
+        pool = None
+        try:
+            router.ensure_published()
+            pool = ShardWorkerPool(router.segments, n_workers=2)
+            targets = [int(t) for t in rng.integers(0, 200, size=8)]
+            out = pool.sample(0, targets, hops=2, fanout=5)
+            assert out is not None
+            got, stats = out
+            want, _ = computation_subgraphs_batch(
+                bn, targets, hops=2, fanout=5, edge_types=TYPES
+            )
+            for want_sub, got_sub in zip(want, got):
+                assert_subgraph_equal(got_sub, want_sub)
+            assert stats.partial == ()
+
+            # Hard-kill one worker: pool reports it dead, the router falls
+            # back in-process and stays bit-exact.
+            pool.crash(0)
+            assert pool.sample(0, targets) is None
+            assert pool.alive_count() == 1
+            routed, r_stats, _ = router.sample_batch(targets, fanout=5, pool=pool)
+            for want_sub, got_sub in zip(want, routed):
+                assert_subgraph_equal(got_sub, want_sub)
+            assert r_stats.partial == ()
+            counters = registry.snapshot()["counters"]
+            assert counters["turbo.shard.worker_failover"] >= 1
+        finally:
+            if pool is not None:
+                pool.close()
+            router.close()
+
+    def test_reattach_after_republish(self, rng):
+        _bn, sharded, router = make_router(rng, n_shards=2)
+        pool = None
+        try:
+            router.ensure_published()
+            pool = ShardWorkerPool(router.segments, n_workers=1)
+            batches = contribution_batches(rng, n_batches=1)
+            u, v, codes, weights, stamps = batches[0]
+            sharded.add_weights(u, v, codes, weights, stamps, btype_table=TYPES)
+            index = router.ensure_published()  # new version, old retired
+            assert pool.reattach(router.segments) == 1
+            out = pool.sample(0, [int(u[0])], fanout=5)
+            assert out is not None
+            want, _ = computation_subgraphs_batch(
+                sharded, [int(u[0])], hops=2, fanout=5, edge_types=TYPES
+            )
+            assert_subgraph_equal(out[0][0], want[0])
+            assert index.version == sharded.version
+        finally:
+            if pool is not None:
+                pool.close()
+            router.close()
+
+
+class TestShardedBNServer:
+    def logs(self):
+        return [
+            BehaviorLog(1, DEV, "d0", 60.0),
+            BehaviorLog(2, DEV, "d0", 120.0),
+            BehaviorLog(3, DEV, "d0", 180.0),
+        ]
+
+    def test_shard_ingest_metrics_mirrored(self):
+        registry = MetricsRegistry()
+        server = BNServer(
+            BNBuilder(windows=(HOUR, DAY)),
+            LatencyModel(jitter_sigma=0.0, seed=0),
+            metrics=registry,
+            shards=2,
+        )
+        assert isinstance(server.bn, ShardedBehaviorNetwork)
+        server.ingest(self.logs())
+        jobs, _ = server.run_due_jobs(now=HOUR)
+        assert jobs >= 1
+        counters = registry.snapshot()["counters"]
+        assert counters["bn.shard.ingest.jobs"] == counters["bn.ingest.jobs"]
+        assert (
+            counters["bn.shard.ingest.contributions"]
+            == counters["bn.ingest.contributions"]
+        )
+        assert counters["bn.shard.ingest.barriers"] >= 1
+        assert counters["bn.shard.ingest.rows"] == 3  # pairs (1,2) (1,3) (2,3)
+        per_shard = sum(
+            counters.get(f"bn.shard.ingest.shard{s}.rows", 0) for s in range(2)
+        )
+        assert per_shard == counters["bn.shard.ingest.rows"]
+        assert "bn.shard.ingest.cross_shard" in counters
+
+    def test_sharded_stats_and_unsharded_default(self):
+        latency = LatencyModel(jitter_sigma=0.0, seed=0)
+        sharded = BNServer(BNBuilder(windows=(HOUR, DAY)), latency, shards=2)
+        sharded.ingest(self.logs())
+        sharded.run_due_jobs(now=HOUR)
+        stats = sharded.stats()
+        assert stats["shards"] == 2
+        # Boundary nodes appear in every shard holding one of their pairs,
+        # so the per-shard counts sum to at least the global node count.
+        assert stats["shard0_nodes"] + stats["shard1_nodes"] >= stats["bn_nodes"]
+        assert max(stats["shard0_nodes"], stats["shard1_nodes"]) <= stats["bn_nodes"]
+        plain = BNServer(BNBuilder(windows=(HOUR, DAY)), latency)
+        assert isinstance(plain.bn, BehaviorNetwork)
+        assert plain.router is None
+        with pytest.raises(ValueError):
+            BNServer(BNBuilder(windows=(HOUR, DAY)), latency, shards=0)
+
+
+@pytest.fixture(scope="module")
+def deployed_pair(tiny_dataset):
+    """The same dataset deployed unsharded and with 2 BN shards."""
+    plain = deploy_turbo(
+        tiny_dataset, windows=FAST_WINDOWS, train_epochs=5, hidden=(8, 4), seed=0
+    )
+    sharded = deploy_turbo(
+        tiny_dataset,
+        windows=FAST_WINDOWS,
+        train_epochs=5,
+        hidden=(8, 4),
+        seed=0,
+        shards=2,
+    )
+    return plain, sharded
+
+
+def requests_for(data, count=24):
+    return [
+        PredictRequest(txn=t, now=t.audit_at)
+        for t in data.dataset.transactions[:count]
+    ]
+
+
+class TestTurboSharded:
+    def test_serving_bitexact_vs_unsharded(self, deployed_pair):
+        (plain, data), (sharded, _data) = deployed_pair
+        requests = requests_for(data)
+        want = [plain.predict(r) for r in requests]
+        got_scalar = [sharded.predict(r) for r in requests]
+        got_batch = sharded.predict_batch(requests)
+        for w, s, b in zip(want, got_scalar, got_batch):
+            for got in (s, b):
+                assert got.probability == w.probability
+                assert got.blocked == w.blocked
+                assert got.degradation == w.degradation == "full"
+                assert got.subgraph_size == w.subgraph_size
+
+    def test_shard_down_tags_partial_and_recovers(self, deployed_pair):
+        (_plain, _), (sharded, data) = deployed_pair
+        requests = requests_for(data)
+        baseline = {
+            r.txn.txn_id: p.probability
+            for r, p in zip(requests, sharded.predict_batch(requests))
+        }
+        sharded.faults.add_crash("bn_shard1", 0.0, 1e12)
+        responses = sharded.predict_batch(requests)
+        partial = [r for r in responses if r.degradation == "partial"]
+        assert partial, "losing a shard must surface partial degradation"
+        assert all(r.degradation_reason == "shard_down" for r in partial)
+        assert all(r.degraded for r in partial)
+        scalar = sharded.predict(requests[0])
+        assert scalar.degradation in ("partial", "full")
+
+        sharded.faults.clear_plans()
+        sharded.recover()  # also resets the per-shard breakers
+        recovered = sharded.predict_batch(requests)
+        assert all(r.degradation == "full" for r in recovered)
+        assert {
+            r.txn_id: r.probability for r in recovered
+        } == baseline, "recovery must restore bit-exact full serving"
