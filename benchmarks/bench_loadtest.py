@@ -1,0 +1,341 @@
+"""Open-loop load test: the latency-vs-offered-QPS frontier with brownout gates.
+
+Every other serving bench in this repo is closed-loop — it issues a request,
+waits, issues the next — so it can never observe queueing delay, the term
+that dominates latency at saturation.  This harness drives the deployment
+with *open-loop* traffic from :class:`repro.system.OpenLoopLoadGenerator`
+(seeded nonhomogeneous Poisson arrivals with a diurnal cycle and fraud
+bursts aligned to a ``repro.datagen.drift`` scenario) through the queueing
+front (:meth:`Turbo.frontend`): priority-class admission control, deadline
+shedding into the fallback ladder, batch-until-deadline micro-batching and
+a queue-depth autoscaler over :class:`~repro.system.SimulatedWorkerPool`.
+
+The sweep self-calibrates.  A closed-loop warmup measures the charged wall
+time of one micro-batch, which fixes single-worker capacity in requests per
+simulated second; the **nominal** operating point is :data:`NOMINAL_UTILIZATION`
+of that capacity (the provisioned load the platform budgets for, served
+comfortably by the minimum pool).  Each sweep point offers a multiple of
+nominal for the same simulated horizon and reports end-to-end percentiles
+(queue wait + charged pipeline time), shed rates, peak queue depth and
+autoscaler activity — the frontier written to ``BENCH_loadtest.json``.
+
+Acceptance gates (uniform contract via ``_shared.check_gates``; both run
+modes exit nonzero when a gate regresses, and the whole harness fails hard
+if any request — served or shed — lacks a closed trace):
+
+* **p99 holds at 2x nominal**: end-to-end p99 at the 2x point within
+  :data:`P99_SLACK` of the uncongested (lowest-multiplier) p99 — the
+  autoscaler must absorb double the provisioned load;
+* **near-zero shedding at 2x**: served fraction >= 0.90 there;
+* **graceful brownout beyond saturation**: at the top multiplier the
+  admission controller sheds (bounded served fraction floor) instead of
+  queueing without bound (peak depth <= ``max_depth``) and nothing raises;
+* **autoscaler engaged**: at least one scale-up somewhere in the sweep;
+* **every request traced**: each arrival closes exactly one trace root.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_LOADTEST_ARRIVALS`` — expected arrivals at 1x nominal
+  (default 64; the simulated horizon is derived from it);
+* ``REPRO_BENCH_LOADTEST_MULTIPLIERS`` — comma-separated sweep multiples
+  of nominal (default ``0.5,1,2,4,8,16``; must include ``2``);
+* ``REPRO_BENCH_LOADTEST_BATCH`` — micro-batch size (default 8);
+* ``REPRO_BENCH_LOADTEST_WORKERS`` — autoscaler ceiling (default 3);
+* ``REPRO_BENCH_LOADTEST_P99_SLACK`` — the 2x p99 tolerance (default 5.0).
+
+Run it either way::
+
+    pytest -m loadtest benchmarks/bench_loadtest.py          # as a slow test
+    PYTHONPATH=src python benchmarks/bench_loadtest.py       # as a script
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.datagen import GeneratorConfig, fraud_burst_schedule, generate_drift_scenario
+from repro.obs import assert_all_traced
+from repro.system import (
+    OpenLoopLoadGenerator,
+    PredictRequest,
+    PriorityClass,
+    QueueConfig,
+    TrafficPattern,
+    bursts_from_drift,
+    deploy_turbo,
+)
+
+from _shared import WINDOWS, Gate, check_gates, d1_dataset, emit, emit_header
+
+ARRIVALS_1X = int(os.environ.get("REPRO_BENCH_LOADTEST_ARRIVALS", "64"))
+MULTIPLIERS = tuple(
+    float(m)
+    for m in os.environ.get(
+        "REPRO_BENCH_LOADTEST_MULTIPLIERS", "0.5,1,2,4,8,16"
+    ).split(",")
+)
+BATCH_SIZE = int(os.environ.get("REPRO_BENCH_LOADTEST_BATCH", "8"))
+MAX_WORKERS = int(os.environ.get("REPRO_BENCH_LOADTEST_WORKERS", "3"))
+P99_SLACK = float(os.environ.get("REPRO_BENCH_LOADTEST_P99_SLACK", "5.0"))
+TRAIN_EPOCHS = 20
+CALIBRATION_BATCHES = 3
+#: the provisioned operating point, as a fraction of one worker's capacity.
+NOMINAL_UTILIZATION = 0.5
+#: served-fraction floors: near-full service at 2x, bounded brownout at the top.
+SERVED_FLOOR_2X = 0.90
+SERVED_FLOOR_OVERLOAD = 0.40
+#: finite cap for ratio gates — a zero denominator must not write Infinity
+#: into the JSON (it would not round-trip through the schema test).
+GATE_CAP = 100.0
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_loadtest.json"
+
+
+def deploy():
+    dataset = d1_dataset()
+    turbo, _data = deploy_turbo(
+        dataset, windows=WINDOWS, train_epochs=TRAIN_EPOCHS, hidden=(32, 16), seed=0
+    )
+    fraud_uids = frozenset(u.uid for u in dataset.users if u.is_fraud)
+    return turbo, fraud_uids
+
+
+def calibrate(turbo):
+    """Measure one worker's charged micro-batch wall time (closed loop).
+
+    Returns ``(wall, pool)`` — the mean charged critical path of a batch of
+    :data:`BATCH_SIZE` healthy requests, and the transaction pool the open
+    loop draws from.  Everything downstream (capacity, nominal QPS, batch
+    hold time, deadlines, autoscaler cooldown) is expressed in units of
+    this one measured number, so the sweep lands at the same relative
+    operating points at every dataset scale.
+    """
+    pool = sorted(
+        turbo.feature_server.feature_manager.latest_transactions(),
+        key=lambda t: t.txn_id,
+    )
+    rng = np.random.default_rng(123)
+    walls = []
+    for _ in range(CALIBRATION_BATCHES + 1):
+        picks = rng.choice(len(pool), size=min(BATCH_SIZE, len(pool)), replace=False)
+        requests = [PredictRequest(txn=pool[int(i)]) for i in picks]
+        responses = turbo.predict_batch(requests)
+        walls.append(max(r.breakdown.total for r in responses))
+    # the first batch pays every cold-cache charge; capacity is the warm rate
+    return float(np.mean(walls[1:])), pool
+
+
+def priority_classes(wall: float) -> tuple[PriorityClass, ...]:
+    """The default traffic mix with deadlines in units of batch service time."""
+    return (
+        PriorityClass("interactive", rank=0, deadline=6.0 * wall, weight=0.5),
+        PriorityClass("standard", rank=1, deadline=15.0 * wall, weight=0.35),
+        PriorityClass("batch", rank=2, deadline=45.0 * wall, weight=0.15),
+    )
+
+
+def queue_config(wall: float) -> QueueConfig:
+    return QueueConfig(
+        max_depth=8 * BATCH_SIZE,
+        batch_size=BATCH_SIZE,
+        batch_wait=0.25 * wall,
+        admission_deadline_aware=True,
+        initial_service_estimate=wall,
+        min_workers=1,
+        max_workers=MAX_WORKERS,
+        worker_startup=2.0 * wall,
+        scale_high=2.0,
+        scale_low=0.25,
+        scale_cooldown=4.0 * wall,
+    )
+
+
+def point_pattern(scenario, base_qps: float, start: float, horizon: float):
+    """One sweep point's rate function: diurnal cycle + drift-aligned bursts."""
+    schedule = fraud_burst_schedule(
+        scenario,
+        start=start,
+        burst_seconds=horizon / 10.0,
+        gap_seconds=horizon / 6.0,
+        max_intensity=1.5,
+    )
+    return TrafficPattern(
+        base_qps=base_qps,
+        diurnal_amplitude=0.2,
+        diurnal_period=horizon,
+        diurnal_phase=start,
+        bursts=bursts_from_drift(schedule, fraud_bias=0.5),
+    )
+
+
+def queue_counters(turbo) -> dict[str, float]:
+    counters = turbo.metrics.snapshot()["counters"]
+    return {k: float(v) for k, v in counters.items() if k.startswith("turbo.queue.")}
+
+
+def percentile_ms(samples: list[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    return 1000.0 * float(np.percentile(np.asarray(samples), q))
+
+
+def run_point(turbo, scenario, txns, fraud_uids, multiplier, nominal, wall, seed):
+    """Offer ``multiplier`` x nominal for one horizon; return the frontier row."""
+    start = turbo.clock.now()
+    horizon = ARRIVALS_1X / nominal
+    pattern = point_pattern(scenario, multiplier * nominal, start, horizon)
+    generator = OpenLoopLoadGenerator(
+        pattern,
+        txns,
+        fraud_uids=fraud_uids,
+        classes=priority_classes(wall),
+        seed=seed,
+    )
+    arrivals = generator.generate(start, horizon)
+    frontend = turbo.frontend(queue_config(wall))
+    before = queue_counters(turbo)
+    uncaught: list[str] = []
+    try:
+        records = frontend.run(arrivals)
+    except Exception as exc:  # the serving front must be total — record and gate
+        uncaught.append(f"{type(exc).__name__}: {exc}")
+        records = list(frontend.records)
+    after = queue_counters(turbo)
+    delta = {k: after.get(k, 0.0) - before.get(k, 0.0) for k in after}
+
+    served = [r for r in records if r.served]
+    shed = [r for r in records if not r.served]
+    e2e = [r.completed_at - r.arrival.at for r in served]
+    waits = [r.queue_wait for r in served]
+    stats = frontend.pool.stats()
+    row = {
+        "multiplier": multiplier,
+        "offered_qps": multiplier * nominal,
+        "realized_qps": len(arrivals) / horizon,
+        "horizon_s": horizon,
+        "arrivals": len(arrivals),
+        "served": len(served),
+        "shed": len(shed),
+        "shed_admission": delta.get("turbo.queue.shed.admission", 0.0),
+        "shed_deadline": delta.get("turbo.queue.shed.deadline", 0.0),
+        "served_fraction": len(served) / max(1, len(records)),
+        "p50_ms": percentile_ms(e2e, 50.0),
+        "p99_ms": percentile_ms(e2e, 99.0),
+        "wait_p99_ms": percentile_ms(waits, 99.0),
+        "peak_depth": frontend.peak_depth,
+        "peak_workers": stats["peak_workers"],
+        "final_workers": stats["workers"],
+        "scale_ups": stats["scale_ups"],
+        "scale_downs": stats["scale_downs"],
+        "batches": delta.get("turbo.queue.batches", 0.0),
+        "deadline_misses": delta.get("turbo.queue.deadline_misses", 0.0),
+    }
+    return row, records, uncaught
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+def run_harness(result_path: Path = RESULT_PATH) -> dict:
+    emit_header(
+        f"Open-loop load test — {len(MULTIPLIERS)}-point sweep x{MULTIPLIERS}, "
+        f"batch {BATCH_SIZE}, <= {MAX_WORKERS} workers"
+    )
+    turbo, fraud_uids = deploy()
+    wall, txns = calibrate(turbo)
+    capacity = BATCH_SIZE / wall
+    nominal = NOMINAL_UTILIZATION * capacity
+    emit(
+        f"calibration: batch wall {wall * 1000.0:.0f}ms -> one worker serves "
+        f"{capacity:.2f} req/s; nominal load {nominal:.2f} req/s"
+    )
+    scenario = generate_drift_scenario(
+        GeneratorConfig(n_users=60), n_periods=3, seed=5
+    )
+
+    frontier = []
+    all_records = []
+    uncaught: list[str] = []
+    for i, multiplier in enumerate(sorted(MULTIPLIERS)):
+        row, records, errors = run_point(
+            turbo, scenario, txns, fraud_uids, multiplier, nominal, wall, seed=1000 + i
+        )
+        frontier.append(row)
+        all_records.extend(records)
+        uncaught.extend(errors)
+        emit(
+            "{multiplier:>4.1f}x  offered {offered_qps:6.2f} req/s  "
+            "p50 {p50_ms:6.0f}ms  p99 {p99_ms:7.0f}ms  "
+            "served {served:>4d}/{arrivals:<4d}  depth<= {peak_depth:<3d} "
+            "workers<= {peak_workers:.0f}".format(**row)
+        )
+
+    # Every arrival — served, shed at admission, shed at deadline — must have
+    # closed exactly one trace root; an untraced request fails the run hard.
+    assert_all_traced([r.response for r in all_records])
+    traced_ok = turbo.tracer.open_traces() == 0
+    if uncaught:
+        emit(f"UNCAUGHT exceptions in the serving front: {uncaught}")
+
+    by_mult = {row["multiplier"]: row for row in frontier}
+    if 2.0 not in by_mult:
+        raise ValueError("the sweep must include the 2x-nominal point")
+    base_row, top_row, row_2x = frontier[0], frontier[-1], by_mult[2.0]
+
+    result = {
+        "arrivals_1x": ARRIVALS_1X,
+        "batch_size": BATCH_SIZE,
+        "max_workers": MAX_WORKERS,
+        "nominal_utilization": NOMINAL_UTILIZATION,
+        "batch_wall_ms": 1000.0 * wall,
+        "single_worker_capacity_qps": capacity,
+        "nominal_qps": nominal,
+        "p99_slack": P99_SLACK,
+        "frontier": frontier,
+        "uncaught": uncaught,
+    }
+    gates = [
+        Gate(
+            "p99_2x_within_slack",
+            min(GATE_CAP, P99_SLACK * base_row["p99_ms"] / max(row_2x["p99_ms"], 1e-9)),
+            1.0,
+        ),
+        Gate("served_fraction_2x", row_2x["served_fraction"], SERVED_FLOOR_2X),
+        Gate(
+            "overload_served_fraction",
+            top_row["served_fraction"],
+            SERVED_FLOOR_OVERLOAD,
+        ),
+        Gate(
+            "overload_queue_bounded",
+            min(GATE_CAP, queue_config(wall).max_depth / max(top_row["peak_depth"], 1)),
+            1.0,
+        ),
+        Gate("autoscaler_engaged", sum(r["scale_ups"] for r in frontier), 1.0),
+        Gate("no_uncaught_exceptions", 0.0 if uncaught else 1.0, 1.0),
+        Gate("all_requests_traced", 1.0 if traced_ok else 0.0, 1.0),
+    ]
+    check_gates(gates, result, result_path)
+    return result
+
+
+@pytest.mark.slow
+@pytest.mark.loadtest
+def test_loadtest_frontier():
+    result = run_harness()
+    assert result["gates_met"], (
+        "load-test gates failed — see gate lines above "
+        f"(gates: {result['gates']})"
+    )
+
+
+if __name__ == "__main__":
+    outcome = run_harness()
+    if not outcome["gates_met"]:
+        emit("FAIL: load-test gates not met")
+        sys.exit(1)
+    emit("OK")

@@ -58,7 +58,7 @@ from repro.network import FAST_WINDOWS
 from repro.obs import assert_all_traced
 from repro.system import deploy_turbo
 
-from _shared import emit, emit_header
+from _shared import Gate, check_gates, emit, emit_header
 
 SCALE = float(os.environ.get("REPRO_BENCH_RESIL_SCALE", "0.3"))
 REQUESTS = int(os.environ.get("REPRO_BENCH_RESIL_REQUESTS", "60"))
@@ -433,7 +433,7 @@ def scenario_shard_brownout() -> dict:
 # ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
-def run_harness() -> dict:
+def run_harness(result_path=RESULT_PATH) -> dict:
     emit_header(
         f"Resilience scenario runner — scale {SCALE}, {REQUESTS} requests/scenario"
     )
@@ -451,8 +451,19 @@ def run_harness() -> dict:
         "scenarios": {row["scenario"]: row for row in scenarios},
         "all_ok": all(row["ok"] for row in scenarios),
     }
-    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
-    emit(f"wrote {RESULT_PATH}")
+    # Scenario invariants expressed through the shared gate contract: an
+    # all-invariants-hold scenario scores 1.0 against a 1.0 floor, so this
+    # JSON carries the same gates/gates_met fields as every other bench
+    # (pinned repo-wide by tests/test_benchmarks/test_bench_json_schema.py).
+    gates = [
+        Gate(
+            name=f"{row['scenario']}_invariants",
+            value=1.0 if row["ok"] else 0.0,
+            minimum=1.0,
+        )
+        for row in scenarios
+    ]
+    check_gates(gates, result, result_path)
     return result
 
 
@@ -465,12 +476,12 @@ def test_resilience_scenarios():
         for name, row in result["scenarios"].items()
         if not row["ok"]
     }
-    assert result["all_ok"], f"resilience invariants failed: {failed}"
+    assert result["gates_met"], f"resilience invariants failed: {failed}"
 
 
 if __name__ == "__main__":
     outcome = run_harness()
-    if not outcome["all_ok"]:
+    if not outcome["gates_met"]:
         emit("FAIL: resilience invariants violated")
         sys.exit(1)
     emit("OK")

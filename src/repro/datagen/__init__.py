@@ -13,7 +13,13 @@ from .behavior_types import (
 from .config import GeneratorConfig
 from .entities import DAY, HOUR, MINUTE, SECOND, BehaviorLog, Dataset, Transaction, User
 from .datasets import DatasetStatistics, dataset_statistics, make_d1, make_d2
-from .drift import DriftPeriod, DriftScenario, generate_drift_scenario
+from .drift import (
+    DriftPeriod,
+    DriftScenario,
+    FraudBurst,
+    fraud_burst_schedule,
+    generate_drift_scenario,
+)
 from .generator import LeasingPlatformSimulator, UserPersona
 from .scale import EdgeChunk, ScaleConfig, edge_stream, sample_targets
 
@@ -39,6 +45,8 @@ __all__ = [
     "sample_targets",
     "DriftPeriod",
     "DriftScenario",
+    "FraudBurst",
+    "fraud_burst_schedule",
     "generate_drift_scenario",
     "SECOND",
     "MINUTE",

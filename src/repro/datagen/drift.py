@@ -17,7 +17,13 @@ from .config import GeneratorConfig
 from .entities import Dataset
 from .generator import LeasingPlatformSimulator
 
-__all__ = ["DriftPeriod", "DriftScenario", "generate_drift_scenario"]
+__all__ = [
+    "DriftPeriod",
+    "DriftScenario",
+    "FraudBurst",
+    "generate_drift_scenario",
+    "fraud_burst_schedule",
+]
 
 
 @dataclass(slots=True)
@@ -36,6 +42,66 @@ class DriftScenario:
 
     train: Dataset
     periods: list[DriftPeriod] = field(default_factory=list)
+
+
+@dataclass(frozen=True, slots=True)
+class FraudBurst:
+    """One fraud-attack wave on the serving timeline, derived from a drift period.
+
+    The grey industry does not spread its activity evenly: each drift
+    period corresponds to a coordinated campaign, and on the serving side
+    that campaign shows up as a traffic spike whose ``intensity`` (offered
+    load multiplier) grows with how far the tactics have drifted.
+    ``repro.system.loadgen`` turns these into burst windows of its traffic
+    pattern; this class stays datagen-level so the dependency keeps
+    pointing system -> datagen, never the reverse.
+    """
+
+    period_index: int
+    drift_level: float
+    #: window on the simulated serving clock, seconds, half-open [start, end).
+    start: float
+    end: float
+    #: offered-load multiplier while the burst is active (>= 1).
+    intensity: float
+
+
+def fraud_burst_schedule(
+    scenario: DriftScenario,
+    start: float = 0.0,
+    burst_seconds: float = 600.0,
+    gap_seconds: float = 600.0,
+    max_intensity: float = 4.0,
+) -> tuple[FraudBurst, ...]:
+    """Lay a drift scenario's periods out as attack waves on a timeline.
+
+    One burst per :class:`DriftPeriod`, in period order, each ``burst_seconds``
+    long and separated by ``gap_seconds`` of calm; the first burst begins one
+    gap after ``start``.  Intensity interpolates from 1 (no drift) to
+    ``max_intensity`` (fully drifted), so later, more-evolved campaigns hit
+    the platform harder — the load-test harness uses exactly this to align
+    its traffic spikes with the scenario that produced them.
+    """
+    if burst_seconds <= 0:
+        raise ValueError("burst_seconds must be positive")
+    if gap_seconds < 0:
+        raise ValueError("gap_seconds cannot be negative")
+    if max_intensity < 1.0:
+        raise ValueError("max_intensity must be >= 1")
+    bursts: list[FraudBurst] = []
+    at = start + gap_seconds
+    for period in scenario.periods:
+        bursts.append(
+            FraudBurst(
+                period_index=period.index,
+                drift_level=period.drift_level,
+                start=at,
+                end=at + burst_seconds,
+                intensity=1.0 + (max_intensity - 1.0) * period.drift_level,
+            )
+        )
+        at += burst_seconds + gap_seconds
+    return tuple(bursts)
 
 
 def _drifted_config(base: GeneratorConfig, level: float) -> GeneratorConfig:

@@ -16,9 +16,26 @@ from .faults import (
 )
 from .feature_server import FeatureServer
 from .latency import LatencyBreakdown, LatencyModel
+from .loadgen import (
+    DEFAULT_PRIORITY_CLASSES,
+    Arrival,
+    BurstWindow,
+    OpenLoopLoadGenerator,
+    PriorityClass,
+    TrafficPattern,
+    bursts_from_drift,
+)
 from .model_management import ModelManager, ModelVersion
 from .monitoring import LatencyHistogram, SystemMonitor
 from .prediction_server import PredictionServer
+from .queue import (
+    Autoscaler,
+    QueueConfig,
+    QueueFrontend,
+    QueueRecord,
+    RequestQueue,
+    SimulatedWorkerPool,
+)
 from .service import PredictRequest, RequestContext, Service
 from .shard_router import ShardRouter, ShardWorkerPool, index_sample_batch
 from .storage import InMemoryCache, LocalDatabase, ReplicatedStore, StorageError
@@ -50,6 +67,19 @@ __all__ = [
     "index_sample_batch",
     "FeatureServer",
     "PredictionServer",
+    "TrafficPattern",
+    "BurstWindow",
+    "PriorityClass",
+    "DEFAULT_PRIORITY_CLASSES",
+    "Arrival",
+    "OpenLoopLoadGenerator",
+    "bursts_from_drift",
+    "QueueConfig",
+    "QueueRecord",
+    "RequestQueue",
+    "SimulatedWorkerPool",
+    "Autoscaler",
+    "QueueFrontend",
     "ModelManager",
     "ModelVersion",
     "SystemMonitor",

@@ -590,6 +590,13 @@ class ShardWorkerPool:
     worker is detected on the next call and excluded; the caller falls back
     in-process — the shared segments are owned by the publisher and survive
     any worker crash.
+
+    The pool satisfies the :class:`~repro.system.service.Service` protocol
+    (``name``/``ping``/``stats``/``handle``) and is autoscaling-aware:
+    :meth:`scale_to` forks additional workers against the stored segment
+    set (re-sending the model payload) or retires workers from the tail,
+    so the :class:`~repro.system.queue.Autoscaler` can drive a forked pool
+    exactly like the in-process simulated one.
     """
 
     def __init__(
@@ -599,30 +606,112 @@ class ShardWorkerPool:
         model_payload: bytes | None = None,
         timeout: float = 60.0,
     ) -> None:
-        import multiprocessing as mp
-
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         self.timeout = timeout
-        ctx = mp.get_context("fork")
+        self._segments = list(segments)
+        self._model_payload = model_payload
         self._workers: list[dict[str, Any]] = []
+        self._scale_ups = 0
+        self._scale_downs = 0
         for _ in range(n_workers):
-            parent_conn, child_conn = ctx.Pipe()
-            process = ctx.Process(
-                target=_worker_main, args=(child_conn, list(segments)), daemon=True
-            )
-            process.start()
-            child_conn.close()
-            self._workers.append(
-                {"process": process, "conn": parent_conn, "alive": True}
-            )
-        if model_payload is not None:
-            for worker_id in range(n_workers):
-                self.call(worker_id, "model", model_payload)
+            self._spawn_worker()
+
+    def _spawn_worker(self) -> int:
+        """Fork one worker against the stored segments; returns its id."""
+        import multiprocessing as mp
+
+        ctx = mp.get_context("fork")
+        parent_conn, child_conn = ctx.Pipe()
+        process = ctx.Process(
+            target=_worker_main, args=(child_conn, list(self._segments)), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        self._workers.append({"process": process, "conn": parent_conn, "alive": True})
+        worker_id = len(self._workers) - 1
+        if self._model_payload is not None:
+            self.call(worker_id, "model", self._model_payload)
+        return worker_id
+
+    def _retire_worker(self) -> None:
+        """Stop and join the last worker in the pool."""
+        worker = self._workers.pop()
+        if worker["alive"]:
+            try:
+                worker["conn"].send(("stop", None))
+                worker["conn"].poll(self.timeout)
+            except (BrokenPipeError, OSError):
+                pass
+        worker["conn"].close()
+        worker["process"].join(timeout=5.0)
+        if worker["process"].is_alive():  # pragma: no cover - defensive
+            worker["process"].terminate()
+        worker["alive"] = False
 
     @property
     def n_workers(self) -> int:
         return len(self._workers)
+
+    # ------------------------------------------------------------------
+    # Service protocol + autoscaling surface
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Stable component name (``Service`` protocol)."""
+        return "shard_worker_pool"
+
+    @property
+    def size(self) -> int:
+        """Workers currently able to serve (the autoscaler's pool size)."""
+        return self.alive_count()
+
+    def ping(self) -> float:
+        """Liveness probe; raises when no worker process can serve."""
+        from .storage import StorageError
+
+        for worker_id in range(self.n_workers):
+            if self.call(worker_id, "ping") is not None:
+                return 0.0
+        raise StorageError("no live shard workers in the pool")
+
+    def stats(self) -> dict[str, float]:
+        """Flat dict of pool counters (dashboard snapshot)."""
+        return {
+            "workers": float(self.n_workers),
+            "alive": float(self.alive_count()),
+            "scale_ups": float(self._scale_ups),
+            "scale_downs": float(self._scale_downs),
+        }
+
+    def handle(self, request: Any, span: Any = None) -> tuple[Any, float]:
+        """Serve one ``(worker_id, command, payload)`` round-trip.
+
+        Returns ``(value, 0.0)`` — worker round-trips are real wall time,
+        not charged simulated seconds, so nothing is added to a breakdown.
+        """
+        worker_id, command, payload = request
+        return self.call(worker_id, command, payload), 0.0
+
+    def scale_to(self, n: int, now: float = 0.0) -> int:
+        """Grow/shrink the pool to ``n`` live workers; returns the new size.
+
+        Growth forks fresh processes against the stored segment set (and
+        replays the model payload); shrinking retires workers from the
+        tail, which preserves the ``shard_id % n_workers`` routing of the
+        survivors.  ``now`` is accepted for interface parity with the
+        simulated pool (forked workers are usable as soon as the fork
+        returns).
+        """
+        if n < 1:
+            raise ValueError("cannot scale below one worker")
+        while self.alive_count() < n:
+            self._spawn_worker()
+            self._scale_ups += 1
+        while self.n_workers > n and self.alive_count() > n:
+            self._retire_worker()
+            self._scale_downs += 1
+        return self.alive_count()
 
     def alive(self, worker_id: int) -> bool:
         """Whether ``worker_id``'s process is still serving."""

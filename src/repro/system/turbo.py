@@ -746,6 +746,23 @@ class Turbo:
         return level, probability, blocked
 
     # ------------------------------------------------------------------
+    # Serving front
+    # ------------------------------------------------------------------
+    def frontend(self, config: "Any | None" = None, pool: "Any | None" = None):
+        """A queue/admission serving front over this deployment.
+
+        Returns a :class:`~repro.system.queue.QueueFrontend` — priority
+        queueing, deadline-aware admission control, batch-until-deadline
+        dispatch into :meth:`predict_batch` and a simulated autoscaler —
+        wired to this deployment's tracer, metrics registry and fallback
+        ladder.  ``config`` is a :class:`~repro.system.queue.QueueConfig`
+        (defaults applied when None); ``pool`` overrides the worker pool.
+        """
+        from .queue import QueueFrontend  # local import avoids a module cycle
+
+        return QueueFrontend(self, config=config, pool=pool)
+
+    # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------
     def recover(self) -> None:

@@ -1,0 +1,95 @@
+"""Tiny-scale smoke run of the open-loop load-test harness.
+
+The full sweep is a slow ``loadtest``-marked test; this keeps its plumbing —
+capacity calibration, drift-aligned traffic generation, the queue frontend
+pass, per-point frontier rows, the hard every-request-traced assert and the
+shared gate contract — covered by the fast tier.  Latency and shed numbers
+at toy scale are noise, so individual gate verdicts are deliberately not
+asserted here (the structural gates — totality and tracing — must still
+hold at any scale).
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+from pathlib import Path
+
+BENCHMARKS_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+GATES = (
+    "p99_2x_within_slack",
+    "served_fraction_2x",
+    "overload_served_fraction",
+    "overload_queue_bounded",
+    "autoscaler_engaged",
+    "no_uncaught_exceptions",
+    "all_requests_traced",
+)
+ROW_FIELDS = (
+    "multiplier",
+    "offered_qps",
+    "realized_qps",
+    "arrivals",
+    "served",
+    "shed",
+    "served_fraction",
+    "p50_ms",
+    "p99_ms",
+    "peak_depth",
+    "peak_workers",
+    "scale_ups",
+    "batches",
+)
+
+
+def test_loadtest_harness_smoke(tmp_path, monkeypatch, capsys):
+    monkeypatch.syspath_prepend(str(BENCHMARKS_DIR))
+    bench = importlib.import_module("bench_loadtest")
+    from repro.datagen import make_d1
+
+    monkeypatch.setattr(bench, "d1_dataset", lambda: make_d1(scale=0.1, seed=0))
+    monkeypatch.setattr(bench, "TRAIN_EPOCHS", 2)
+    monkeypatch.setattr(bench, "ARRIVALS_1X", 10)
+    monkeypatch.setattr(bench, "MULTIPLIERS", (0.5, 2.0, 6.0))
+    monkeypatch.setattr(bench, "BATCH_SIZE", 4)
+    monkeypatch.setattr(bench, "CALIBRATION_BATCHES", 1)
+    result_path = tmp_path / "BENCH_loadtest.json"
+
+    result = bench.run_harness(result_path=result_path)
+    capsys.readouterr()  # keep the harness banner out of the test output
+
+    # The sweep ran every point and the per-point rows are fully populated.
+    frontier = result["frontier"]
+    assert [row["multiplier"] for row in frontier] == [0.5, 2.0, 6.0]
+    for row in frontier:
+        assert set(ROW_FIELDS) <= set(row)
+        assert row["arrivals"] == row["served"] + row["shed"]
+        assert row["offered_qps"] > 0.0
+    assert result["single_worker_capacity_qps"] > 0.0
+    assert result["nominal_qps"] > 0.0
+
+    # run_harness would have raised on any untraced request; the structural
+    # gates must hold even at toy scale.
+    assert result["uncaught"] == []
+    assert set(result["gates"]) == set(GATES)
+    assert result["gates"]["no_uncaught_exceptions"]["passed"] is True
+    assert result["gates"]["all_requests_traced"]["passed"] is True
+    assert isinstance(result["gates_met"], bool)
+
+    on_disk = json.loads(result_path.read_text())
+    assert on_disk["frontier"] == frontier
+
+
+def test_committed_loadtest_result_meets_gates():
+    """The committed BENCH_loadtest.json must have been green when written."""
+    committed = json.loads(
+        (BENCHMARKS_DIR.parent / "BENCH_loadtest.json").read_text()
+    )
+    assert committed["gates_met"] is True
+    for name, gate in committed["gates"].items():
+        assert gate["value"] >= gate["minimum"], (name, gate)
+    # the frontier must cover the 2x point and a beyond-saturation point
+    multipliers = [row["multiplier"] for row in committed["frontier"]]
+    assert 2.0 in multipliers
+    assert max(multipliers) > 2.0

@@ -1,0 +1,231 @@
+"""Property tests for the open-loop workload generator.
+
+Contracts pinned here (see ``docs/LOADTEST.md``):
+
+* **determinism** — the same seed yields a bit-identical arrival trace,
+  whether :meth:`OpenLoopLoadGenerator.generate` is called twice or two
+  generators are constructed independently;
+* **rate fidelity** — the empirical arrival rate of a homogeneous pattern
+  matches the configured QPS within Poisson tolerance;
+* **time ordering** — arrival times are strictly inside the horizon and
+  nondecreasing (the queue frontend rejects anything else);
+* **drift alignment** — burst labels join each arrival back to the exact
+  ``datagen.drift`` period that caused the spike, traffic concentrates
+  inside the windows, and a fully drifted burst draws exclusively from the
+  fraud user pool when the bias says so;
+* **priority classes** — deadlines are stamped as arrival time plus the
+  class slack, and the class mix follows the configured weights.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.datagen import GeneratorConfig, fraud_burst_schedule, generate_drift_scenario
+from repro.system import (
+    BurstWindow,
+    OpenLoopLoadGenerator,
+    PriorityClass,
+    TrafficPattern,
+    bursts_from_drift,
+)
+
+
+@pytest.fixture(scope="module")
+def txn_pool(tiny_dataset):
+    return sorted(tiny_dataset.transactions, key=lambda t: t.txn_id)
+
+
+@pytest.fixture(scope="module")
+def fraud_uids(tiny_dataset):
+    return frozenset(u.uid for u in tiny_dataset.users if u.is_fraud)
+
+
+def trace_key(arrivals):
+    return [
+        (a.at, a.txn.txn_id, a.uid, a.priority, a.deadline, a.burst) for a in arrivals
+    ]
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self, txn_pool):
+        pattern = TrafficPattern(base_qps=20.0, diurnal_amplitude=0.3, diurnal_period=30.0)
+        first = OpenLoopLoadGenerator(pattern, txn_pool, seed=7).generate(0.0, 30.0)
+        second = OpenLoopLoadGenerator(pattern, txn_pool, seed=7).generate(0.0, 30.0)
+        assert trace_key(first) == trace_key(second)
+
+    def test_generate_is_replayable(self, txn_pool):
+        generator = OpenLoopLoadGenerator(
+            TrafficPattern(base_qps=15.0), txn_pool, seed=3
+        )
+        assert trace_key(generator.generate(5.0, 20.0)) == trace_key(
+            generator.generate(5.0, 20.0)
+        )
+
+    def test_different_seeds_differ(self, txn_pool):
+        pattern = TrafficPattern(base_qps=20.0)
+        first = OpenLoopLoadGenerator(pattern, txn_pool, seed=1).generate(0.0, 20.0)
+        second = OpenLoopLoadGenerator(pattern, txn_pool, seed=2).generate(0.0, 20.0)
+        assert trace_key(first) != trace_key(second)
+
+
+class TestRateAndOrdering:
+    def test_empirical_rate_matches_configured(self, txn_pool):
+        qps, horizon = 50.0, 40.0
+        arrivals = OpenLoopLoadGenerator(
+            TrafficPattern(base_qps=qps), txn_pool, seed=11
+        ).generate(0.0, horizon)
+        expected = qps * horizon
+        # ~4.5 sigma for a Poisson(2000) count — deterministic given the seed,
+        # and tight enough to catch a thinning bug (those are 2x-style errors).
+        assert abs(len(arrivals) - expected) < 0.10 * expected
+
+    def test_arrivals_nondecreasing_and_inside_horizon(self, txn_pool):
+        start, horizon = 12.0, 25.0
+        arrivals = OpenLoopLoadGenerator(
+            TrafficPattern(base_qps=30.0, diurnal_amplitude=0.5, diurnal_period=10.0),
+            txn_pool,
+            seed=5,
+        ).generate(start, horizon)
+        assert arrivals, "expected a non-empty trace"
+        assert all(start <= a.at < start + horizon for a in arrivals)
+        assert all(b.at >= a.at for a, b in zip(arrivals, arrivals[1:]))
+
+    def test_diurnal_cycle_shapes_traffic(self, txn_pool):
+        # sin > 0 on the first half-period, < 0 on the second: with a large
+        # amplitude the first half must carry visibly more arrivals.
+        period = 60.0
+        arrivals = OpenLoopLoadGenerator(
+            TrafficPattern(
+                base_qps=40.0, diurnal_amplitude=0.9, diurnal_period=period
+            ),
+            txn_pool,
+            seed=13,
+        ).generate(0.0, period)
+        first = sum(1 for a in arrivals if a.at < period / 2)
+        second = len(arrivals) - first
+        assert first > 1.5 * second
+
+    def test_rate_at_composes_boosts(self):
+        pattern = TrafficPattern(
+            base_qps=10.0,
+            bursts=(BurstWindow(start=5.0, end=10.0, boost=3.0),),
+        )
+        assert pattern.rate_at(2.0) == 10.0
+        assert pattern.rate_at(7.0) == 30.0
+        assert pattern.rate_at(10.0) == 10.0  # half-open window
+        assert pattern.peak_rate() == 30.0
+
+
+class TestDriftAlignment:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return generate_drift_scenario(
+            GeneratorConfig(n_users=40, span_days=30.0), n_periods=2, seed=9
+        )
+
+    def test_burst_windows_align_with_schedule(self, scenario, txn_pool):
+        schedule = fraud_burst_schedule(
+            scenario, start=0.0, burst_seconds=20.0, gap_seconds=10.0, max_intensity=3.0
+        )
+        windows = {f"drift-{b.period_index}": (b.start, b.end) for b in schedule}
+        pattern = TrafficPattern(
+            base_qps=20.0, bursts=bursts_from_drift(schedule, fraud_bias=0.5)
+        )
+        horizon = max(b.end for b in schedule) + 10.0
+        arrivals = OpenLoopLoadGenerator(pattern, txn_pool, seed=17).generate(
+            0.0, horizon
+        )
+        labeled = [a for a in arrivals if a.burst]
+        assert labeled, "expected arrivals inside the drift bursts"
+        assert {a.burst for a in labeled} == set(windows)
+        for arrival in labeled:
+            lo, hi = windows[arrival.burst]
+            assert lo <= arrival.at < hi
+        for arrival in arrivals:
+            if not arrival.burst:
+                assert all(not (lo <= arrival.at < hi) for lo, hi in windows.values())
+        # the boost concentrates traffic: in-burst rate beats out-of-burst rate
+        burst_time = sum(hi - lo for lo, hi in windows.values())
+        in_rate = len(labeled) / burst_time
+        out_rate = (len(arrivals) - len(labeled)) / (horizon - burst_time)
+        assert in_rate > 1.3 * out_rate
+
+    def test_fully_drifted_burst_draws_fraud_users(
+        self, scenario, txn_pool, fraud_uids
+    ):
+        # period 2 of 2 has drift_level == 1.0, so with fraud_bias=1.0 every
+        # arrival inside its window must come from the fraud pool.
+        schedule = fraud_burst_schedule(
+            scenario, start=0.0, burst_seconds=20.0, gap_seconds=5.0, max_intensity=2.0
+        )
+        pattern = TrafficPattern(
+            base_qps=15.0, bursts=bursts_from_drift(schedule, fraud_bias=1.0)
+        )
+        horizon = max(b.end for b in schedule)
+        arrivals = OpenLoopLoadGenerator(
+            pattern, txn_pool, fraud_uids=fraud_uids, seed=23
+        ).generate(0.0, horizon)
+        last = f"drift-{schedule[-1].period_index}"
+        in_last = [a for a in arrivals if a.burst == last]
+        assert in_last, "expected arrivals inside the fully drifted burst"
+        assert all(a.uid in fraud_uids for a in in_last)
+
+    def test_intensity_grows_with_drift_level(self, scenario):
+        schedule = fraud_burst_schedule(scenario, max_intensity=4.0)
+        levels = [b.drift_level for b in schedule]
+        intensities = [b.intensity for b in schedule]
+        assert levels == sorted(levels)
+        assert intensities == sorted(intensities)
+        for burst in schedule:
+            assert burst.intensity == 1.0 + 3.0 * burst.drift_level
+
+
+class TestPriorityClasses:
+    def test_deadline_is_arrival_plus_class_slack(self, txn_pool):
+        classes = (
+            PriorityClass("gold", rank=0, deadline=2.0, weight=0.5),
+            PriorityClass("bronze", rank=1, deadline=9.0, weight=0.5),
+        )
+        slack = {c.name: c.deadline for c in classes}
+        rank = {c.name: c.rank for c in classes}
+        arrivals = OpenLoopLoadGenerator(
+            TrafficPattern(base_qps=25.0), txn_pool, classes=classes, seed=29
+        ).generate(0.0, 20.0)
+        assert {a.priority for a in arrivals} == {"gold", "bronze"}
+        for arrival in arrivals:
+            assert math.isclose(arrival.deadline, arrival.at + slack[arrival.priority])
+            assert arrival.priority_rank == rank[arrival.priority]
+
+    def test_class_mix_follows_weights(self, txn_pool):
+        classes = (
+            PriorityClass("heavy", rank=0, deadline=5.0, weight=0.8),
+            PriorityClass("light", rank=1, deadline=5.0, weight=0.2),
+        )
+        arrivals = OpenLoopLoadGenerator(
+            TrafficPattern(base_qps=50.0), txn_pool, classes=classes, seed=31
+        ).generate(0.0, 40.0)
+        heavy = sum(1 for a in arrivals if a.priority == "heavy")
+        assert abs(heavy / len(arrivals) - 0.8) < 0.06
+
+
+class TestValidation:
+    def test_bad_inputs_raise(self, txn_pool):
+        with pytest.raises(ValueError):
+            TrafficPattern(base_qps=0.0)
+        with pytest.raises(ValueError):
+            TrafficPattern(base_qps=1.0, diurnal_amplitude=1.0)
+        with pytest.raises(ValueError):
+            BurstWindow(start=5.0, end=5.0)
+        with pytest.raises(ValueError):
+            BurstWindow(start=0.0, end=1.0, boost=0.5)
+        with pytest.raises(ValueError):
+            PriorityClass("x", rank=0, deadline=0.0)
+        with pytest.raises(ValueError):
+            OpenLoopLoadGenerator(TrafficPattern(base_qps=1.0), ())
+        with pytest.raises(ValueError):
+            OpenLoopLoadGenerator(
+                TrafficPattern(base_qps=1.0), txn_pool
+            ).generate(0.0, 0.0)
