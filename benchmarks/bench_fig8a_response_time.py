@@ -32,7 +32,7 @@ from repro.obs import (
     rebuild_trees,
     write_spans_jsonl,
 )
-from repro.system import PredictRequest, deploy_turbo
+from repro.system import PredictRequest, TurboConfig, deploy_turbo
 
 from _shared import SCALE, WINDOWS, d1_dataset, d1_experiment, emit, emit_header, once
 
@@ -45,10 +45,7 @@ def run_requests():
     data = d1_experiment()
     turbo, _ = deploy_turbo(
         data.dataset,
-        windows=WINDOWS,
-        train_epochs=30,
-        hidden=(32, 16),
-        seed=0,
+        TurboConfig(windows=WINDOWS, train_epochs=30, hidden=(32, 16), seed=0),
         data=None,  # the deployed system uses X_s, so it builds its own bundle
     )
     latest = {t.uid: t for t in turbo.feature_server.feature_manager.latest_transactions()}

@@ -1,0 +1,258 @@
+"""Lambda two-tier serving harness: cached scores vs the fresh sampled path.
+
+Exercises the PR-8 lambda architecture end to end on the D1 deployment and
+writes the results to ``BENCH_lambda.json`` in the repository root.  Three
+sections:
+
+* ``zero_delta_parity`` — every covered request served by the lambda tier
+  (cache hit, staleness 0) against the same request on a plain deployment
+  sharing the training seed: probabilities and decisions must be
+  **bit-for-bit identical**, and every lambda-path response must close a
+  traced root span (``assert_all_traced``);
+* ``work_reduction`` — the delta path's reason to exist: per-request
+  sampled-subgraph work.  The plain deployment samples a fresh subgraph
+  per request; the lambda tier answers the same stream from cached state,
+  so its only sampling cost is the metered fallthrough
+  (``turbo.lambda.fallthrough_nodes``) — zero on this zero-delta stream;
+* ``drift_replay`` — a ``datagen.drift`` period remapped onto covered
+  users lands new co-occurrence edges inside cached subgraphs.  Serving
+  the sample twice — once at budget 0 (the exact fresh path, ground
+  truth) and once at an unbounded budget (the stale cached scores) —
+  quantifies the score drift.  Untouched users must stay bit-exact;
+  touched users' worst-case drift must fit inside the pinned envelope.
+
+Run it either way::
+
+    pytest -m slow benchmarks/bench_lambda.py          # as a slow test
+    PYTHONPATH=src python benchmarks/bench_lambda.py   # as a script
+
+Acceptance gates (uniform contract via ``_shared.check_gates``; both modes
+exit nonzero when a gate regresses):
+
+* zero-delta parity == 1.0 (bit-exact scores and decisions vs the fresh
+  sampled path, all requests traced);
+* ≥ 10× reduction in per-request sampled-subgraph work on the delta path
+  (fresh sampled nodes / max(1, lambda fallthrough nodes));
+* drift margin ≥ 0: the worst stale-score drift under the replay stays
+  inside :data:`DRIFT_BOUND`.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_LAMBDA_REQUESTS`` — served requests (default 48);
+* ``REPRO_BENCH_LAMBDA_DRIFT_LOGS`` — replayed drift logs (default 300).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.datagen import BehaviorLog, GeneratorConfig
+from repro.datagen.drift import generate_drift_scenario
+from repro.datagen.entities import HOUR
+from repro.obs import assert_all_traced
+from repro.system import TurboConfig, deploy_turbo
+
+from _shared import WINDOWS, Gate, check_gates, d1_dataset, emit, emit_header
+
+N_REQUESTS = int(os.environ.get("REPRO_BENCH_LAMBDA_REQUESTS", "48"))
+N_DRIFT_LOGS = int(os.environ.get("REPRO_BENCH_LAMBDA_DRIFT_LOGS", "300"))
+TRAIN_EPOCHS = 20
+#: worst tolerated |cached - fresh| probability drift for a stale score
+#: under the pinned drift replay (deterministic at the fixed seeds).
+DRIFT_BOUND = 0.35
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_lambda.json"
+
+
+def deploy(*, lambda_tier: bool):
+    dataset = d1_dataset()
+    config = TurboConfig(
+        windows=WINDOWS,
+        train_epochs=TRAIN_EPOCHS,
+        hidden=(32, 16),
+        seed=0,
+        lambda_tier=lambda_tier,
+    )
+    return deploy_turbo(dataset, config)
+
+
+def covered_requests(turbo, data, count: int):
+    """Replay-style requests the batch pass covers: latest txn, audit time."""
+    lam = turbo.lambda_layer
+    latest = {t.uid: t for t in data.feature_manager.latest_transactions()}
+    uids = [int(u) for u in lam.state.node_ids[:count]]
+    return [latest[uid] for uid in uids]
+
+
+def bench_zero_delta(turbo, plain_turbo, txns) -> dict:
+    """Serve the covered stream on both tiers; assert bit-exact parity."""
+    lam = turbo.lambda_layer
+    hits_before = lam.hits
+    cached = [turbo.handle_request(t, now=t.audit_at) for t in txns]
+    fresh = [plain_turbo.handle_request(t, now=t.audit_at) for t in txns]
+    assert_all_traced(cached)
+
+    mismatches = 0
+    for one, two in zip(cached, fresh):
+        assert one.tier == "lambda", f"uncached request on covered uid {one.uid}"
+        assert one.staleness == 0, f"nonzero staleness at zero delta: {one}"
+        assert two.tier == "sampled"
+        if one.probability != two.probability or one.blocked != two.blocked:
+            mismatches += 1
+    return {
+        "requests": len(txns),
+        "lambda_hits": lam.hits - hits_before,
+        "mismatches": mismatches,
+        "parity": 1.0 if mismatches == 0 else 0.0,
+        "fresh_responses": fresh,
+    }
+
+
+def bench_work_reduction(turbo, fresh_responses) -> dict:
+    """Sampled-subgraph nodes: fresh path per request vs delta fallthrough."""
+    lam = turbo.lambda_layer
+    fresh_nodes = sum(int(r.subgraph_size) for r in fresh_responses)
+    fallthrough_nodes = int(lam.fallthrough_nodes)
+    return {
+        "fresh_sampled_nodes": fresh_nodes,
+        "lambda_fallthrough_nodes": fallthrough_nodes,
+        "work_reduction": fresh_nodes / max(1, fallthrough_nodes),
+    }
+
+
+def bench_drift_replay(turbo, data, dataset) -> dict:
+    """Replay a drift period onto covered users; quantify stale-score drift."""
+    lam = turbo.lambda_layer
+    t_end = max(log.timestamp for log in dataset.logs)
+    # Flush the windowed-epoch backlog, then re-baseline delta tracking so
+    # the replay below is the *only* delta the staleness gate sees.
+    turbo.bn_server.run_due_jobs(now=t_end)
+    lam.run_batch_pass(turbo.clock.now())
+
+    covered = [int(u) for u in lam.state.node_ids]
+    pool = covered[: min(60, len(covered))]
+    scenario = generate_drift_scenario(
+        base=GeneratorConfig(n_users=60, span_days=30.0), n_periods=1, seed=3
+    )
+    period_logs = sorted(scenario.periods[0].dataset.logs, key=lambda l: l.timestamp)
+    drift_logs = [
+        BehaviorLog(
+            uid=pool[hash(log.uid) % len(pool)],
+            btype=log.btype,
+            value=f"drift:{log.value}",
+            timestamp=t_end + 1.0 + 0.01 * i,
+        )
+        for i, log in enumerate(period_logs[:N_DRIFT_LOGS])
+    ]
+    turbo.bn_server.ingest(drift_logs)
+    turbo.bn_server.run_due_jobs(now=t_end + 2 * HOUR)
+    delta_size = int(lam._bn.delta_size())
+    assert delta_size > 0, "drift replay produced no delta edges"
+
+    latest = {t.uid: t for t in data.feature_manager.latest_transactions()}
+    sample = covered[: min(80, len(covered))]
+
+    lam.staleness_budget = 0
+    fresh = {}
+    for uid in sample:
+        txn = latest[uid]
+        fresh[uid] = turbo.handle_request(txn, now=txn.audit_at)
+    lam.staleness_budget = 10**9
+    stale_count, exact_count, drifts = 0, 0, [0.0]
+    for uid in sample:
+        txn = latest[uid]
+        cached = turbo.handle_request(txn, now=txn.audit_at)
+        assert cached.tier == "lambda", f"budget-unbounded miss on uid {uid}"
+        delta = abs(cached.probability - fresh[uid].probability)
+        if cached.staleness == 0:
+            assert delta == 0.0, f"zero-staleness drift on uid {uid}: {delta}"
+            exact_count += 1
+        else:
+            stale_count += 1
+            drifts.append(delta)
+    assert stale_count > 0, "drift replay touched no sampled user"
+    max_drift = max(drifts)
+    return {
+        "delta_edges": delta_size,
+        "sample": len(sample),
+        "stale_users": stale_count,
+        "bit_exact_users": exact_count,
+        "max_drift": max_drift,
+        "drift_bound": DRIFT_BOUND,
+        "drift_margin": DRIFT_BOUND - max_drift,
+    }
+
+
+def run_harness(result_path: Path = RESULT_PATH) -> dict:
+    emit_header(
+        f"lambda two-tier serving — {N_REQUESTS} covered requests, "
+        f"{N_DRIFT_LOGS}-log drift replay"
+    )
+    turbo, data = deploy(lambda_tier=True)
+    plain_turbo, _plain_data = deploy(lambda_tier=False)
+    lam = turbo.lambda_layer
+    emit(
+        f"deployed: {lam.state.num_nodes} covered users, "
+        f"bn v{lam.state.bn_version}, {lam.batch_passes} batch pass(es)"
+    )
+    txns = covered_requests(turbo, data, N_REQUESTS)
+
+    sections = {}
+    parity = bench_zero_delta(turbo, plain_turbo, txns)
+    fresh_responses = parity.pop("fresh_responses")
+    sections["zero_delta_parity"] = parity
+    emit(
+        "parity         {requests} requests, {lambda_hits} lambda hits, "
+        "{mismatches} mismatches — bit-exact vs fresh path".format(**parity)
+    )
+    sections["work_reduction"] = bench_work_reduction(turbo, fresh_responses)
+    emit(
+        "delta path     fresh {fresh_sampled_nodes} sampled nodes vs "
+        "{lambda_fallthrough_nodes} fallthrough "
+        "({work_reduction:.0f}x less sampling work)".format(
+            **sections["work_reduction"]
+        )
+    )
+    sections["drift_replay"] = bench_drift_replay(turbo, data, d1_dataset())
+    emit(
+        "drift replay   {delta_edges} delta edges, {stale_users}/{sample} "
+        "stale, {bit_exact_users} bit-exact, max drift {max_drift:.4f} "
+        "(bound {drift_bound:.2f})".format(**sections["drift_replay"])
+    )
+
+    result = {
+        "n_requests": N_REQUESTS,
+        "n_drift_logs": N_DRIFT_LOGS,
+        "sections": sections,
+    }
+    gates = [
+        Gate("zero_delta_parity", sections["zero_delta_parity"]["parity"], 1.0),
+        Gate(
+            "delta_path_work_reduction",
+            sections["work_reduction"]["work_reduction"],
+            10.0,
+        ),
+        Gate("drift_margin", sections["drift_replay"]["drift_margin"], 0.0),
+    ]
+    check_gates(gates, result, result_path)
+    return result
+
+
+@pytest.mark.slow
+def test_lambda_serving():
+    result = run_harness()
+    assert result["gates_met"], (
+        "lambda serving gates failed — see gate lines above "
+        f"(gates: {result['gates']})"
+    )
+
+
+if __name__ == "__main__":
+    outcome = run_harness()
+    if not outcome["gates_met"]:
+        emit("FAIL: lambda serving gates not met")
+        sys.exit(1)
+    emit("OK")

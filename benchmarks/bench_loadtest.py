@@ -67,6 +67,7 @@ from repro.system import (
     QueueConfig,
     TrafficPattern,
     bursts_from_drift,
+    TurboConfig,
     deploy_turbo,
 )
 
@@ -98,7 +99,10 @@ RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_loadtest.json"
 def deploy():
     dataset = d1_dataset()
     turbo, _data = deploy_turbo(
-        dataset, windows=WINDOWS, train_epochs=TRAIN_EPOCHS, hidden=(32, 16), seed=0
+        dataset,
+        TurboConfig(
+            windows=WINDOWS, train_epochs=TRAIN_EPOCHS, hidden=(32, 16), seed=0
+        ),
     )
     fraud_uids = frozenset(u.uid for u in dataset.users if u.is_fraud)
     return turbo, fraud_uids

@@ -56,7 +56,7 @@ from repro.datagen import make_d1
 from repro.eval.runner import prepare_experiment
 from repro.network import FAST_WINDOWS
 from repro.obs import assert_all_traced
-from repro.system import deploy_turbo
+from repro.system import TurboConfig, deploy_turbo
 
 from _shared import Gate, check_gates, emit, emit_header
 
@@ -93,13 +93,15 @@ def _deploy(replicated: bool, shards: int = 1):
     """A fresh system per scenario (shared experiment, fresh storage/model)."""
     turbo, data = deploy_turbo(
         _dataset(),
-        windows=FAST_WINDOWS,
-        train_epochs=10,
-        hidden=(16, 8),
-        seed=0,
+        TurboConfig(
+            windows=FAST_WINDOWS,
+            train_epochs=10,
+            hidden=(16, 8),
+            seed=0,
+            replicated=replicated,
+            shards=shards,
+        ),
         data=_experiment(),
-        replicated=replicated,
-        shards=shards,
     )
     turbo.monitor.set_slo(
         FULL_SLO_MS, degraded_target_ms=DEGRADED_SLO_MS, error_budget=0.05

@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.eval.reporting import format_percentiles
-from repro.system import deploy_turbo
+from repro.system import TurboConfig, deploy_turbo
 
 from _shared import SCALE, WINDOWS, d1_dataset, emit, emit_header, once
 
@@ -20,15 +20,18 @@ N_REQUESTS = 200
 def run_both_deployments():
     dataset = d1_dataset()
     cached, data = deploy_turbo(
-        dataset, windows=WINDOWS, train_epochs=20, hidden=(32, 16), seed=0
+        dataset,
+        TurboConfig(windows=WINDOWS, train_epochs=20, hidden=(32, 16), seed=0),
     )
     uncached, _ = deploy_turbo(
         dataset,
-        windows=WINDOWS,
-        use_cache=False,
-        train_epochs=20,
-        hidden=(32, 16),
-        seed=0,
+        TurboConfig(
+            windows=WINDOWS,
+            use_cache=False,
+            train_epochs=20,
+            hidden=(32, 16),
+            seed=0,
+        ),
         data=data,
     )
     latest = {t.uid: t for t in data.feature_manager.latest_transactions()}

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines import default_scorecard
-from repro.system import deploy_turbo, run_ab_test
+from repro.system import TurboConfig, deploy_turbo, run_ab_test
 
 from _shared import SCALE, WINDOWS, d1_dataset, emit, emit_header, once
 
@@ -19,7 +19,8 @@ from _shared import SCALE, WINDOWS, d1_dataset, emit, emit_header, once
 def run_replay():
     dataset = d1_dataset()
     turbo, data = deploy_turbo(
-        dataset, windows=WINDOWS, train_epochs=30, hidden=(32, 16), seed=0
+        dataset,
+        TurboConfig(windows=WINDOWS, train_epochs=30, hidden=(32, 16), seed=0),
     )
     # Replay only held-out users' applications: the online system must not
     # be graded on users it trained on.

@@ -64,7 +64,7 @@ import numpy as np
 import pytest
 
 from repro.obs import assert_all_traced
-from repro.system import PredictRequest, deploy_turbo
+from repro.system import PredictRequest, TurboConfig, deploy_turbo
 
 from _shared import WINDOWS, Gate, check_gates, d1_dataset, emit, emit_header
 
@@ -77,7 +77,10 @@ RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving_batch.json
 def deploy():
     dataset = d1_dataset()
     turbo, _data = deploy_turbo(
-        dataset, windows=WINDOWS, train_epochs=TRAIN_EPOCHS, hidden=(32, 16), seed=0
+        dataset,
+        TurboConfig(
+            windows=WINDOWS, train_epochs=TRAIN_EPOCHS, hidden=(32, 16), seed=0
+        ),
     )
     return turbo
 

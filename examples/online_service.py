@@ -15,7 +15,7 @@ import numpy as np
 from repro import make_d1
 from repro.baselines import default_scorecard
 from repro.network import FAST_WINDOWS
-from repro.system import deploy_turbo, run_ab_test
+from repro.system import TurboConfig, deploy_turbo, run_ab_test
 
 
 def percentile_line(name: str, millis: np.ndarray) -> str:
@@ -29,7 +29,8 @@ def main() -> None:
     dataset = make_d1(scale=0.25, seed=5)
     print("Deploying Turbo (training HAG + standing up servers) ...")
     turbo, data = deploy_turbo(
-        dataset, windows=FAST_WINDOWS, train_epochs=40, hidden=(32, 16), seed=0
+        dataset,
+        TurboConfig(windows=FAST_WINDOWS, train_epochs=40, hidden=(32, 16), seed=0),
     )
 
     # Serve detection requests for the held-out users' applications.
@@ -56,11 +57,13 @@ def main() -> None:
     print("\nRedeploying without the in-memory cache ...")
     slow, _ = deploy_turbo(
         dataset,
-        windows=FAST_WINDOWS,
-        use_cache=False,
-        train_epochs=40,
-        hidden=(32, 16),
-        seed=0,
+        TurboConfig(
+            windows=FAST_WINDOWS,
+            use_cache=False,
+            train_epochs=40,
+            hidden=(32, 16),
+            seed=0,
+        ),
         data=data,
     )
     for txn in requests[:60]:

@@ -8,6 +8,7 @@ Commands
 ``serve``      deploy the online system, replay requests, print telemetry
 ``abtest``     run the Section VI-E A/B replay against the rule scorecard
 ``trace``      replay requests and render one request's span tree + metrics
+``lambda``     two-tier serving demo: batch pass, replay, staleness stats
 """
 
 from __future__ import annotations
@@ -65,6 +66,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="also write every trace's spans to a JSONL file",
+    )
+
+    lam = subparsers.add_parser(
+        "lambda",
+        help="two-tier (batch + delta) serving: run a batch pass, replay "
+        "requests, print staleness/refresh stats",
+    )
+    lam.add_argument("--requests", type=int, default=50)
+    lam.add_argument(
+        "--staleness-budget",
+        type=int,
+        default=0,
+        help="max delta edge touches a cached score may carry (0 = bit-exact)",
+    )
+    lam.add_argument(
+        "--refresh",
+        action="store_true",
+        help="trigger a second batch pass after the replay",
     )
     return parser
 
@@ -135,16 +154,18 @@ def cmd_evaluate(args) -> int:
 def cmd_serve(args) -> int:
     from .datagen import make_d1
     from .network import FAST_WINDOWS
-    from .system import deploy_turbo
+    from .system import TurboConfig, deploy_turbo
 
     dataset = make_d1(scale=args.scale, seed=args.seed)
     turbo, data = deploy_turbo(
         dataset,
-        windows=FAST_WINDOWS,
-        use_cache=not args.no_cache,
-        train_epochs=30,
-        hidden=(32, 16),
-        seed=0,
+        TurboConfig(
+            windows=FAST_WINDOWS,
+            use_cache=not args.no_cache,
+            train_epochs=30,
+            hidden=(32, 16),
+            seed=0,
+        ),
     )
     latest = {t.uid: t for t in data.feature_manager.latest_transactions()}
     rng = np.random.default_rng(0)
@@ -160,16 +181,18 @@ def cmd_abtest(args) -> int:
     from .baselines import default_scorecard
     from .datagen import make_d1
     from .network import FAST_WINDOWS
-    from .system import deploy_turbo, run_ab_test
+    from .system import TurboConfig, deploy_turbo, run_ab_test
 
     dataset = make_d1(scale=args.scale, seed=args.seed)
     turbo, data = deploy_turbo(
         dataset,
-        windows=FAST_WINDOWS,
-        threshold=args.threshold,
-        train_epochs=30,
-        hidden=(32, 16),
-        seed=0,
+        TurboConfig(
+            windows=FAST_WINDOWS,
+            threshold=args.threshold,
+            train_epochs=30,
+            hidden=(32, 16),
+            seed=0,
+        ),
     )
     test_uids = {data.nodes[i] for i in data.test_idx}
     transactions = [t for t in dataset.transactions if t.uid in test_uids]
@@ -192,15 +215,12 @@ def cmd_trace(args) -> int:
     from .datagen import make_d1
     from .network import FAST_WINDOWS
     from .obs import assert_all_traced, render_span_tree, write_spans_jsonl
-    from .system import deploy_turbo
+    from .system import TurboConfig, deploy_turbo
 
     dataset = make_d1(scale=args.scale, seed=args.seed)
     turbo, data = deploy_turbo(
         dataset,
-        windows=FAST_WINDOWS,
-        train_epochs=30,
-        hidden=(32, 16),
-        seed=0,
+        TurboConfig(windows=FAST_WINDOWS, train_epochs=30, hidden=(32, 16), seed=0),
     )
     latest = {t.uid: t for t in data.feature_manager.latest_transactions()}
     rng = np.random.default_rng(0)
@@ -226,6 +246,65 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_lambda(args) -> int:
+    from .datagen import make_d1
+    from .network import FAST_WINDOWS
+    from .obs import assert_all_traced
+    from .system import TurboConfig, deploy_turbo
+
+    dataset = make_d1(scale=args.scale, seed=args.seed)
+    turbo, data = deploy_turbo(
+        dataset,
+        TurboConfig(
+            windows=FAST_WINDOWS,
+            train_epochs=30,
+            hidden=(32, 16),
+            seed=0,
+            lambda_tier=True,
+            lambda_staleness_budget=args.staleness_budget,
+        ),
+    )
+    lam = turbo.lambda_layer
+    latest = {t.uid: t for t in data.feature_manager.latest_transactions()}
+    rng = np.random.default_rng(0)
+    uids = rng.choice(
+        sorted(latest), size=min(args.requests, len(latest)), replace=False
+    )
+    responses = []
+    for uid in uids:
+        txn = latest[int(uid)]
+        responses.append(turbo.handle_request(txn, now=txn.audit_at))
+    assert_all_traced(responses)
+    if args.refresh:
+        lam.run_batch_pass(turbo.clock.now())
+
+    served = {"lambda": 0, "sampled": 0}
+    for response in responses:
+        served[response.tier] = served.get(response.tier, 0) + 1
+    stats = lam.stats()
+    print(
+        f"batch passes {stats['batch_passes']:.0f}  "
+        f"covered nodes {stats['covered_nodes']:.0f}  "
+        f"bn version {stats['bn_version']:.0f}"
+    )
+    print(
+        f"served: lambda={served['lambda']}  sampled={served['sampled']}  "
+        f"(staleness budget {args.staleness_budget})"
+    )
+    print(
+        f"lookups: hits={stats['hits']:.0f}  "
+        f"miss.uncovered={stats['misses_uncovered']:.0f}  "
+        f"miss.stale={stats['misses_stale']:.0f}  "
+        f"miss.unbound={stats['misses_unbound']:.0f}"
+    )
+    print(
+        f"fallthrough: requests={stats['fallthrough_requests']:.0f}  "
+        f"sampled nodes={stats['fallthrough_nodes']:.0f}  "
+        f"pending delta size={stats['delta_size']:.0f}"
+    )
+    return 0
+
+
 _COMMANDS = {
     "stats": cmd_stats,
     "empirical": cmd_empirical,
@@ -233,6 +312,7 @@ _COMMANDS = {
     "serve": cmd_serve,
     "abtest": cmd_abtest,
     "trace": cmd_trace,
+    "lambda": cmd_lambda,
 }
 
 

@@ -3,6 +3,7 @@
 from .cfo import CFOLayer
 from .hag import HAG, prepare_aggregators
 from .influence import influence_distribution, influence_scores
+from .lambda_infer import HAGState, materialize
 from .minibatch import (
     induced_adjacencies,
     induced_adjacencies_reference,
@@ -19,6 +20,8 @@ __all__ = [
     "CFOLayer",
     "HAG",
     "prepare_aggregators",
+    "HAGState",
+    "materialize",
     "TrainConfig",
     "TrainResult",
     "train_node_classifier",

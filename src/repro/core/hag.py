@@ -159,23 +159,54 @@ class HAG(nn.Module):
     # ------------------------------------------------------------------
     # Forward
     # ------------------------------------------------------------------
-    def embeddings(
+    def layer_states(
         self, x: Tensor, aggregators: Sequence[sp.csr_matrix]
-    ) -> Tensor:
-        """Fused node representation before the MLP head."""
+    ) -> tuple[Tensor, list[list[Tensor]]]:
+        """Fused representation plus every tower's per-layer hidden states.
+
+        ``states[t][k]`` is tower ``t``'s output after SAO layer ``k`` —
+        the layer-``k`` aggregation state the lambda batch layer
+        checkpoints (:mod:`repro.core.lambda_infer`).  The computation is
+        exactly :meth:`embeddings`; the intermediate tensors are simply
+        kept instead of discarded.
+        """
         if len(aggregators) != self.n_types:
             raise ValueError(
                 f"expected {self.n_types} aggregators, got {len(aggregators)}"
             )
         type_embeddings: list[Tensor] = []
+        states: list[list[Tensor]] = []
         for tower, aggregator in zip(self.towers, aggregators):
             h = x
+            tower_states: list[Tensor] = []
             for layer in tower:
                 h = layer(h, aggregator)
+                tower_states.append(h)
+            states.append(tower_states)
             type_embeddings.append(h)
         if self.cfo is not None:
-            return self.cfo(type_embeddings)
-        return type_embeddings[0]
+            return self.cfo(type_embeddings), states
+        return type_embeddings[0], states
+
+    def embeddings(
+        self, x: Tensor, aggregators: Sequence[sp.csr_matrix]
+    ) -> Tensor:
+        """Fused node representation before the MLP head."""
+        return self.layer_states(x, aggregators)[0]
+
+    def head_proba(self, embedding: np.ndarray) -> np.ndarray:
+        """Fraud probabilities from an already-fused node representation.
+
+        The inference-only counterpart of ``head``: scores nodes whose
+        fused embeddings were precomputed by a batch pass (the lambda
+        batch layer's full-graph materialization) without re-running the
+        towers.
+        """
+        self.eval()
+        with nn.no_grad():
+            logits = self.head(Tensor(embedding)).flatten()
+        self.train()
+        return 1.0 / (1.0 + np.exp(-logits.numpy()))
 
     def forward(
         self, x: Tensor, aggregators: Sequence[sp.csr_matrix]

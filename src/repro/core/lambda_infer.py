@@ -1,0 +1,332 @@
+"""Lambda-architecture batch layer: checkpointable HAG aggregation state.
+
+Turbo's paper serves every request by sampling a fresh k-hop subgraph and
+running full HAG inference.  *BRIGHT* and *GNNs in Real-Time Fraud Detection
+with Lambda Architecture* (PAPERS.md) split the same workload into a **batch
+layer** that periodically precomputes per-node aggregation state over the
+full BN, and a **speed layer** that answers requests from that state plus
+only the edges ingested since the last batch pass.
+
+This module is the batch layer's core: storage- and serving-agnostic.
+
+* :class:`HAGState` — the versioned, serializable per-node state one batch
+  pass produces: exact replayed scores, the feature provenance that gates
+  cache hits (which transaction/time each score was computed for), the
+  sampled-subgraph membership CSR that prices staleness, and every SAO
+  tower's layer-``k`` hidden states from a full-graph pass
+  (:meth:`repro.core.hag.HAG.layer_states`).  Round-trips losslessly
+  through a flat ``dict[str, np.ndarray]`` (:meth:`HAGState.to_arrays` /
+  :meth:`HAGState.from_arrays`), which is exactly what
+  :class:`~repro.system.storage.LocalDatabase` checkpoints and
+  :class:`~repro.network.shm.SharedSnapshotStore` publishes.
+
+* :func:`materialize` — the full-graph batch pass.  Scores are an
+  **all-targets replay** of the exact serving path: the union-frontier
+  sampler (:func:`~repro.network.sampling.computation_subgraphs_batch`)
+  over every target, then the packed per-request-block forward
+  (:meth:`~repro.core.hag.HAG.predict_subgraphs`).  Both are pinned
+  bit-for-bit equal to the scalar path, so a cached score is *bit-exact*
+  with what the fresh sampled path would compute — a full-graph embedding
+  cache could not promise that, because the sampled path's aggregation is
+  row-normalized within each target's own fanout-truncated subgraph.
+
+The speed layer that serves from this state lives in
+:mod:`repro.system.lambda_layer`; staleness accounting rides on
+:meth:`repro.network.bn.BehaviorNetwork.track_deltas`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+from ..network.adjacency import typed_adjacency
+from ..network.sampling import BatchSampleStats, computation_subgraphs_batch
+from .hag import HAG, prepare_aggregators
+
+__all__ = ["HAGState", "materialize"]
+
+#: ``meta`` array layout of a serialized state (see :meth:`HAGState.to_arrays`).
+_META_LEN = 3
+#: Prefix separating layer-state arrays from the fixed per-node columns.
+_LAYER_PREFIX = "state:"
+
+
+@dataclass(slots=True)
+class HAGState:
+    """Versioned per-node aggregation state of one lambda batch pass.
+
+    Keyed on ``bn_version`` — the facade version of the BN the pass ran
+    against; a served score is only meaningful relative to that graph
+    state plus whatever delta the speed layer accounts on top.
+
+    Per-node columns (aligned with the sorted ``node_ids``):
+
+    * ``scores`` — the exact probability the fresh sampled path computes
+      for the node's latest application at its audit time;
+    * ``txn_ids`` / ``nows`` — the transaction and as-of time each score
+      was computed for.  A request is only a cache hit when both match:
+      the target feature row depends on them, so a newer transaction must
+      fall through to the fresh path;
+    * ``subgraph_indptr`` / ``subgraph_nodes`` — CSR over each target's
+      sampled subgraph node set.  Staleness of a cached score is the
+      number of delta edge touches that landed inside this set — a
+      conservative superset of what could have changed the score, and
+      exactly zero when no edges arrived.
+
+    ``layers`` holds the full-graph pass artifacts: every SAO tower's
+    layer-``k`` hidden state and the fused (CFO) embedding, keyed
+    ``tower{t}.layer{k}`` / ``fused``, one row per ``node_ids`` entry.
+    """
+
+    bn_version: int
+    hops: int
+    fanout: int | None
+    node_ids: np.ndarray
+    scores: np.ndarray
+    txn_ids: np.ndarray
+    nows: np.ndarray
+    subgraph_indptr: np.ndarray
+    subgraph_nodes: np.ndarray
+    layers: dict[str, np.ndarray] = field(default_factory=dict)
+    _positions: dict[int, int] | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        n = len(self.node_ids)
+        if not len(self.scores) == len(self.txn_ids) == len(self.nows) == n:
+            raise ValueError("per-node columns must share one length")
+        if len(self.subgraph_indptr) != n + 1:
+            raise ValueError("subgraph_indptr must have num_nodes + 1 entries")
+        if n and np.any(np.diff(self.node_ids) <= 0):
+            raise ValueError("node_ids must be strictly increasing")
+
+    @property
+    def num_nodes(self) -> int:
+        """Targets covered by this state."""
+        return len(self.node_ids)
+
+    def position_of(self, uid: int) -> int | None:
+        """Row of ``uid`` in the per-node columns (``None`` if uncovered)."""
+        positions = self._positions
+        if positions is None:
+            positions = {int(u): i for i, u in enumerate(self.node_ids)}
+            self._positions = positions
+        return positions.get(int(uid))
+
+    def subgraph_of(self, position: int) -> np.ndarray:
+        """Node ids of the sampled subgraph behind ``scores[position]``."""
+        lo = int(self.subgraph_indptr[position])
+        hi = int(self.subgraph_indptr[position + 1])
+        return self.subgraph_nodes[lo:hi]
+
+    def lookup(self, uid: int, txn_id: int, now: float) -> tuple[float, int] | None:
+        """Cached score for ``(uid, txn_id, now)``; ``None`` unless exact.
+
+        Eligibility is exact by construction: the cached score was computed
+        from the feature row of ``txn_ids[row]`` observed at ``nows[row]``,
+        so any other transaction or as-of time must take the fresh path.
+        """
+        position = self.position_of(uid)
+        if position is None:
+            return None
+        if int(self.txn_ids[position]) != int(txn_id):
+            return None
+        if float(self.nows[position]) != float(now):
+            return None
+        return float(self.scores[position]), position
+
+    def staleness_of(self, position: int, touched: Mapping[int, int]) -> int:
+        """Delta edge touches inside the target's cached subgraph node set.
+
+        ``touched`` is :meth:`~repro.network.bn.BehaviorNetwork.delta_touched`
+        (per-node counts since the batch pass).  Zero iff nothing the cached
+        score could have seen changed — the bit-exactness guarantee.
+        """
+        if not touched:
+            return 0
+        return sum(
+            touched.get(int(node), 0) for node in self.subgraph_of(position)
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization (storage checkpoints + shared-memory publication)
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Flatten to named numpy arrays (lossless; see :meth:`from_arrays`).
+
+        The payload shape is what both backends want: a
+        :class:`~repro.system.storage.LocalDatabase` ``put`` checkpoints
+        the dict as one value, and a
+        :class:`~repro.network.shm.SharedSnapshotStore` publishes each
+        array as one zero-copy shared-memory region.
+        """
+        arrays = {
+            "meta": np.asarray(
+                [
+                    self.bn_version,
+                    self.hops,
+                    -1 if self.fanout is None else self.fanout,
+                ],
+                dtype=np.int64,
+            ),
+            "node_ids": np.asarray(self.node_ids, dtype=np.int64),
+            "scores": np.asarray(self.scores, dtype=np.float64),
+            "txn_ids": np.asarray(self.txn_ids, dtype=np.int64),
+            "nows": np.asarray(self.nows, dtype=np.float64),
+            "subgraph_indptr": np.asarray(self.subgraph_indptr, dtype=np.int64),
+            "subgraph_nodes": np.asarray(self.subgraph_nodes, dtype=np.int64),
+        }
+        for name, value in self.layers.items():
+            arrays[_LAYER_PREFIX + name] = np.asarray(value)
+        return arrays
+
+    @classmethod
+    def from_arrays(cls, arrays: Mapping[str, np.ndarray]) -> "HAGState":
+        """Rebuild a state from :meth:`to_arrays` output (or a shm view)."""
+        meta = np.asarray(arrays["meta"], dtype=np.int64)
+        if len(meta) != _META_LEN:
+            raise ValueError("malformed HAGState meta array")
+        fanout = int(meta[2])
+        return cls(
+            bn_version=int(meta[0]),
+            hops=int(meta[1]),
+            fanout=None if fanout < 0 else fanout,
+            node_ids=np.asarray(arrays["node_ids"], dtype=np.int64),
+            scores=np.asarray(arrays["scores"], dtype=np.float64),
+            txn_ids=np.asarray(arrays["txn_ids"], dtype=np.int64),
+            nows=np.asarray(arrays["nows"], dtype=np.float64),
+            subgraph_indptr=np.asarray(arrays["subgraph_indptr"], dtype=np.int64),
+            subgraph_nodes=np.asarray(arrays["subgraph_nodes"], dtype=np.int64),
+            layers={
+                name[len(_LAYER_PREFIX):]: np.asarray(value)
+                for name, value in arrays.items()
+                if name.startswith(_LAYER_PREFIX)
+            },
+        )
+
+
+def materialize(
+    model: HAG,
+    bn,
+    targets: Sequence[int],
+    txn_ids: Sequence[int],
+    nows: Sequence[float],
+    feature_fn: Callable[[int, Sequence[int]], np.ndarray],
+    *,
+    hops: int,
+    fanout: int | None,
+    edge_type_order: Sequence,
+    allowed: set[int] | None = None,
+    transform: Callable[[np.ndarray], np.ndarray] | None = None,
+    selection_cache: dict | None = None,
+    chunk: int = 256,
+    layer_features: np.ndarray | None = None,
+) -> tuple[HAGState, BatchSampleStats]:
+    """One full-graph batch pass; returns ``(state, sample_stats)``.
+
+    ``targets`` / ``txn_ids`` / ``nows`` describe every node to precompute
+    (they are sorted together by node id).  ``feature_fn(k, nodes)``
+    returns the raw feature matrix for sorted-target ``k``'s subgraph
+    ``nodes`` — exactly what the feature module would assemble for a live
+    request on that transaction at that time; ``transform`` is the serving
+    scaler (applied here so the replay matches the prediction server
+    bit-for-bit).
+
+    Scoring replays the serving path per target — union-frontier sampling
+    (with the selection memoized per ``(node, type)`` across all targets)
+    and the packed per-request-block forward — in ``chunk``-sized slices
+    to bound peak memory; each slice is bit-exact per request regardless
+    of slicing.
+
+    ``layer_features`` (rows aligned with the sorted targets, already
+    scaled) additionally runs one full-graph
+    :meth:`~repro.core.hag.HAG.layer_states` pass over the induced
+    full-graph adjacency and stores every tower's layer-``k`` hidden state
+    plus the fused embedding in ``state.layers``.  ``None`` skips the
+    layer pass (scores alone are enough to serve).
+    """
+    if not len(targets) == len(txn_ids) == len(nows):
+        raise ValueError("targets, txn_ids and nows must share one length")
+    if chunk < 1:
+        raise ValueError("chunk must be >= 1")
+    node_ids = np.asarray(targets, dtype=np.int64)
+    if len(node_ids) != len(np.unique(node_ids)):
+        raise ValueError("targets must be unique")
+    order = np.argsort(node_ids, kind="stable")
+    node_ids = node_ids[order]
+    txn_arr = np.asarray(txn_ids, dtype=np.int64)[order]
+    now_arr = np.asarray(nows, dtype=np.float64)[order]
+
+    subgraphs, stats = computation_subgraphs_batch(
+        bn,
+        node_ids.tolist(),
+        hops=hops,
+        fanout=fanout,
+        allowed=allowed,
+        selection_cache=selection_cache,
+    )
+
+    n = len(subgraphs)
+    scores = np.zeros(n, dtype=np.float64)
+    for start in range(0, n, chunk):
+        block = subgraphs[start : start + chunk]
+        matrices = []
+        for offset, subgraph in enumerate(block):
+            matrix = feature_fn(start + offset, subgraph.nodes)
+            matrices.append(matrix if transform is None else transform(matrix))
+        probabilities = model.predict_subgraphs(
+            block, matrices, edge_type_order=edge_type_order
+        )
+        scores[start : start + len(block)] = probabilities
+
+    sizes = np.asarray([subgraph.num_nodes for subgraph in subgraphs], dtype=np.int64)
+    indptr = np.concatenate(([0], np.cumsum(sizes)))
+    flat_nodes = (
+        np.concatenate(
+            [np.asarray(subgraph.nodes, dtype=np.int64) for subgraph in subgraphs]
+        )
+        if subgraphs
+        else np.empty(0, dtype=np.int64)
+    )
+
+    layers: dict[str, np.ndarray] = {}
+    if layer_features is not None and n:
+        if layer_features.shape[0] != n:
+            raise ValueError("layer_features rows must align with sorted targets")
+        types = tuple(edge_type_order)
+        adjacency = typed_adjacency(bn, node_ids.tolist(), types, normalize=True)
+        if model.use_cfo:
+            aggregators = prepare_aggregators([adjacency[t] for t in types])
+        else:
+            # The CFO(-) ablation runs one tower on the merged graph; sum
+            # the typed matrices so the layer pass matches its forward.
+            merged = adjacency[types[0]]
+            for btype in types[1:]:
+                merged = merged + adjacency[btype]
+            aggregators = prepare_aggregators([merged.tocsr()])
+        model.eval()
+        with nn.no_grad():
+            fused, states = model.layer_states(Tensor(layer_features), aggregators)
+        model.train()
+        for t, tower_states in enumerate(states):
+            for k, hidden in enumerate(tower_states):
+                layers[f"tower{t}.layer{k}"] = hidden.numpy()
+        layers["fused"] = fused.numpy()
+
+    state = HAGState(
+        bn_version=int(bn.version),
+        hops=int(hops),
+        fanout=fanout,
+        node_ids=node_ids,
+        scores=scores,
+        txn_ids=txn_arr,
+        nows=now_arr,
+        subgraph_indptr=indptr,
+        subgraph_nodes=flat_nodes,
+        layers=layers,
+    )
+    return state, stats

@@ -242,6 +242,43 @@ class BehaviorNetwork:
         # entry is discarded the next time its bucket is swept.
         self._expiry_width = ttl / _EXPIRY_BUCKETS
         self._expiry_buckets: dict[int, set[tuple[int, int, BehaviorType]]] = {}
+        # Delta tracking for the lambda speed layer: when enabled, every
+        # mutation (scalar/columnar weight accumulation, TTL expiry) counts
+        # one touch per typed edge per endpoint.  ``None`` means disabled.
+        self._delta: dict[int, int] | None = None
+
+    # ------------------------------------------------------------------
+    # Delta tracking (lambda speed layer)
+    # ------------------------------------------------------------------
+    def track_deltas(self) -> None:
+        """Start (or reset) counting per-node edge touches since this call.
+
+        While tracking, every typed-edge mutation — scalar
+        :meth:`add_weight`, each typed-edge segment applied by
+        :meth:`apply_weight_groups`, and each removal in
+        :meth:`expire_edges` — counts one touch against both endpoints.
+        The lambda batch pass calls this right after materializing, so
+        :meth:`delta_touched` is exactly the set of nodes whose
+        neighbourhood changed since the last batch pass.
+        """
+        self._delta = {}
+
+    def delta_tracking(self) -> bool:
+        """Whether delta tracking is currently enabled."""
+        return self._delta is not None
+
+    def delta_touched(self) -> dict[int, int]:
+        """Per-node edge-touch counts since :meth:`track_deltas` (or empty)."""
+        return dict(self._delta) if self._delta is not None else {}
+
+    def delta_size(self) -> int:
+        """Total edge touches since :meth:`track_deltas` (0 when disabled)."""
+        return sum(self._delta.values()) if self._delta else 0
+
+    def _delta_touch_pair(self, a: int, b: int) -> None:
+        delta = self._delta
+        delta[a] = delta.get(a, 0) + 1
+        delta[b] = delta.get(b, 0) + 1
 
     # ------------------------------------------------------------------
     # Mutation
@@ -290,6 +327,8 @@ class BehaviorNetwork:
         self._adjacency.setdefault(u, {})[v] = None
         self._adjacency.setdefault(v, {})[u] = None
         self._register_expiry(key, btype, record.last_update)
+        if self._delta is not None:
+            self._delta_touch_pair(key[0], key[1])
         self._version += 1
 
     def add_weights(
@@ -432,6 +471,9 @@ class BehaviorNetwork:
             refolded = segment_fold_sum(w_s, starts[pos], lengths[pos], seed=seeds)
             for record, weight in zip(warm_records, refolded.tolist()):
                 record.weight = weight
+        if self._delta is not None:
+            for a, b in zip(key_lo, key_hi):
+                self._delta_touch_pair(a, b)
         self._num_edges += created
         self._version += 1
         return n
@@ -488,6 +530,8 @@ class BehaviorNetwork:
                 if record.last_update < cutoff:
                     del records[btype]
                     removed += 1
+                    if self._delta is not None:
+                        self._delta_touch_pair(a, b)
                     if not records:
                         del edges[(a, b)]
                         self._pair_seq.pop((a, b), None)
@@ -517,6 +561,8 @@ class BehaviorNetwork:
             for t in stale:
                 del records[t]
                 removed += 1
+                if self._delta is not None:
+                    self._delta_touch_pair(pair[0], pair[1])
             if not records:
                 dead_pairs.append(pair)
         for u, v in dead_pairs:

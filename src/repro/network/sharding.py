@@ -708,6 +708,35 @@ class ShardedBehaviorNetwork:
             self._version += 1
         return removed
 
+    # ------------------------------------------------------------------
+    # Delta tracking (lambda speed layer) — forwarded to every shard
+    # ------------------------------------------------------------------
+    def track_deltas(self) -> None:
+        """Enable (or reset) per-node touch counting on every shard."""
+        for shard in self.shards:
+            shard.track_deltas()
+
+    def delta_tracking(self) -> bool:
+        """Whether delta tracking is enabled (on every shard)."""
+        return all(shard.delta_tracking() for shard in self.shards)
+
+    def delta_touched(self) -> dict[int, int]:
+        """Merged per-node touch counts across shards.
+
+        A pair lives on exactly one shard (its lo-endpoint's owner), but a
+        node can be an endpoint of pairs on several shards, so counts are
+        summed per node.
+        """
+        merged: dict[int, int] = {}
+        for shard in self.shards:
+            for uid, count in shard.delta_touched().items():
+                merged[uid] = merged.get(uid, 0) + count
+        return merged
+
+    def delta_size(self) -> int:
+        """Total edge touches across all shards since tracking started."""
+        return sum(shard.delta_size() for shard in self.shards)
+
     def drain_route_stats(self) -> dict[str, Any]:
         """Return and reset accumulated routing counters (BNServer drains
         these into the ``bn.shard.ingest.*`` metrics)."""

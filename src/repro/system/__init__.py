@@ -14,7 +14,9 @@ from .faults import (
     RetryPolicy,
     random_fault_plan,
 )
+from .bn_server import LocalSampler
 from .feature_server import FeatureServer
+from .lambda_layer import DeltaSampler, LambdaHit, LambdaLayer
 from .latency import LatencyBreakdown, LatencyModel
 from .loadgen import (
     DEFAULT_PRIORITY_CLASSES,
@@ -36,7 +38,7 @@ from .queue import (
     RequestQueue,
     SimulatedWorkerPool,
 )
-from .service import PredictRequest, RequestContext, Service
+from .service import PredictRequest, RequestContext, Sampler, Service
 from .shard_router import ShardRouter, ShardWorkerPool, index_sample_batch
 from .storage import InMemoryCache, LocalDatabase, ReplicatedStore, StorageError
 from .turbo import Turbo, TurboResponse, deploy_turbo
@@ -46,6 +48,7 @@ __all__ = [
     "TurboConfig",
     "PredictRequest",
     "RequestContext",
+    "Sampler",
     "Service",
     "LatencyModel",
     "LatencyBreakdown",
@@ -62,6 +65,10 @@ __all__ = [
     "BudgetExceeded",
     "random_fault_plan",
     "BNServer",
+    "LocalSampler",
+    "LambdaLayer",
+    "LambdaHit",
+    "DeltaSampler",
     "ShardRouter",
     "ShardWorkerPool",
     "index_sample_batch",

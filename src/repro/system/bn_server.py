@@ -33,9 +33,47 @@ from .storage import InMemoryCache, LocalDatabase, StorageError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from .faults import FaultInjector
-    from .service import RequestContext
+    from .service import RequestContext, Sampler
 
-__all__ = ["BNServer"]
+__all__ = ["BNServer", "LocalSampler"]
+
+
+class LocalSampler:
+    """The single-network sampling tier (the unsharded default).
+
+    One of the three :class:`~repro.system.service.Sampler` conformers —
+    alongside :class:`~repro.system.shard_router.ShardRouter` and
+    :class:`~repro.system.lambda_layer.DeltaSampler` — so the serving
+    paths can run ``self.sampler.sample_batch(...)`` uniformly instead of
+    branching on the deployment shape inline.  Samples straight off the
+    in-process network with the shared union-frontier batch sampler; no
+    probes, so the batch-level gate cost is always zero.
+    """
+
+    tier = "local"
+
+    def __init__(self, server: "BNServer") -> None:
+        self._server = server
+
+    def sample_batch(
+        self,
+        targets: Sequence[int],
+        hops: int = 2,
+        fanout: int | None = 25,
+        allowed: set[int] | None = None,
+        selection_cache: dict | None = None,
+        now: float = 0.0,
+    ) -> tuple[list[ComputationSubgraph], BatchSampleStats, float]:
+        """Batch-sample every target's ``G_v``; ``(subgraphs, stats, 0.0)``."""
+        subgraphs, stats = computation_subgraphs_batch(
+            self._server.bn,
+            list(targets),
+            hops=hops,
+            fanout=fanout,
+            allowed=allowed,
+            selection_cache=selection_cache,
+        )
+        return subgraphs, stats, 0.0
 
 
 class BNServer:
@@ -78,6 +116,10 @@ class BNServer:
         )
         self._use_shm = use_shm
         self._router: ShardRouter | None = None
+        self._local_sampler: LocalSampler | None = None
+        # Explicit tier override (e.g. the lambda layer's DeltaSampler);
+        # None means pick by deployment shape (router when sharded).
+        self._sampler: "Sampler | None" = None
         self.ttl_sweep_interval = ttl_sweep_interval
         self._logs: list[BehaviorLog] = []
         self._log_times: list[float] = []
@@ -129,6 +171,31 @@ class BNServer:
             self._router = router
         router.metrics = self.metrics
         return router
+
+    @property
+    def sampler(self) -> "Sampler":
+        """The active sampling tier (PR 8's unified ``Sampler`` surface).
+
+        An explicit override (:meth:`set_sampler` — how a lambda
+        deployment installs its :class:`~repro.system.lambda_layer.DeltaSampler`)
+        wins; otherwise the tier follows the deployment shape — the shard
+        router when the BN is partitioned, the in-process
+        :class:`LocalSampler` otherwise.
+        """
+        if self._sampler is not None:
+            return self._sampler
+        router = self.router
+        if router is not None:
+            return router
+        local = self._local_sampler
+        if local is None:
+            local = LocalSampler(self)
+            self._local_sampler = local
+        return local
+
+    def set_sampler(self, sampler: "Sampler | None") -> None:
+        """Install an explicit sampling tier (``None`` restores the default)."""
+        self._sampler = sampler
 
     # ------------------------------------------------------------------
     # Ingestion & maintenance
@@ -332,9 +399,14 @@ class BNServer:
         self._last_sample_partial = False
         if uid not in self.bn:
             self.bn.add_node(uid)
-        router = self.router if rng is None else None
-        if router is not None:
-            sampled, shard_stats, gate_seconds = router.sample_batch(
+        if rng is not None:
+            # Weighted sampling is a research-only path; it bypasses the
+            # tier machinery and samples the in-process network directly.
+            subgraph = computation_subgraph(
+                self.bn, uid, hops=hops, fanout=fanout, allowed=allowed, rng=rng
+            )
+        else:
+            sampled, batch_stats, gate_seconds = self.sampler.sample_batch(
                 [uid],
                 hops=hops,
                 fanout=fanout,
@@ -344,11 +416,7 @@ class BNServer:
             )
             subgraph = sampled[0]
             seconds += gate_seconds
-            self._last_sample_partial = bool(shard_stats.partial)
-        else:
-            subgraph = computation_subgraph(
-                self.bn, uid, hops=hops, fanout=fanout, allowed=allowed, rng=rng
-            )
+            self._last_sample_partial = bool(batch_stats.partial)
         seconds += self.latency.charge_network()
         use_cache = self.cache is not None and self.cache.available
         if not use_cache:
@@ -414,35 +482,22 @@ class BNServer:
                 self.bn.add_node(uid)
             alive.append(i)
         selection_cache = self._batch_selection_cache(fanout)
-        router = self.router
-        if router is not None:
-            sampled, stats, shard_gate = router.sample_batch(
-                [uids[i] for i in alive],
-                hops=hops,
-                fanout=fanout,
-                allowed=allowed,
-                selection_cache=selection_cache,
-                now=max(nows, default=0.0),
-            )
-            # Router indices are relative to the alive sublist; callers see
-            # batch positions.  The per-shard probe cost is batch-level work,
-            # charged to the first alive request (the first-toucher rule the
-            # unique-node charging below already follows).
-            if stats.partial:
-                stats = replace(
-                    stats, partial=tuple(alive[j] for j in stats.partial)
-                )
-            if alive and shard_gate:
-                gates[alive[0]] += shard_gate
-        else:
-            sampled, stats = computation_subgraphs_batch(
-                self.bn,
-                [uids[i] for i in alive],
-                hops=hops,
-                fanout=fanout,
-                allowed=allowed,
-                selection_cache=selection_cache,
-            )
+        sampled, stats, gate_seconds = self.sampler.sample_batch(
+            [uids[i] for i in alive],
+            hops=hops,
+            fanout=fanout,
+            allowed=allowed,
+            selection_cache=selection_cache,
+            now=max(nows, default=0.0),
+        )
+        # Tier indices are relative to the alive sublist; callers see batch
+        # positions.  Batch-level gate cost (shard probes) is charged to the
+        # first alive request (the first-toucher rule the unique-node
+        # charging below already follows).
+        if stats.partial:
+            stats = replace(stats, partial=tuple(alive[j] for j in stats.partial))
+        if alive and gate_seconds:
+            gates[alive[0]] += gate_seconds
         charged: set[int] = set()
         for k, i in enumerate(alive):
             subgraph = sampled[k]

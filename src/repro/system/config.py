@@ -34,7 +34,13 @@ class TurboConfig:
     disables).  Infrastructure: ``windows`` (BN window hierarchy),
     ``use_cache``, ``replicated`` (primary/replica database),
     ``with_fallbacks``, ``shards`` (hash-partition the BN across this many
-    shards; 1 keeps the single-network server).  Resilience: ``retry_policy``, ``breaker`` and
+    shards; 1 keeps the single-network server).  Lambda tier:
+    ``lambda_tier`` arms the two-tier batch/speed serving path
+    (:mod:`repro.system.lambda_layer`), ``lambda_refresh_period``
+    (simulated seconds between automatic batch passes; ``None`` = manual
+    refresh only) and ``lambda_staleness_budget`` (maximum delta edge
+    touches a served cached score may carry; 0 keeps cached serving
+    bit-exact).  Resilience: ``retry_policy``, ``breaker`` and
     ``faults`` (``None`` creates deployment-local defaults), ``latency``
     (the latency model; ``None`` creates one from ``seed``).  Tracing:
     ``trace_max`` bounds retained traces (``None`` keeps all).
@@ -50,6 +56,9 @@ class TurboConfig:
     fanout: int | None = 10
     replicated: bool = False
     shards: int = 1
+    lambda_tier: bool = False
+    lambda_refresh_period: float | None = None
+    lambda_staleness_budget: int = 0
     request_budget: float | None = 15.0
     with_fallbacks: bool = True
     retry_policy: RetryPolicy | None = None
@@ -75,6 +84,14 @@ class TurboConfig:
             raise ValueError("fanout must be non-negative (or None)")
         if self.shards < 1:
             raise ValueError("shards must be >= 1")
+        if self.lambda_refresh_period is not None and self.lambda_refresh_period <= 0:
+            raise ValueError("lambda_refresh_period must be positive (or None)")
+        if self.lambda_staleness_budget < 0:
+            raise ValueError("lambda_staleness_budget must be non-negative")
+        if not self.lambda_tier and (
+            self.lambda_refresh_period is not None or self.lambda_staleness_budget
+        ):
+            raise ValueError("lambda_* knobs require lambda_tier=True")
         if not self.windows:
             raise ValueError("windows must be non-empty")
         if not self.hidden:

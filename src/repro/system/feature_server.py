@@ -115,6 +115,19 @@ class FeatureServer:
         self._row_cache.clear()
         self.refreshes += 1
 
+    def latest_transaction(self, uid: int) -> Transaction | None:
+        """The user's latest application on record (``None`` if unknown).
+
+        This is what a context row is observed at — and what the lambda
+        batch layer replays per user so its cached score provenance
+        matches the live assembly path exactly.
+        """
+        return self._latest_txn.get(uid)
+
+    def known_users(self) -> list[int]:
+        """Sorted uids with a latest application on record."""
+        return sorted(self._latest_txn)
+
     # ------------------------------------------------------------------
     # Service surface (see repro.system.service.Service)
     # ------------------------------------------------------------------

@@ -1,0 +1,413 @@
+"""Lambda-architecture speed layer: serve from precomputed state + deltas.
+
+The batch layer (:mod:`repro.core.lambda_infer`) periodically replays the
+exact serving path over every known user and checkpoints the resulting
+:class:`~repro.core.lambda_infer.HAGState`.  This module is the online
+half:
+
+* :class:`LambdaLayer` owns the current state — runs batch passes
+  (checkpointed through :class:`~repro.system.storage.LocalDatabase` and
+  published through :class:`~repro.network.shm.SharedSnapshotStore`
+  alongside the shard index), answers point lookups with
+  bounded-staleness accounting, and refreshes on a configured period;
+* :class:`DeltaSampler` is the :class:`~repro.system.service.Sampler`
+  tier a lambda deployment installs on the BN server: cache hits never
+  reach it (``Turbo`` serves them before the sampling stage), so every
+  batch it *does* see is fallthrough work — which it meters, making the
+  delta path's sampled-subgraph savings directly observable as
+  ``turbo.lambda.*`` metrics.
+
+Staleness of a cached score is the number of delta edge touches
+(:meth:`~repro.network.bn.BehaviorNetwork.track_deltas`) that landed
+inside the score's cached subgraph node set — a conservative superset of
+what could have changed it, and exactly zero when no edges arrived since
+the batch pass.  A request whose staleness exceeds the configured budget
+falls through to the exact sampled path; at zero delta the cached score
+is bit-exact with that path, so serving it is a pure latency win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ..core.lambda_infer import HAGState, materialize
+from ..network.sampling import BatchSampleStats
+from ..obs.tracing import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..network.shm import SegmentHandle, SharedSnapshotStore
+    from ..obs.metrics import MetricsRegistry
+    from .bn_server import BNServer
+    from .feature_server import FeatureServer
+    from .prediction_server import PredictionServer
+    from .service import Sampler
+    from .storage import LocalDatabase
+
+__all__ = ["DeltaSampler", "LambdaHit", "LambdaLayer"]
+
+#: Storage coordinates of the batch-layer checkpoint.
+_CHECKPOINT_TABLE = "lambda_state"
+_CHECKPOINT_KEY = "hag_state"
+#: Shared-memory bundle name (published next to the ``bn_shard`` segments).
+_SEGMENT_NAME = "lambda"
+
+
+@dataclass(frozen=True, slots=True)
+class LambdaHit:
+    """One cache hit: the precomputed score and its staleness price."""
+
+    score: float
+    staleness: int
+    position: int
+
+
+class LambdaLayer:
+    """The online delta layer over one checkpointable batch-pass state.
+
+    ``hops`` / ``fanout`` / ``allowed`` mirror the deployment's sampling
+    policy so the replayed scores are the ones the fresh path would
+    compute.  ``refresh_period`` (simulated seconds, ``None`` = manual
+    only) drives :meth:`maybe_refresh`; ``staleness_budget`` is the
+    maximum delta-touch count a served cached score may carry.
+    """
+
+    def __init__(
+        self,
+        bn_server: "BNServer",
+        feature_server: "FeatureServer",
+        prediction_server: "PredictionServer",
+        database: "LocalDatabase",
+        tracer: Tracer | None = None,
+        *,
+        hops: int = 2,
+        fanout: int | None = 25,
+        allowed: set[int] | None = None,
+        refresh_period: float | None = None,
+        staleness_budget: int = 0,
+        store: "SharedSnapshotStore | None" = None,
+        component: str = "lambda_layer",
+    ) -> None:
+        self.bn_server = bn_server
+        self.feature_server = feature_server
+        self.prediction_server = prediction_server
+        self.database = database
+        self.tracer = tracer
+        self.hops = hops
+        self.fanout = fanout
+        self.allowed = allowed
+        self.refresh_period = refresh_period
+        self.staleness_budget = staleness_budget
+        self.store = store
+        self.component = component
+        self.metrics: "MetricsRegistry | None" = None
+        self.state: HAGState | None = None
+        self.last_pass_at: float | None = None
+        self.batch_passes = 0
+        self.hits = 0
+        self.misses = {"uncovered": 0, "stale": 0, "unbound": 0}
+        self.fallthrough_requests = 0
+        self.fallthrough_nodes = 0
+        self._bn: Any = None  # the network object the current state replayed
+        self._segment: "SegmentHandle | None" = None
+        self._delta_cache: tuple[tuple[int, int], dict[int, int]] | None = None
+
+    # ------------------------------------------------------------------
+    # Batch layer
+    # ------------------------------------------------------------------
+    def _targets(self) -> list[tuple[int, int, float]]:
+        """``(uid, txn_id, now)`` per precomputable user, sorted by uid.
+
+        Covers every known user inside the sampling policy's ``allowed``
+        set that exists in the BN.  The cached ``now`` is the user's
+        latest application's audit time — the as-of time a replay or an
+        audit-time request would resolve to.
+        """
+        bn = self.bn_server.bn
+        present = set(bn.nodes())
+        rows: list[tuple[int, int, float]] = []
+        for uid in self.feature_server.known_users():
+            if self.allowed is not None and uid not in self.allowed:
+                continue
+            if uid not in present:
+                continue
+            txn = self.feature_server.latest_transaction(uid)
+            rows.append((uid, int(txn.txn_id), float(txn.audit_at)))
+        return rows
+
+    def run_batch_pass(self, now: float) -> tuple[HAGState, BatchSampleStats]:
+        """One full batch pass at simulated time ``now``.
+
+        Replays the exact sampled serving path for every target (see
+        :func:`repro.core.lambda_infer.materialize`), runs the full-graph
+        layer pass, checkpoints the state to storage, publishes it to the
+        snapshot store (when one is wired), and resets delta tracking so
+        staleness counts start from this pass.
+
+        The pass is traced as one ``lambda_batch`` root span; its charged
+        duration (the packed model forwards plus the checkpoint write) is
+        metered under ``turbo.lambda.*`` but never billed to any request.
+        """
+        feature_manager = self.feature_server.feature_manager
+        scaler = self.prediction_server.scaler
+        latency = self.prediction_server.latency
+        bn = self.bn_server.bn
+
+        rows = self._targets()
+        targets = [uid for uid, _, _ in rows]
+        txn_ids = [txn_id for _, txn_id, _ in rows]
+        nows = [as_of for _, _, as_of in rows]
+
+        root = None
+        if self.tracer is not None:
+            root = self.tracer.start_trace(
+                "lambda_batch", at=now, targets=len(targets)
+            )
+
+        # Context feature rows are shared across subgraphs (they are
+        # observed at the user's latest application, not the request), so
+        # memoize them — bit-identical to per-request assembly.
+        context_rows: dict[int, np.ndarray] = {}
+        dim = feature_manager.dim
+
+        def feature_fn(k: int, nodes) -> np.ndarray:
+            matrix_rows = [feature_manager.vector(
+                self.feature_server.latest_transaction(targets[k]), as_of=nows[k]
+            )]
+            for uid in nodes[1:]:
+                row = context_rows.get(uid)
+                if row is None:
+                    txn = self.feature_server.latest_transaction(uid)
+                    row = np.zeros(dim) if txn is None else feature_manager.vector(txn)
+                    context_rows[uid] = row
+                matrix_rows.append(row)
+            return np.stack(matrix_rows)
+
+        layer_features = None
+        if targets:
+            layer_features = scaler.transform(
+                np.stack([
+                    context_rows[uid]
+                    if uid in context_rows
+                    else feature_manager.vector(
+                        self.feature_server.latest_transaction(uid)
+                    )
+                    for uid in targets
+                ])
+            )
+
+        state, stats = materialize(
+            self.prediction_server.model,
+            bn,
+            targets,
+            txn_ids,
+            nows,
+            feature_fn,
+            hops=self.hops,
+            fanout=self.fanout,
+            edge_type_order=self.prediction_server.edge_type_order,
+            allowed=self.allowed,
+            transform=scaler.transform,
+            selection_cache=self.bn_server._batch_selection_cache(self.fanout),
+            layer_features=layer_features,
+        )
+
+        arrays = state.to_arrays()
+        charged = sum(
+            latency.charge_model_forward_batch(
+                [int(n) for n in np.diff(state.subgraph_indptr)]
+            )
+        )
+        charged += self.database.put(_CHECKPOINT_TABLE, _CHECKPOINT_KEY, arrays)
+        if self.store is not None:
+            previous = self._segment
+            self._segment = self.store.publish(
+                _SEGMENT_NAME,
+                arrays,
+                meta={"nodes": state.num_nodes, "bn_version": state.bn_version},
+                version=state.bn_version,
+            )
+            if previous is not None and previous.segment != self._segment.segment:
+                self.store.retire(previous.segment)
+
+        self.state = state
+        self._bn = bn
+        self._delta_cache = None
+        bn.track_deltas()
+        self.last_pass_at = now
+        self.batch_passes += 1
+
+        if self.metrics is not None:
+            self.metrics.counter("turbo.lambda.batch_passes").inc()
+            self.metrics.histogram("turbo.lambda.batch_seconds").observe(charged)
+            self.metrics.gauge("turbo.lambda.covered_nodes").set(state.num_nodes)
+            self.metrics.gauge("turbo.lambda.bn_version").set(state.bn_version)
+        if root is not None:
+            root.annotate("bn_version", state.bn_version)
+            root.annotate("covered_nodes", state.num_nodes)
+            root.annotate("sampled_nodes", stats.sampled_nodes)
+            self.tracer.finish_trace(root, charged)
+        return state, stats
+
+    def maybe_refresh(self, now: float) -> bool:
+        """Run a batch pass when the refresh period elapsed; ``True`` if run."""
+        if self.refresh_period is None:
+            return False
+        if self.last_pass_at is not None and now - self.last_pass_at < self.refresh_period:
+            return False
+        self.run_batch_pass(now)
+        return True
+
+    def load_checkpoint(self) -> HAGState | None:
+        """Rebuild the last checkpointed state from storage (recovery path).
+
+        Installs it as the serving state only when it still matches the
+        live BN version *and* delta tracking survived (otherwise staleness
+        since the pass is unaccountable and serving it would be unsafe);
+        the deserialized state is returned either way.
+        """
+        rows, _seconds = self.database.query(_CHECKPOINT_TABLE, _CHECKPOINT_KEY)
+        if not rows or rows[0] is None:
+            return None
+        state = HAGState.from_arrays(rows[0])
+        bn = self.bn_server.bn
+        if state.bn_version == int(bn.version) and bn.delta_tracking():
+            self.state = state
+            self._bn = bn
+            self._delta_cache = None
+        return state
+
+    # ------------------------------------------------------------------
+    # Speed layer
+    # ------------------------------------------------------------------
+    def _delta_touched(self) -> dict[int, int]:
+        """Per-node touch counts since the batch pass (memoized per epoch)."""
+        bn = self._bn
+        key = (int(bn.version), int(bn.delta_size()))
+        cached = self._delta_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        touched = bn.delta_touched()
+        self._delta_cache = (key, touched)
+        return touched
+
+    def _miss(self, reason: str) -> None:
+        self.misses[reason] += 1
+        if self.metrics is not None:
+            self.metrics.counter("turbo.lambda.misses").inc()
+            self.metrics.counter(f"turbo.lambda.miss.{reason}").inc()
+
+    def lookup(self, uid: int, txn_id: int, now: float) -> LambdaHit | None:
+        """Cached score for ``(uid, txn_id, now)`` within the staleness budget.
+
+        ``None`` means the request must take the fresh sampled path:
+        the target is uncovered (unknown user, newer transaction, or a
+        different as-of time than the score was computed for), the cached
+        subgraph absorbed more delta edge touches than the budget allows,
+        or the state no longer binds to the live network object.
+        """
+        state = self.state
+        if state is None:
+            return None
+        if self.bn_server.bn is not self._bn or not self._bn.delta_tracking():
+            self._miss("unbound")
+            return None
+        found = state.lookup(uid, txn_id, now)
+        if found is None:
+            self._miss("uncovered")
+            return None
+        score, position = found
+        staleness = state.staleness_of(position, self._delta_touched())
+        if staleness > self.staleness_budget:
+            self._miss("stale")
+            return None
+        self.hits += 1
+        if self.metrics is not None:
+            self.metrics.counter("turbo.lambda.hits").inc()
+            self.metrics.histogram("turbo.lambda.staleness").observe(float(staleness))
+        return LambdaHit(score=score, staleness=staleness, position=position)
+
+    def record_fallthrough(self, stats: BatchSampleStats) -> None:
+        """Meter one fresh-path batch served because the cache could not."""
+        self.fallthrough_requests += stats.requests
+        self.fallthrough_nodes += stats.sampled_nodes
+        if self.metrics is not None:
+            self.metrics.counter("turbo.lambda.fallthrough_requests").inc(
+                stats.requests
+            )
+            self.metrics.counter("turbo.lambda.fallthrough_nodes").inc(
+                stats.sampled_nodes
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection (CLI / dashboards)
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Stable component name."""
+        return self.component
+
+    def stats(self) -> dict[str, float]:
+        """Flat counter dict: refresh state, hit/miss mix, delta pressure."""
+        state = self.state
+        delta_size = 0.0
+        if self._bn is not None and self._bn.delta_tracking():
+            delta_size = float(self._bn.delta_size())
+        return {
+            "batch_passes": float(self.batch_passes),
+            "covered_nodes": float(state.num_nodes if state is not None else 0),
+            "bn_version": float(state.bn_version if state is not None else -1),
+            "last_pass_at": float(
+                self.last_pass_at if self.last_pass_at is not None else -1.0
+            ),
+            "refresh_period": float(
+                self.refresh_period if self.refresh_period is not None else -1.0
+            ),
+            "staleness_budget": float(self.staleness_budget),
+            "hits": float(self.hits),
+            "misses_uncovered": float(self.misses["uncovered"]),
+            "misses_stale": float(self.misses["stale"]),
+            "misses_unbound": float(self.misses["unbound"]),
+            "fallthrough_requests": float(self.fallthrough_requests),
+            "fallthrough_nodes": float(self.fallthrough_nodes),
+            "delta_size": delta_size,
+        }
+
+
+class DeltaSampler:
+    """The lambda deployment's :class:`~repro.system.service.Sampler` tier.
+
+    Wraps the deployment's underlying tier (local batch sampler or shard
+    router).  Cache hits are served by ``Turbo`` before the sampling stage
+    runs, so every batch reaching this sampler is delta-budget fallthrough
+    — forwarded verbatim to the inner tier and metered on the layer.
+    """
+
+    tier = "lambda"
+
+    def __init__(self, layer: LambdaLayer, inner: "Sampler") -> None:
+        self.layer = layer
+        self.inner = inner
+
+    def sample_batch(
+        self,
+        targets,
+        hops: int = 2,
+        fanout: int | None = 25,
+        allowed: set[int] | None = None,
+        selection_cache: dict | None = None,
+        now: float = 0.0,
+    ):
+        """Forward to the wrapped tier, metering the fallthrough work."""
+        subgraphs, stats, gate_seconds = self.inner.sample_batch(
+            targets,
+            hops=hops,
+            fanout=fanout,
+            allowed=allowed,
+            selection_cache=selection_cache,
+            now=now,
+        )
+        self.layer.record_fallthrough(stats)
+        return subgraphs, stats, gate_seconds

@@ -33,7 +33,7 @@ from ..obs.tracing import Span, TraceContext
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from ..network.sampling import ComputationSubgraph
 
-__all__ = ["PredictRequest", "RequestContext", "Service"]
+__all__ = ["PredictRequest", "RequestContext", "Sampler", "Service"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -81,6 +81,43 @@ class RequestContext:
     features: np.ndarray | None = None
     probability: float | None = None
     attributes: dict[str, Any] = field(default_factory=dict)
+
+
+@runtime_checkable
+class Sampler(Protocol):
+    """One computation-subgraph sampling tier behind ``BNServer``.
+
+    PR 8's unification: the single-network batch sampler
+    (:class:`~repro.system.bn_server.LocalSampler`), the sharded
+    frontier-exchange router (:class:`~repro.system.shard_router.ShardRouter`)
+    and the lambda speed layer's fallthrough sampler
+    (:class:`~repro.system.lambda_layer.DeltaSampler`) all expose this one
+    shape, so the orchestrator picks a tier by configuration instead of
+    branching on deployment details inline.
+
+    ``sample_batch`` returns ``(subgraphs, stats, gate_seconds)`` where
+    ``stats`` is a :class:`~repro.network.sampling.BatchSampleStats`
+    (``stats.partial`` lists request indices served from an incomplete
+    frontier) and ``gate_seconds`` is batch-level probe cost charged to the
+    first request.  ``selection_cache`` carries per-``(node, type)``
+    neighbour rankings across batches; it is only valid for one
+    ``(bn.version, fanout)`` pair and the owner must drop it when either
+    changes.
+    """
+
+    tier: str
+
+    def sample_batch(
+        self,
+        targets: Any,
+        hops: int = 2,
+        fanout: int | None = 25,
+        allowed: set[int] | None = None,
+        selection_cache: dict | None = None,
+        now: float = 0.0,
+    ) -> tuple[list, Any, float]:
+        """Sample every target's ``G_v``; ``(subgraphs, stats, gate_s)``."""
+        ...
 
 
 @runtime_checkable

@@ -40,6 +40,7 @@ from typing import TYPE_CHECKING, Any, Callable, Sequence
 import numpy as np
 import scipy.sparse as sp
 
+from ..core.lambda_infer import HAGState
 from ..datagen.behavior_types import BehaviorType
 from ..network.sampling import BatchSampleStats, ComputationSubgraph
 from ..network.sharding import ShardIndex, ShardedBehaviorNetwork, _shard_of_int
@@ -251,6 +252,9 @@ class ShardRouter:
     down.  ``metrics`` may be attached after construction (the Turbo
     orchestrator wires its registry in at deploy time).
     """
+
+    #: :class:`~repro.system.service.Sampler` tier name.
+    tier = "sharded"
 
     def __init__(
         self,
@@ -502,6 +506,8 @@ def _worker_main(conn: Any, segments: list[str]) -> None:  # pragma: no cover
     index = rebuild()
     bundle: dict[str, Any] | None = None
     features_cache: dict[str, Any] = {}
+    lambda_state: HAGState | None = None
+    lambda_segment: Any = None
     while True:
         try:
             command, payload = conn.recv()
@@ -560,6 +566,20 @@ def _worker_main(conn: Any, segments: list[str]) -> None:  # pragma: no cover
                     subgraphs, scaled, edge_type_order=bundle["edge_type_order"]
                 )
                 conn.send(("ok", (list(probabilities), stats)))
+            elif command == "lambda_attach":
+                if lambda_segment is not None:
+                    lambda_segment.close()
+                lambda_segment = attach_segment(payload)
+                lambda_state = HAGState.from_arrays(lambda_segment.arrays)
+                conn.send(("ok", lambda_state.bn_version))
+            elif command == "lambda_lookup":
+                if lambda_state is None:
+                    raise RuntimeError("no lambda state attached")
+                scores: list[float | None] = []
+                for uid, txn_id, at in payload:
+                    hit = lambda_state.lookup(int(uid), int(txn_id), float(at))
+                    scores.append(None if hit is None else float(hit[0]))
+                conn.send(("ok", scores))
             elif command == "crash":
                 os._exit(13)
             elif command == "stop":
@@ -572,10 +592,14 @@ def _worker_main(conn: Any, segments: list[str]) -> None:  # pragma: no cover
                 conn.send(("error", repr(exc)))
             except (BrokenPipeError, OSError):
                 break
-    # Drop index/feature views before closing the mappings, else close()
-    # hits BufferError and GC replays it noisily at interpreter exit.
+    # Drop index/feature/lambda views before closing the mappings, else
+    # close() hits BufferError and GC replays it noisily at interpreter exit.
     index = None
-    for seg in list(attached) + list(features_cache.values()):
+    lambda_state = None
+    closing = list(attached) + list(features_cache.values())
+    if lambda_segment is not None:
+        closing.append(lambda_segment)
+    for seg in closing:
         seg.close()
 
 
@@ -781,6 +805,29 @@ class ShardWorkerPool:
         return self.call(
             worker_id, "predict", ([int(t) for t in targets], hops, fanout, features)
         )
+
+    def lambda_attach(self, worker_id: int, segment: str) -> int | None:
+        """Attach one published lambda (cached HAG state) segment zero-copy.
+
+        Returns the attached state's BN version, or ``None`` when the
+        worker is dead.
+        """
+        return self.call(worker_id, "lambda_attach", str(segment))
+
+    def lambda_lookup(
+        self, worker_id: int, triples: Sequence[tuple[int, int, float]]
+    ) -> list[float | None] | None:
+        """Serve cached scores for ``(uid, txn_id, now)`` triples.
+
+        Each slot is the cached probability, or ``None`` when the triple
+        misses the attached state (uncovered uid or a different
+        transaction).  The whole call returns ``None`` when the worker is
+        dead; staleness gating stays with the parent's
+        :class:`~repro.system.lambda_layer.LambdaLayer`, which owns the
+        delta index.
+        """
+        wire = [(int(u), int(t), float(at)) for u, t, at in triples]
+        return self.call(worker_id, "lambda_lookup", wire)
 
     def reattach(self, segments: list[str]) -> int:
         """Point every live worker at a newly published segment set."""

@@ -54,6 +54,7 @@ from .clock import SimulatedClock
 from .config import TurboConfig
 from .faults import BudgetExceeded, CircuitBreaker, FaultInjector, RetryPolicy
 from .feature_server import FeatureServer
+from .lambda_layer import DeltaSampler, LambdaLayer
 from .latency import LatencyBreakdown, LatencyModel
 from .model_management import ModelManager
 from .monitoring import SystemMonitor
@@ -69,6 +70,50 @@ _PIPELINE_STAGES = (
     ("feature_fetch", "features"),
     ("inference", "prediction"),
 )
+
+#: Legacy entry points that already warned this process (PR 3 deprecation
+#: endgame: each shim warns once, not per call).
+_LEGACY_WARNED: set[str] = set()
+
+
+def _warn_legacy(key: str, message: str, stacklevel: int) -> None:
+    """Emit one :class:`DeprecationWarning` per legacy entry point."""
+    if key in _LEGACY_WARNED:
+        return
+    _LEGACY_WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def _reset_legacy_warnings() -> None:
+    """Re-arm the once-per-process legacy warnings (test helper)."""
+    _LEGACY_WARNED.clear()
+
+
+def _coerce_legacy_predict(args: tuple, kwargs: dict) -> PredictRequest:
+    """The one legacy shim behind ``Turbo.predict``'s positional shapes.
+
+    Handles both deprecated call shapes — ``predict(txn, now=...)`` and
+    ``predict(uid, txn, now=...)`` — with a single once-per-process
+    :class:`DeprecationWarning`.  ``PredictRequest`` / ``handle_request``
+    are the documented entry points.
+    """
+    _warn_legacy(
+        "predict",
+        "positional Turbo.predict(...) shapes are deprecated; pass a "
+        "PredictRequest (or call Turbo.handle_request)",
+        stacklevel=5,
+    )
+    kwargs = dict(kwargs)
+    uid = None
+    if args and isinstance(args[0], (int, np.integer)):
+        uid = int(args[0])
+        args = args[1:]
+    txn = args[0] if args else kwargs.pop("txn")
+    now = args[1] if len(args) > 1 else kwargs.pop("now", None)
+    if len(args) > 2 or kwargs:
+        extra = sorted(kwargs) if kwargs else list(args[2:])
+        raise TypeError(f"unexpected predict() arguments: {extra}")
+    return PredictRequest(txn=txn, uid=uid, now=now)
 
 
 @dataclass(slots=True)
@@ -92,6 +137,12 @@ class TurboResponse:
     retries: int = 0
     #: closed root span of this request's trace (see repro.obs.tracing).
     span: Span | None = None
+    #: which serving tier answered: "sampled" (fresh subgraph + HAG
+    #: forward — including degraded attempts at it) or "lambda" (the speed
+    #: layer's cached batch-pass score).
+    tier: str = "sampled"
+    #: delta edge touches the cached score carried (0 on the sampled tier).
+    staleness: int = 0
 
     @property
     def degraded(self) -> bool:
@@ -125,6 +176,7 @@ class Turbo:
         seed: int = 0,
         model_manager: ModelManager | None = None,
         tracer: Tracer | None = None,
+        lambda_layer: LambdaLayer | None = None,
     ) -> None:
         if not 0.0 < threshold < 1.0:
             raise ValueError("threshold must be in (0, 1)")
@@ -145,6 +197,7 @@ class Turbo:
         self.request_budget = request_budget
         self.faults = faults
         self._retry_rng = np.random.default_rng(seed)
+        self.lambda_layer = lambda_layer
         self.responses: list[TurboResponse] = []
         self.monitor = SystemMonitor()
         self.tracer = tracer if tracer is not None else Tracer()
@@ -152,6 +205,8 @@ class Turbo:
         # registry the monitor reads (unless the caller wired its own).
         if getattr(self.bn_server, "metrics", None) is None:
             self.bn_server.metrics = self.monitor.registry
+        if self.lambda_layer is not None and self.lambda_layer.metrics is None:
+            self.lambda_layer.metrics = self.monitor.registry
 
     @property
     def metrics(self) -> MetricsRegistry:
@@ -270,6 +325,8 @@ class Turbo:
         sizes = [0] * n
         subgraphs: list[Any] = [None] * n
         features: list[np.ndarray | None] = [None] * n
+        tiers = ["sampled"] * n
+        stalenesses = [0] * n
 
         def fail(i: int, span: Span, charged: float, error: str, reason: str) -> None:
             """Close a failed stage span the way the scalar path does."""
@@ -281,8 +338,28 @@ class Turbo:
         def stage_start(indices: list[int]) -> float:
             return min(nows[i] + breakdowns[i].total for i in indices)
 
+        if self.lambda_layer is not None:
+            self.lambda_layer.maybe_refresh(min(nows))
         alive: list[int] = []
         for i in range(n):
+            if self.lambda_layer is not None:
+                # Speed-layer pre-scan: cache hits are served before the
+                # pipeline runs, so they never reach the sampling stage —
+                # everything the sampler sees below is fallthrough work.
+                hit = self.lambda_layer.lookup(
+                    requests[i].uid, requests[i].txn.txn_id, nows[i]
+                )
+                if hit is not None:
+                    span = roots[i].child("lambda_delta", at=nows[i])
+                    charge = self.prediction_server.latency.charge_cache_get()
+                    breakdowns[i].prediction += charge
+                    span.annotate("staleness", hit.staleness)
+                    span.annotate("probability", hit.score)
+                    span.finish(charge)
+                    probabilities[i] = hit.score
+                    tiers[i] = "lambda"
+                    stalenesses[i] = hit.staleness
+                    continue
             if self.breaker.allow():
                 alive.append(i)
             else:
@@ -433,6 +510,7 @@ class Turbo:
             root.annotate("blocked", blocked)
             root.annotate("retries", 0)
             root.annotate("degradation", degradation)
+            root.annotate("tier", tiers[i])
             if degradation != "full":
                 root.annotate_tree("degradation", degradation)
                 root.annotate_tree("degradation_reason", reasons[i])
@@ -449,6 +527,8 @@ class Turbo:
                     degradation_reason=reasons[i],
                     retries=0,
                     span=root,
+                    tier=tiers[i],
+                    staleness=stalenesses[i],
                 )
             )
 
@@ -491,11 +571,11 @@ class Turbo:
         return responses
 
     def _coerce_request(self, args: tuple, kwargs: dict) -> PredictRequest:
-        """Normalize the three accepted ``predict`` call shapes.
+        """Normalize ``predict`` input: the canonical request, or the shim.
 
-        1. ``predict(request)`` / ``predict(request=...)`` — canonical.
-        2. ``predict(txn, now=...)`` — deprecated positional shape.
-        3. ``predict(uid, txn, now=...)`` — deprecated uid-first shape.
+        ``predict(request)`` / ``predict(request=...)`` are canonical;
+        everything else is routed through the single legacy shim
+        (:func:`_coerce_legacy_predict`), which warns once per process.
         """
         if "request" in kwargs:
             if args or len(kwargs) > 1:
@@ -505,30 +585,7 @@ class Turbo:
             if len(args) > 1 or kwargs:
                 raise TypeError("predict(request) takes no other arguments")
             return args[0]
-        if args and isinstance(args[0], (int, np.integer)):
-            warnings.warn(
-                "Turbo.predict(uid, txn, ...) is deprecated; pass a "
-                "PredictRequest instead",
-                DeprecationWarning,
-                stacklevel=3,
-            )
-            uid = int(args[0])
-            txn = args[1] if len(args) > 1 else kwargs.pop("txn")
-            now = args[2] if len(args) > 2 else kwargs.pop("now", None)
-            if kwargs:
-                raise TypeError(f"unexpected predict() arguments: {sorted(kwargs)}")
-            return PredictRequest(txn=txn, uid=uid, now=now)
-        warnings.warn(
-            "Turbo.predict(txn, now=...) is deprecated; pass a PredictRequest "
-            "(or call Turbo.handle_request)",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        txn = args[0] if args else kwargs.pop("txn")
-        now = args[1] if len(args) > 1 else kwargs.pop("now", None)
-        if kwargs:
-            raise TypeError(f"unexpected predict() arguments: {sorted(kwargs)}")
-        return PredictRequest(txn=txn, now=now)
+        return _coerce_legacy_predict(args, kwargs)
 
     def _serve(self, request: PredictRequest) -> TurboResponse:
         """Serve one normalized request and close its trace."""
@@ -552,8 +609,29 @@ class Turbo:
         probability: float | None = None
         blocked = False
         subgraph_size = 0
+        tier = "sampled"
+        staleness = 0
 
-        if self.breaker.allow():
+        hit = None
+        if self.lambda_layer is not None:
+            self.lambda_layer.maybe_refresh(now)
+            hit = self.lambda_layer.lookup(request.uid, txn.txn_id, now)
+        if hit is not None:
+            # Speed layer: the cached batch-pass score covers this exact
+            # (txn, now) within the staleness budget — serve it for one
+            # in-memory read, no graph path at all.  The breaker guards the
+            # graph path, so an open breaker does not block cached serving.
+            tier = "lambda"
+            staleness = hit.staleness
+            span = root.child("lambda_delta", at=now)
+            charge = self.prediction_server.latency.charge_cache_get()
+            breakdown.prediction += charge
+            span.annotate("staleness", staleness)
+            span.annotate("probability", hit.score)
+            span.finish(charge)
+            probability = hit.score
+            blocked = probability >= self.threshold
+        elif self.breaker.allow():
             try:
                 for stage_name, slot in _PIPELINE_STAGES:
                     retries += self._traced_stage(
@@ -589,6 +667,7 @@ class Turbo:
         root.annotate("blocked", blocked)
         root.annotate("retries", retries)
         root.annotate("degradation", degradation)
+        root.annotate("tier", tier)
         if degradation != "full":
             # Satellite contract: every span of a degraded request carries
             # the level and reason, so any subtree slice explains itself.
@@ -609,6 +688,8 @@ class Turbo:
             degradation_reason=reason,
             retries=retries,
             span=root,
+            tier=tier,
+            staleness=staleness,
         )
         self.responses.append(response)
         self.monitor.record_request(
@@ -822,6 +903,12 @@ def deploy_turbo(
             "pass either a TurboConfig or legacy keyword arguments, not both"
         )
     if config is None:
+        if legacy_kwargs:
+            _warn_legacy(
+                "deploy",
+                "deploy_turbo(**kwargs) is deprecated; pass a TurboConfig",
+                stacklevel=3,
+            )
         config = TurboConfig(**legacy_kwargs)
 
     if data is None:
@@ -926,6 +1013,29 @@ def deploy_turbo(
             blocklist=blocklist,
             logs=dataset.logs,
         )
+    tracer = Tracer(max_traces=config.trace_max)
+    lambda_layer = None
+    if config.lambda_tier:
+        # Two-tier serving: the batch layer's state is checkpointed to the
+        # deployment database and (on sharded deployments) published into
+        # the router's snapshot store next to the shard index; the speed
+        # layer's DeltaSampler becomes the server's sampling tier so every
+        # batch it sees is, by construction, delta-budget fallthrough.
+        router = bn_server.router
+        lambda_layer = LambdaLayer(
+            bn_server,
+            feature_server,
+            prediction_server,
+            database,
+            tracer,
+            hops=config.hops,
+            fanout=config.fanout,
+            allowed=set(data.nodes),
+            refresh_period=config.lambda_refresh_period,
+            staleness_budget=config.lambda_staleness_budget,
+            store=router.store if router is not None else None,
+        )
+        bn_server.set_sampler(DeltaSampler(lambda_layer, bn_server.sampler))
     turbo = Turbo(
         bn_server,
         feature_server,
@@ -942,6 +1052,9 @@ def deploy_turbo(
         faults=faults,
         seed=config.seed,
         model_manager=manager,
-        tracer=Tracer(max_traces=config.trace_max),
+        tracer=tracer,
+        lambda_layer=lambda_layer,
     )
+    if lambda_layer is not None:
+        lambda_layer.run_batch_pass(clock.now())
     return turbo, data

@@ -22,9 +22,21 @@ import pytest
 REPO_ROOT = Path(__file__).resolve().parents[2]
 RESULT_FILES = sorted(REPO_ROOT.glob("BENCH_*.json"))
 
+#: results that must exist — a bench silently not committing its JSON (or a
+#: rename breaking the glob) fails here, not in a downstream consumer.
+REQUIRED_RESULTS = (
+    "BENCH_lambda.json",
+    "BENCH_loadtest.json",
+    "BENCH_serving_batch.json",
+    "BENCH_sharding.json",
+)
+
 
 def test_committed_results_exist():
     assert RESULT_FILES, "no committed BENCH_*.json results found"
+    names = {p.name for p in RESULT_FILES}
+    missing = [name for name in REQUIRED_RESULTS if name not in names]
+    assert not missing, f"required bench results not committed: {missing}"
 
 
 @pytest.mark.parametrize(

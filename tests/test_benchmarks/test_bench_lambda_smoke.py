@@ -1,0 +1,67 @@
+"""Tiny-scale smoke run of the lambda serving benchmark harness.
+
+The full harness is a slow-marked test; this keeps its plumbing — the
+covered-request builder, the bit-exact parity and ``assert_all_traced``
+asserts inside every section, the drift-replay re-baselining, the shared
+gate contract, JSON emission — covered by the fast tier.  The work-ratio
+and drift *values* at toy scale are noise, so the gates' pass/fail outcome
+is deliberately not asserted here (parity excepted: bit-exactness is scale
+independent).
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+from pathlib import Path
+
+BENCHMARKS_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+SECTIONS = ("zero_delta_parity", "work_reduction", "drift_replay")
+GATES = ("zero_delta_parity", "delta_path_work_reduction", "drift_margin")
+
+
+def test_lambda_harness_smoke(tmp_path, monkeypatch, capsys):
+    monkeypatch.syspath_prepend(str(BENCHMARKS_DIR))
+    bench = importlib.import_module("bench_lambda")
+    from repro.datagen import make_d1
+
+    monkeypatch.setattr(bench, "d1_dataset", lambda: make_d1(scale=0.1, seed=0))
+    monkeypatch.setattr(bench, "TRAIN_EPOCHS", 2)
+    monkeypatch.setattr(bench, "N_REQUESTS", 8)
+    monkeypatch.setattr(bench, "N_DRIFT_LOGS", 120)
+    result_path = tmp_path / "BENCH_lambda.json"
+
+    result = bench.run_harness(result_path=result_path)
+    capsys.readouterr()  # keep the harness banner out of the test output
+
+    # Every section ran and passed its internal asserts (tier/staleness
+    # checks, assert_all_traced, zero-staleness bit-exactness — run_harness
+    # would have raised otherwise).
+    assert set(SECTIONS) <= set(result["sections"])
+    parity = result["sections"]["zero_delta_parity"]
+    assert parity["requests"] == 8
+    assert parity["lambda_hits"] == 8
+    assert parity["mismatches"] == 0
+    assert parity["parity"] == 1.0  # bit-exactness holds at any scale
+    work = result["sections"]["work_reduction"]
+    assert work["fresh_sampled_nodes"] > 0
+    assert work["lambda_fallthrough_nodes"] == 0  # zero-delta stream
+    drift = result["sections"]["drift_replay"]
+    assert drift["delta_edges"] > 0
+    assert drift["stale_users"] > 0
+    assert drift["max_drift"] >= 0.0
+
+    # The shared gate contract attached its verdicts and wrote the JSON.
+    assert set(result["gates"]) == set(GATES)
+    assert isinstance(result["gates_met"], bool)
+    on_disk = json.loads(result_path.read_text())
+    assert set(SECTIONS) <= set(on_disk["sections"])
+
+
+def test_committed_lambda_result_meets_gates():
+    """The committed BENCH_lambda.json must have been green when written."""
+    committed = json.loads((BENCHMARKS_DIR.parent / "BENCH_lambda.json").read_text())
+    assert committed["gates_met"] is True
+    for name, gate in committed["gates"].items():
+        assert gate["value"] >= gate["minimum"], (name, gate)

@@ -7,14 +7,15 @@ import pytest
 
 from repro.baselines import default_scorecard
 from repro.network import FAST_WINDOWS
-from repro.system import deploy_turbo, run_ab_test
+from repro.system import TurboConfig, deploy_turbo, run_ab_test
 from repro.system.abtest import ABTestResult
 
 
 @pytest.fixture(scope="module")
 def deployed(tiny_dataset):
     return deploy_turbo(
-        tiny_dataset, windows=FAST_WINDOWS, train_epochs=15, hidden=(16, 8), seed=0
+        tiny_dataset,
+        TurboConfig(windows=FAST_WINDOWS, train_epochs=15, hidden=(16, 8), seed=0),
     )
 
 

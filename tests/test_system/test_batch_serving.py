@@ -23,7 +23,7 @@ import pytest
 
 from repro.network import FAST_WINDOWS
 from repro.obs import assert_all_traced
-from repro.system import PredictRequest, deploy_turbo
+from repro.system import PredictRequest, TurboConfig, deploy_turbo
 
 pytestmark = [pytest.mark.resilience, pytest.mark.obs]
 
@@ -31,7 +31,8 @@ pytestmark = [pytest.mark.resilience, pytest.mark.obs]
 @pytest.fixture(scope="module")
 def deployed(tiny_dataset):
     return deploy_turbo(
-        tiny_dataset, windows=FAST_WINDOWS, train_epochs=5, hidden=(8, 4), seed=0
+        tiny_dataset,
+        TurboConfig(windows=FAST_WINDOWS, train_epochs=5, hidden=(8, 4), seed=0),
     )
 
 

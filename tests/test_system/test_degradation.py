@@ -21,7 +21,7 @@ import pytest
 
 from repro.baselines import Blocklist, FallbackStack, default_scorecard
 from repro.network import FAST_WINDOWS
-from repro.system import deploy_turbo
+from repro.system import TurboConfig, deploy_turbo
 
 pytestmark = pytest.mark.resilience
 
@@ -29,7 +29,8 @@ pytestmark = pytest.mark.resilience
 @pytest.fixture(scope="module")
 def deployed(tiny_dataset):
     return deploy_turbo(
-        tiny_dataset, windows=FAST_WINDOWS, train_epochs=5, hidden=(8, 4), seed=0
+        tiny_dataset,
+        TurboConfig(windows=FAST_WINDOWS, train_epochs=5, hidden=(8, 4), seed=0),
     )
 
 

@@ -151,10 +151,11 @@ class TestResilienceAccounting:
 class TestTurboIntegration:
     def test_turbo_populates_monitor(self, tiny_dataset):
         from repro.network import FAST_WINDOWS
-        from repro.system import deploy_turbo
+        from repro.system import TurboConfig, deploy_turbo
 
         turbo, data = deploy_turbo(
-            tiny_dataset, windows=FAST_WINDOWS, train_epochs=5, hidden=(8, 4), seed=0
+            tiny_dataset,
+            TurboConfig(windows=FAST_WINDOWS, train_epochs=5, hidden=(8, 4), seed=0),
         )
         txn = tiny_dataset.transactions[0]
         turbo.handle_request(txn, now=txn.audit_at)

@@ -32,6 +32,7 @@ from repro.system import (
     ShardWorkerPool,
     SimulatedWorkerPool,
     StorageError,
+    TurboConfig,
     deploy_turbo,
 )
 
@@ -41,7 +42,8 @@ pytestmark = pytest.mark.resilience
 @pytest.fixture(scope="module")
 def deployed(tiny_dataset):
     return deploy_turbo(
-        tiny_dataset, windows=FAST_WINDOWS, train_epochs=5, hidden=(8, 4), seed=0
+        tiny_dataset,
+        TurboConfig(windows=FAST_WINDOWS, train_epochs=5, hidden=(8, 4), seed=0),
     )
 
 
@@ -49,11 +51,9 @@ def deployed(tiny_dataset):
 def sharded_deployed(tiny_dataset):
     return deploy_turbo(
         tiny_dataset,
-        windows=FAST_WINDOWS,
-        train_epochs=5,
-        hidden=(8, 4),
-        seed=0,
-        shards=2,
+        TurboConfig(
+            windows=FAST_WINDOWS, train_epochs=5, hidden=(8, 4), seed=0, shards=2
+        ),
     )
 
 

@@ -5,13 +5,14 @@ from __future__ import annotations
 import pytest
 
 from repro.network import FAST_WINDOWS
-from repro.system import deploy_turbo
+from repro.system import TurboConfig, deploy_turbo
 
 
 @pytest.fixture(scope="module")
 def deployed(tiny_dataset):
     return deploy_turbo(
-        tiny_dataset, windows=FAST_WINDOWS, train_epochs=5, hidden=(8, 4), seed=0
+        tiny_dataset,
+        TurboConfig(windows=FAST_WINDOWS, train_epochs=5, hidden=(8, 4), seed=0),
     )
 
 

@@ -5,10 +5,14 @@ Pins the PR 3 API-redesign satellites:
 * all four online servers satisfy the :class:`~repro.system.Service`
   protocol (``name`` / ``ping`` / ``stats`` / ``handle``);
 * ``Turbo.predict`` takes a frozen :class:`~repro.system.PredictRequest`;
-  the legacy positional shapes still work (behind a
-  ``DeprecationWarning``) and return identical decisions;
+  the legacy positional shapes still work — behind one
+  once-per-process ``DeprecationWarning`` shim — and return identical
+  decisions;
 * ``deploy_turbo`` accepts a validated :class:`~repro.system.TurboConfig`
-  in place of loose kwargs, and rejects mixing the two styles.
+  in place of loose kwargs (the kwargs style warns once), and rejects
+  mixing the two styles;
+* the active sampling tier satisfies the :class:`~repro.system.Sampler`
+  protocol (PR 8's unification).
 """
 
 from __future__ import annotations
@@ -20,10 +24,12 @@ import pytest
 from repro.network import FAST_WINDOWS
 from repro.system import (
     PredictRequest,
+    Sampler,
     Service,
     TurboConfig,
     deploy_turbo,
 )
+from repro.system.turbo import _reset_legacy_warnings
 
 pytestmark = pytest.mark.obs
 
@@ -31,7 +37,8 @@ pytestmark = pytest.mark.obs
 @pytest.fixture(scope="module")
 def deployed(tiny_dataset):
     return deploy_turbo(
-        tiny_dataset, windows=FAST_WINDOWS, train_epochs=5, hidden=(8, 4), seed=0
+        tiny_dataset,
+        TurboConfig(windows=FAST_WINDOWS, train_epochs=5, hidden=(8, 4), seed=0),
     )
 
 
@@ -76,6 +83,11 @@ class TestServiceProtocol:
             assert per_service, per_service
             assert all(isinstance(v, float) for v in per_service.values())
 
+    def test_active_sampler_satisfies_protocol(self, turbo):
+        sampler = turbo.bn_server.sampler
+        assert isinstance(sampler, Sampler)
+        assert sampler.tier in {"local", "sharded", "lambda"}
+
 
 class TestPredictRequest:
     def test_uid_defaults_to_txn_uid(self, deployed):
@@ -117,14 +129,18 @@ class TestPredictShim:
             turbo.predict(PredictRequest(txn=txn, now=txn.audit_at))
             turbo.handle_request(txn, now=txn.audit_at)
 
-    def test_legacy_shapes_warn_and_match(self, deployed, turbo):
+    def test_legacy_shapes_warn_once_and_match(self, deployed, turbo):
         _, data = deployed
         txn = data.dataset.transactions[3]
 
         canonical = turbo.predict(PredictRequest(txn=txn, now=txn.audit_at))
+        _reset_legacy_warnings()
         with pytest.warns(DeprecationWarning):
             legacy_txn = turbo.predict(txn, now=txn.audit_at)
-        with pytest.warns(DeprecationWarning):
+        # The shim warns once per process, not per call: the second legacy
+        # call (even the other positional shape) stays silent.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
             legacy_uid = turbo.predict(txn.uid, txn, txn.audit_at)
 
         for legacy in (legacy_txn, legacy_uid):
@@ -133,6 +149,13 @@ class TestPredictShim:
             assert legacy.uid == canonical.uid
             assert legacy.txn_id == canonical.txn_id
             assert legacy.degradation == canonical.degradation
+
+    def test_uid_first_shape_warns_after_reset(self, deployed, turbo):
+        _, data = deployed
+        txn = data.dataset.transactions[3]
+        _reset_legacy_warnings()
+        with pytest.warns(DeprecationWarning):
+            turbo.predict(txn.uid, txn, txn.audit_at)
 
     def test_unexpected_kwargs_rejected(self, deployed, turbo):
         _, data = deployed
@@ -169,6 +192,31 @@ class TestTurboConfig:
     def test_mixing_config_and_kwargs_rejected(self, tiny_dataset):
         with pytest.raises(TypeError):
             deploy_turbo(tiny_dataset, TurboConfig(), threshold=0.9)
+
+    def test_legacy_kwargs_warn_once(self, tiny_dataset):
+        _reset_legacy_warnings()
+        with pytest.warns(DeprecationWarning):
+            deploy_turbo(
+                tiny_dataset, windows=FAST_WINDOWS, train_epochs=1, hidden=(4,)
+            )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            deploy_turbo(
+                tiny_dataset, windows=FAST_WINDOWS, train_epochs=1, hidden=(4,)
+            )
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"lambda_refresh_period": 3600.0},
+            {"lambda_staleness_budget": 4},
+            {"lambda_tier": True, "lambda_refresh_period": -1.0},
+            {"lambda_tier": True, "lambda_staleness_budget": -1},
+        ],
+    )
+    def test_lambda_knobs_validated(self, bad):
+        with pytest.raises(ValueError):
+            TurboConfig(**bad)
 
     def test_deploy_with_config_object(self, tiny_dataset):
         config = TurboConfig(

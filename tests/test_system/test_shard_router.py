@@ -37,6 +37,7 @@ from repro.system import (
     PredictRequest,
     ShardRouter,
     ShardWorkerPool,
+    TurboConfig,
     deploy_turbo,
 )
 
@@ -257,15 +258,14 @@ class TestShardedBNServer:
 def deployed_pair(tiny_dataset):
     """The same dataset deployed unsharded and with 2 BN shards."""
     plain = deploy_turbo(
-        tiny_dataset, windows=FAST_WINDOWS, train_epochs=5, hidden=(8, 4), seed=0
+        tiny_dataset,
+        TurboConfig(windows=FAST_WINDOWS, train_epochs=5, hidden=(8, 4), seed=0),
     )
     sharded = deploy_turbo(
         tiny_dataset,
-        windows=FAST_WINDOWS,
-        train_epochs=5,
-        hidden=(8, 4),
-        seed=0,
-        shards=2,
+        TurboConfig(
+            windows=FAST_WINDOWS, train_epochs=5, hidden=(8, 4), seed=0, shards=2
+        ),
     )
     return plain, sharded
 

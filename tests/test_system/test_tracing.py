@@ -18,7 +18,7 @@ import pytest
 
 from repro.network import FAST_WINDOWS
 from repro.obs import assert_all_traced, render_span_tree, span_to_dict
-from repro.system import deploy_turbo
+from repro.system import TurboConfig, deploy_turbo
 
 pytestmark = [pytest.mark.resilience, pytest.mark.obs]
 
@@ -26,7 +26,8 @@ pytestmark = [pytest.mark.resilience, pytest.mark.obs]
 @pytest.fixture(scope="module")
 def deployed(tiny_dataset):
     return deploy_turbo(
-        tiny_dataset, windows=FAST_WINDOWS, train_epochs=5, hidden=(8, 4), seed=0
+        tiny_dataset,
+        TurboConfig(windows=FAST_WINDOWS, train_epochs=5, hidden=(8, 4), seed=0),
     )
 
 
@@ -158,10 +159,9 @@ class TestReplayDeterminism:
         def run():
             turbo, data = deploy_turbo(
                 tiny_dataset,
-                windows=FAST_WINDOWS,
-                train_epochs=2,
-                hidden=(8, 4),
-                seed=0,
+                TurboConfig(
+                    windows=FAST_WINDOWS, train_epochs=2, hidden=(8, 4), seed=0
+                ),
             )
             turbo.faults.add_transient("database", rate=0.4)
             turbo.faults.add_transient("cache", rate=0.3)

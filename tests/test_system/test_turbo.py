@@ -6,17 +6,14 @@ import numpy as np
 import pytest
 
 from repro.network import FAST_WINDOWS
-from repro.system import deploy_turbo
+from repro.system import TurboConfig, deploy_turbo
 
 
 @pytest.fixture(scope="module")
 def deployed(tiny_dataset):
     turbo, data = deploy_turbo(
         tiny_dataset,
-        windows=FAST_WINDOWS,
-        train_epochs=15,
-        hidden=(16, 8),
-        seed=0,
+        TurboConfig(windows=FAST_WINDOWS, train_epochs=15, hidden=(16, 8), seed=0),
     )
     return turbo, data
 
