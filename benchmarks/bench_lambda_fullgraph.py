@@ -1,0 +1,606 @@
+"""Full-graph lambda materialization perf harness: the sweep that scales.
+
+Scales the lambda batch tier to shard-relevant size (default 120 000 users,
+600 000 edge contributions streamed chunk-by-chunk via
+:mod:`repro.datagen.scale`, never materialized) and measures the PR-9
+materialization stack end to end.  Five sections, written to
+``BENCH_lambda_fullgraph.json`` in the repository root:
+
+* ``fullgraph_sweep`` — one :class:`~repro.network.sampled_graph.SampledGraph`
+  build plus one :func:`~repro.core.lambda_infer.materialize_fullgraph`
+  sweep over every covered user (the gated configuration must cover
+  ≥ 100 000 users).  The sweep's scoring slices are executed one by one
+  and timed individually — exactly the work one
+  :class:`~repro.system.ShardWorkerPool` worker runs against the
+  shared-memory inputs — and combined as the **deployment clock**:
+  ``sampled-graph build + max(slice) + serial assemble`` (splice + layer
+  pass).  The container pins this harness to one CPU, so wall-clock
+  multi-process numbers would measure the scheduler, not the algorithm;
+  per-slice work timed individually and combined as ``max(slices)`` is
+  what 4 otherwise-idle cores execute (the same convention as
+  ``bench_sharding``).  The ``pool_sweep`` section proves the real forked
+  path bit-exact; the single-process wall clock is reported alongside;
+* ``replay_baseline`` — the legacy per-user union replay
+  (:func:`~repro.core.lambda_infer.materialize`) timed on a uniform target
+  sample and extrapolated linearly to the full population.  The replay is
+  the system the lambda tier actually ran before this change: one process,
+  one union-frontier batch against the live BN object — it cannot be
+  dispatched to pool workers, which hold shared-memory snapshots, not the
+  BN;
+* ``state_parity`` — the replay sample rerun through the full-graph path:
+  every :class:`~repro.core.lambda_infer.HAGState` array (scores, subgraph
+  CSR, every layer) must be **byte-identical**, and the big sweep's rows
+  for those targets must equal the replay's bits (chunk/slice invariance
+  at scale);
+* ``pool_sweep`` — the same sweep sharded across 4 forked workers over
+  shared memory (:func:`~repro.system.publish_materialize_inputs` +
+  :func:`~repro.system.fullgraph_executor`): byte-identical to the
+  in-process sweep, and the :class:`SampledGraph` built off the 4-shard
+  merged index is byte-identical to the single-network build;
+* ``incremental_refresh`` — a small random delta batch, then
+  :func:`~repro.core.lambda_infer.rematerialize` against the big sweep's
+  state: scores and subgraph CSR must be byte-equal a fresh full pass
+  while only the affected cone is recomputed.
+
+Run it either way::
+
+    pytest -m slow benchmarks/bench_lambda_fullgraph.py          # slow test
+    PYTHONPATH=src python benchmarks/bench_lambda_fullgraph.py   # script
+
+Acceptance gates (uniform contract via ``_shared.check_gates``; both modes
+exit nonzero when a gate regresses):
+
+* covered users ≥ 100 000 (``covered_scale`` = covered / 100 000 ≥ 1);
+* full-graph sweep deployment clock (sampled-graph build and the serial
+  assemble included, scoring sharded over 4 worker slices) ≥ 5× faster
+  than the linearly extrapolated single-process per-user replay;
+* replay-vs-fullgraph state parity == 1.0 (bit-for-bit);
+* 4-worker pool sweep parity == 1.0 (bit-for-bit);
+* incremental work reduction ≥ 10× (covered rows / recomputed rows on the
+  small delta);
+* incremental parity == 1.0 (scores + subgraph CSR byte-equal the fresh
+  full pass; layer rows equal within numerics, untouched rows byte-copied).
+
+Scale knobs (environment variables): ``REPRO_BENCH_LFG_USERS``,
+``REPRO_BENCH_LFG_EDGES``, ``REPRO_BENCH_LFG_CHUNK``,
+``REPRO_BENCH_LFG_REPLAY_SAMPLE``, ``REPRO_BENCH_LFG_POOL_TARGETS``,
+``REPRO_BENCH_LFG_DELTA_EDGES``.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import pickle
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import HAG, materialize
+from repro.core.lambda_infer import (
+    materialize_fullgraph,
+    rematerialize,
+    score_slice,
+)
+from repro.datagen import ScaleConfig, edge_stream
+from repro.features.pipeline import StandardScaler
+from repro.network import (
+    BehaviorNetwork,
+    ShardedBehaviorNetwork,
+    build_sampled_graph,
+)
+from repro.system import (
+    ShardRouter,
+    ShardWorkerPool,
+    fullgraph_executor,
+    publish_materialize_inputs,
+)
+
+from _shared import Gate, check_gates, emit, emit_header
+
+N_USERS = int(os.environ.get("REPRO_BENCH_LFG_USERS", "120000"))
+N_EDGES = int(os.environ.get("REPRO_BENCH_LFG_EDGES", "600000"))
+CHUNK_EDGES = int(os.environ.get("REPRO_BENCH_LFG_CHUNK", "200000"))
+REPLAY_SAMPLE = int(os.environ.get("REPRO_BENCH_LFG_REPLAY_SAMPLE", "1024"))
+POOL_TARGETS = int(os.environ.get("REPRO_BENCH_LFG_POOL_TARGETS", "2048"))
+DELTA_EDGES = int(os.environ.get("REPRO_BENCH_LFG_DELTA_EDGES", "8"))
+HOPS = 2
+FANOUT = 10
+FEATURE_DIM = 6
+SCORE_CHUNK = 512
+POOL_WORKERS = 4
+POOL_SLICES = 8
+#: the sweep must cover at least this many users for the gated run
+COVERAGE_FLOOR = 100_000
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_lambda_fullgraph.json"
+
+
+def workload_config() -> ScaleConfig:
+    """The streamed workload under test (chunked, never materialized)."""
+    return ScaleConfig(n_users=N_USERS, n_edges=N_EDGES, chunk_edges=CHUNK_EDGES)
+
+
+def feature_matrix(config: ScaleConfig) -> np.ndarray:
+    """Deterministic uid-indexed feature rows for the sweep."""
+    rng = np.random.default_rng(np.random.SeedSequence([config.seed, 99]))
+    return rng.standard_normal((config.n_users, FEATURE_DIM))
+
+
+def model_bundle(config: ScaleConfig, features: np.ndarray) -> dict:
+    """A seeded HAG + fitted scaler (inference cost equals a trained one)."""
+    model = HAG(
+        FEATURE_DIM,
+        n_types=len(config.edge_types),
+        rng=np.random.default_rng(0),
+        hidden=(16, 8),
+        att_dim=8,
+        cfo_att_dim=8,
+        cfo_out_dim=4,
+        mlp_hidden=(8,),
+    )
+    scaler = StandardScaler().fit(features[: min(len(features), 50_000)])
+    return {
+        "model": model,
+        "scaler": scaler,
+        "edge_type_order": list(config.edge_types),
+    }
+
+
+def ingest_paired(config: ScaleConfig) -> tuple[BehaviorNetwork, ShardedBehaviorNetwork]:
+    """Stream the workload into the single BN and the 4-shard BN at once."""
+    bn = BehaviorNetwork()
+    sharded = ShardedBehaviorNetwork(POOL_WORKERS)
+    for chunk in edge_stream(config):
+        for network in (bn, sharded):
+            network.add_weights(
+                chunk.lo,
+                chunk.hi,
+                chunk.codes,
+                chunk.weights,
+                chunk.timestamp,
+                btype_table=config.edge_types,
+            )
+    return bn, sharded
+
+
+class Sweep:
+    """Everything one materialization call needs, bundled once."""
+
+    def __init__(self, bn, config, bundle, features):
+        self.bn = bn
+        self.config = config
+        self.model = bundle["model"]
+        self.scaler = bundle["scaler"]
+        self.types = bundle["edge_type_order"]
+        self.features = features
+        self.now = (config.span_days + 1.0) * 86_400.0
+
+    def feature_fn(self, _k, nodes):
+        return self.features[np.asarray(nodes, dtype=np.int64)]
+
+    def rows(self, targets: np.ndarray) -> np.ndarray:
+        """Scaled per-target feature rows (the layer pass input)."""
+        return self.scaler.transform(self.features[targets])
+
+    def ids(self, targets) -> tuple[list[int], list[int], list[float]]:
+        targets = [int(t) for t in targets]
+        return targets, [7 * t + 1 for t in targets], [self.now] * len(targets)
+
+    def fullgraph(self, targets, **kwargs):
+        uids, txn_ids, nows = self.ids(targets)
+        return materialize_fullgraph(
+            self.model, self.bn, uids, txn_ids, nows, self.feature_fn,
+            hops=HOPS, fanout=FANOUT, edge_type_order=self.types,
+            transform=self.scaler.transform, chunk=SCORE_CHUNK,
+            layer_features=self.rows(np.asarray(uids, dtype=np.int64)),
+            **kwargs,
+        )
+
+    def replay(self, targets):
+        uids, txn_ids, nows = self.ids(targets)
+        return materialize(
+            self.model, self.bn, uids, txn_ids, nows, self.feature_fn,
+            hops=HOPS, fanout=FANOUT, edge_type_order=self.types,
+            transform=self.scaler.transform, chunk=SCORE_CHUNK,
+            layer_features=self.rows(np.asarray(uids, dtype=np.int64)),
+        )
+
+    def incremental(self, prior, targets, sampled, touched):
+        uids, txn_ids, nows = self.ids(targets)
+        target_arr = np.asarray(uids, dtype=np.int64)
+
+        def layer_row_fn(rows):
+            return self.rows(target_arr[np.asarray(rows, dtype=np.int64)])
+
+        return rematerialize(
+            self.model, self.bn, prior, uids, txn_ids, nows, self.feature_fn,
+            hops=HOPS, fanout=FANOUT, edge_type_order=self.types,
+            transform=self.scaler.transform, chunk=SCORE_CHUNK,
+            sampled=sampled, touched=touched, layer_row_fn=layer_row_fn,
+        )
+
+
+def timed_slice_executor(sweep: Sweep, sampled, targets, slice_s: list[float]):
+    """Run each scoring slice in-process, timed individually.
+
+    Executes exactly the work one pool worker performs against the
+    shared-memory inputs (same :func:`score_slice`, same arguments the
+    worker's ``materialize`` command passes), appending each slice's
+    seconds to ``slice_s`` so the harness can combine them as the
+    deployment clock (``max`` over slices = concurrent workers on
+    otherwise-idle cores).
+    """
+    uids = np.asarray(targets, dtype=np.int64)
+    mask = sampled.allowed_mask(None)
+
+    def executor(bounds):
+        out = []
+        for lo, hi in bounds:
+            start = time.perf_counter()
+            out.append(
+                score_slice(
+                    sweep.model, sampled, uids,
+                    np.arange(lo, hi, dtype=np.int64),
+                    sweep.feature_fn,
+                    hops=HOPS, edge_type_order=sweep.types,
+                    allowed_mask=mask, transform=sweep.scaler.transform,
+                    chunk=SCORE_CHUNK,
+                )
+            )
+            slice_s.append(time.perf_counter() - start)
+        return out
+
+    return executor
+
+
+def state_mismatches(got, want) -> list[str]:
+    """Names of HAGState arrays that are not byte-identical."""
+    got_arrays, want_arrays = got.to_arrays(), want.to_arrays()
+    if got_arrays.keys() != want_arrays.keys():
+        return ["<array-set>"]
+    return [
+        name
+        for name in want_arrays
+        if got_arrays[name].tobytes() != want_arrays[name].tobytes()
+    ]
+
+
+def bench_replay_and_parity(sweep: Sweep, big_state, targets, deploy_s) -> dict:
+    """Time the legacy replay on a sample; pin bit-exactness both ways."""
+    rng = np.random.default_rng(np.random.SeedSequence([sweep.config.seed, 7]))
+    sample = np.sort(
+        rng.choice(targets, size=min(REPLAY_SAMPLE, len(targets)), replace=False)
+    )
+
+    start = time.perf_counter()
+    replay_state, replay_stats = sweep.replay(sample)
+    replay_s = time.perf_counter() - start
+    replay_est_s = replay_s * len(targets) / len(sample)
+
+    sample_state, sample_stats, _ = sweep.fullgraph(sample)
+    mismatched = state_mismatches(sample_state, replay_state)
+    assert sample_stats == replay_stats, "sample stats diverged from replay"
+
+    # The big sweep's rows for the sampled targets must carry the same bits
+    # (per-target scores are chunk/slice invariant by construction).
+    rows = np.searchsorted(big_state.node_ids, sample)
+    if big_state.scores[rows].tobytes() != replay_state.scores.tobytes():
+        mismatched.append("big-sweep scores")
+    for row, k in zip(rows, range(len(sample))):
+        lo, hi = big_state.subgraph_indptr[row], big_state.subgraph_indptr[row + 1]
+        slo, shi = replay_state.subgraph_indptr[k], replay_state.subgraph_indptr[k + 1]
+        big_nodes = big_state.subgraph_nodes[lo:hi]
+        if big_nodes.tobytes() != replay_state.subgraph_nodes[slo:shi].tobytes():
+            mismatched.append(f"big-sweep subgraph row {k}")
+            break
+
+    return {
+        "sample": int(len(sample)),
+        "replay_sample_s": replay_s,
+        "replay_extrapolated_s": replay_est_s,
+        "fullgraph_deploy_s": deploy_s,
+        "speedup": replay_est_s / deploy_s,
+        "mismatched_arrays": mismatched,
+        "parity": 1.0 if not mismatched else 0.0,
+    }
+
+
+def bench_pool_sweep(sweep: Sweep, sharded, sampled, bundle, targets) -> dict:
+    """Shard the sweep across real forked workers; byte-equal in-process."""
+    rng = np.random.default_rng(np.random.SeedSequence([sweep.config.seed, 13]))
+    pool_targets = np.sort(
+        rng.choice(targets, size=min(POOL_TARGETS, len(targets)), replace=False)
+    )
+
+    # The sampled graph the workers score against must not depend on the
+    # partitioning: the 4-shard merged-index build carries the same bytes.
+    sharded_arrays, sharded_meta = build_sampled_graph(sharded, FANOUT).to_payload()
+    base_arrays, base_meta = sampled.to_payload()
+    sampled_parity = sharded_meta == base_meta and all(
+        sharded_arrays[name].tobytes() == base_arrays[name].tobytes()
+        for name in base_arrays
+    )
+
+    reference, reference_stats, _ = sweep.fullgraph(pool_targets, sampled=sampled)
+    payload = pickle.dumps(
+        {
+            "model": bundle["model"],
+            "scaler": bundle["scaler"],
+            "edge_type_order": bundle["edge_type_order"],
+        }
+    )
+    router = ShardRouter(sharded)
+    try:
+        router.ensure_published()
+        handle = publish_materialize_inputs(
+            router.store,
+            "lambda-mat",
+            sampled,
+            pool_targets.astype(np.int64),
+            sweep.features[sampled.node_ids],
+            sweep.features[pool_targets.astype(np.int64)],
+            hops=HOPS,
+            chunk=SCORE_CHUNK,
+        )
+        with ShardWorkerPool(
+            router.segments, n_workers=POOL_WORKERS, model_payload=payload
+        ) as pool:
+            attached = [
+                pool.materialize_attach(wid, handle.segment)
+                for wid in range(POOL_WORKERS)
+            ]
+            assert all(v == sampled.version for v in attached), (
+                f"worker attach versions {attached} != sampled v{sampled.version}"
+            )
+            start = time.perf_counter()
+            pooled, pooled_stats, mstats = sweep.fullgraph(
+                pool_targets,
+                sampled=sampled,
+                executor=fullgraph_executor(pool),
+                slices=POOL_SLICES,
+            )
+            pool_s = time.perf_counter() - start
+            workers = pool.alive_count()
+    finally:
+        router.close()
+
+    mismatched = state_mismatches(pooled, reference)
+    assert pooled_stats == reference_stats, "pool sweep stats diverged"
+    return {
+        "targets": int(len(pool_targets)),
+        "workers": workers,
+        "slices": mstats.slices,
+        "pool_sweep_s": pool_s,
+        "sampled_graph_bitexact_across_shards": bool(sampled_parity),
+        "mismatched_arrays": mismatched,
+        "parity": (
+            1.0 if not mismatched and sampled_parity and workers == POOL_WORKERS
+            else 0.0
+        ),
+    }
+
+
+def bench_incremental(sweep: Sweep, prior, targets) -> dict:
+    """A small delta, then the incremental cone vs a fresh full pass."""
+    config = sweep.config
+    rng = np.random.default_rng(np.random.SeedSequence([config.seed, 21]))
+    touched: dict[int, int] = {}
+    delta_ts = (config.span_days + 0.5) * 86_400.0
+    for _ in range(DELTA_EDGES):
+        u = int(rng.integers(0, config.n_users))
+        v = int(rng.integers(0, config.n_users - 1))
+        v = v + 1 if v >= u else v
+        btype = config.edge_types[int(rng.integers(0, len(config.edge_types)))]
+        sweep.bn.add_weight(u, v, btype, float(rng.uniform(0.5, 2.0)), delta_ts)
+        touched[u] = touched.get(u, 0) + 1
+        touched[v] = touched.get(v, 0) + 1
+
+    sampled = build_sampled_graph(sweep.bn, FANOUT)
+    start = time.perf_counter()
+    fresh, _, _ = sweep.fullgraph(targets, sampled=sampled)
+    fresh_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    state, _, mstats = sweep.incremental(prior, targets, sampled, touched)
+    incremental_s = time.perf_counter() - start
+
+    mismatched = []
+    if state.scores.tobytes() != fresh.scores.tobytes():
+        mismatched.append("scores")
+    if state.subgraph_indptr.tobytes() != fresh.subgraph_indptr.tobytes():
+        mismatched.append("subgraph_indptr")
+    if state.subgraph_nodes.tobytes() != fresh.subgraph_nodes.tobytes():
+        mismatched.append("subgraph_nodes")
+    # Layer rows: untouched rows are byte copies of the prior (pinned by the
+    # core tests); against the *fresh* full pass they are equal within
+    # numerics only — GEMM reduction order depends on batch shape.
+    for name, want in fresh.layers.items():
+        if not np.allclose(state.layers[name], want, rtol=1e-9, atol=1e-12):
+            mismatched.append(f"layer:{name}")
+
+    work_reduction = mstats.total_rows / max(1, mstats.rows_computed)
+    return {
+        "delta_edges": DELTA_EDGES,
+        "touched_uids": len(touched),
+        "rows_computed": mstats.rows_computed,
+        "cone_rows": mstats.cone_rows,
+        "layer_rows": mstats.layer_rows,
+        "total_rows": mstats.total_rows,
+        "fresh_fullpass_s": fresh_s,
+        "incremental_s": incremental_s,
+        "time_reduction": fresh_s / max(1e-9, incremental_s),
+        "work_reduction": work_reduction,
+        "mismatched_arrays": mismatched,
+        "parity": 1.0 if not mismatched else 0.0,
+    }
+
+
+def run_harness(result_path: Path = RESULT_PATH) -> dict:
+    config = workload_config()
+    emit_header(
+        f"lambda full-graph materialization — {config.n_users:,} users, "
+        f"{config.n_edges:,} edge contributions, hops={HOPS} fanout={FANOUT}"
+    )
+    features = feature_matrix(config)
+    bundle = model_bundle(config, features)
+
+    ingest_start = time.perf_counter()
+    bn, sharded = ingest_paired(config)
+    emit(
+        f"ingested {config.n_edges:,} contributions into 1 and "
+        f"{POOL_WORKERS} shards in {time.perf_counter() - ingest_start:.1f}s"
+    )
+    sweep = Sweep(bn, config, bundle, features)
+    targets = np.asarray(sorted(bn.nodes()), dtype=np.int64)
+    covered = int(len(targets))
+
+    # Cyclic GC off while measuring (timeit-style, as in bench_sharding):
+    # the heap is acyclic, refcounting reclaims everything.
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        sampled = build_sampled_graph(bn, FANOUT)
+        sampled_s = time.perf_counter() - start
+        slice_s: list[float] = []
+        start = time.perf_counter()
+        big_state, _, big_mstats = sweep.fullgraph(
+            targets,
+            sampled=sampled,
+            executor=timed_slice_executor(sweep, sampled, targets, slice_s),
+            slices=POOL_WORKERS,
+        )
+        wall_s = time.perf_counter() - start
+        # Deployment clock: the 4 slices run concurrently on 4 workers
+        # (bit-exactness of that path is pinned by pool_sweep below); the
+        # sampled-graph build and the assemble (splice + full-graph layer
+        # pass) stay serial.
+        assemble_s = max(0.0, wall_s - sum(slice_s))
+        deploy_s = sampled_s + max(slice_s) + assemble_s
+        single_s = sampled_s + wall_s
+
+        sections = {
+            "fullgraph_sweep": {
+                "covered_users": covered,
+                "sampled_graph_s": sampled_s,
+                "slice_s": slice_s,
+                "assemble_s": assemble_s,
+                "deploy_s": deploy_s,
+                "single_process_s": single_s,
+                "rows": big_mstats.rows_computed,
+                "edges_touched": big_mstats.edges_touched,
+                "rows_per_s": big_mstats.rows_computed / wall_s,
+            }
+        }
+        emit(
+            f"full sweep     {covered:,} users in {deploy_s:.1f}s deploy "
+            f"({single_s:.1f}s single-process, {sampled_s:.1f}s sampled-graph "
+            f"build, {len(slice_s)} slices, "
+            f"{sections['fullgraph_sweep']['rows_per_s']:,.0f} rows/s, "
+            f"{big_mstats.edges_touched:,} induced entries)"
+        )
+
+        replay = bench_replay_and_parity(sweep, big_state, targets, deploy_s)
+        sections["replay_baseline"] = {
+            k: replay[k]
+            for k in (
+                "sample", "replay_sample_s", "replay_extrapolated_s",
+                "fullgraph_deploy_s", "speedup",
+            )
+        }
+        sections["state_parity"] = {
+            k: replay[k] for k in ("sample", "mismatched_arrays", "parity")
+        }
+        emit(
+            "replay         {sample} sampled targets in {replay_sample_s:.1f}s "
+            "-> {replay_extrapolated_s:.0f}s extrapolated "
+            "({speedup:.1f}x the full-sweep deployment clock)".format(**replay)
+        )
+        emit(
+            f"parity         replay vs full-graph: "
+            f"{'bit-exact' if replay['parity'] == 1.0 else replay['mismatched_arrays']}"
+        )
+
+        sections["pool_sweep"] = bench_pool_sweep(
+            sweep, sharded, sampled, bundle, targets
+        )
+        emit(
+            "pool sweep     {targets} targets through {workers} forked workers "
+            "({slices} slices, {pool_sweep_s:.1f}s) — "
+            "{verdict}".format(
+                verdict=(
+                    "bit-exact"
+                    if sections["pool_sweep"]["parity"] == 1.0
+                    else sections["pool_sweep"]["mismatched_arrays"]
+                ),
+                **{
+                    k: sections["pool_sweep"][k]
+                    for k in ("targets", "workers", "slices", "pool_sweep_s")
+                },
+            )
+        )
+        del sharded
+        gc.collect()
+
+        sections["incremental_refresh"] = bench_incremental(
+            sweep, big_state, targets
+        )
+        emit(
+            "incremental    {delta_edges} delta edges ({touched_uids} uids) -> "
+            "{rows_computed}/{total_rows} rows recomputed "
+            "({work_reduction:.0f}x less work, {time_reduction:.0f}x faster, "
+            "{incremental_s:.2f}s vs {fresh_fullpass_s:.1f}s)".format(
+                **sections["incremental_refresh"]
+            )
+        )
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    result = {
+        "n_users": config.n_users,
+        "n_edges": config.n_edges,
+        "hops": HOPS,
+        "fanout": FANOUT,
+        "score_chunk": SCORE_CHUNK,
+        "coverage_floor": COVERAGE_FLOOR,
+        "sections": sections,
+    }
+    gates = [
+        Gate("covered_scale", covered / COVERAGE_FLOOR, 1.0),
+        Gate("fullgraph_speedup", replay["speedup"], 5.0),
+        Gate("replay_state_parity", sections["state_parity"]["parity"], 1.0),
+        Gate("pool_sweep_parity", sections["pool_sweep"]["parity"], 1.0),
+        Gate(
+            "incremental_work_reduction",
+            sections["incremental_refresh"]["work_reduction"],
+            10.0,
+        ),
+        Gate(
+            "incremental_parity", sections["incremental_refresh"]["parity"], 1.0
+        ),
+    ]
+    check_gates(gates, result, result_path)
+    return result
+
+
+@pytest.mark.slow
+@pytest.mark.sharding
+def test_lambda_fullgraph_perf():
+    result = run_harness()
+    assert result["gates_met"], (
+        "lambda full-graph gates failed — see gate lines above "
+        f"(gates: {result['gates']})"
+    )
+
+
+if __name__ == "__main__":
+    outcome = run_harness()
+    if not outcome["gates_met"]:
+        emit("FAIL: lambda full-graph gates not met")
+        sys.exit(1)
+    emit("OK")

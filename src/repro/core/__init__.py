@@ -2,7 +2,11 @@
 
 from .cfo import CFOLayer
 from .hag import HAG, prepare_aggregators
-from .influence import influence_distribution, influence_scores
+from .influence import (
+    influence_distribution,
+    influence_scores,
+    influence_scores_batch,
+)
 from .lambda_infer import HAGState, materialize
 from .minibatch import (
     induced_adjacencies,
@@ -26,6 +30,7 @@ __all__ = [
     "TrainResult",
     "train_node_classifier",
     "influence_scores",
+    "influence_scores_batch",
     "influence_distribution",
     "sample_khop_nodes",
     "sample_khop_nodes_reference",

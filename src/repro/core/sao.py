@@ -76,7 +76,18 @@ class SAOLayer(nn.Module):
         self, h: Tensor, aggregator: sp.spmatrix | nn.PreparedAggregator
     ) -> Tensor:
         """Apply SAO given node features ``h`` and the Eq. 6 aggregator."""
-        h_neigh = nn.spmm(aggregator, h)
+        return self.combine(h, nn.spmm(aggregator, h))
+
+    def combine(self, h: Tensor, h_neigh: Tensor) -> Tensor:
+        """Everything after neighbourhood aggregation: the per-row mixing.
+
+        Split out of :meth:`forward` because it is *row-local* — row ``v``
+        of the output depends only on row ``v`` of ``h`` and ``h_neigh``.
+        The lambda incremental rematerialization exploits this: it feeds a
+        rectangular aggregation (cone rows of ``A`` against the full
+        previous layer) through the exact same op sequence as the
+        full-graph pass.
+        """
         z_self = self.w_self(h)
         z_neigh = self.w_neigh(h_neigh)
         if not self.use_attention:

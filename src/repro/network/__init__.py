@@ -18,6 +18,7 @@ from .sampling import (
     computation_subgraph,
     computation_subgraphs_batch,
 )
+from .sampled_graph import SampledGraph, build_sampled_graph
 from .sharding import (
     ShardBlock,
     ShardIndex,
@@ -52,6 +53,8 @@ __all__ = [
     "computation_subgraphs_batch",
     "BatchSampleStats",
     "shard_of",
+    "SampledGraph",
+    "build_sampled_graph",
     "ShardBlock",
     "ShardIndex",
     "ShardedBehaviorNetwork",

@@ -246,6 +246,9 @@ class BehaviorNetwork:
         # mutation (scalar/columnar weight accumulation, TTL expiry) counts
         # one touch per typed edge per endpoint.  ``None`` means disabled.
         self._delta: dict[int, int] | None = None
+        # Memoized single-shard merged index (lambda full-graph sweep); the
+        # sharded facade has its own memoized ``index()``.
+        self._shard_index = None
 
     # ------------------------------------------------------------------
     # Delta tracking (lambda speed layer)
@@ -690,6 +693,24 @@ class BehaviorNetwork:
         snapshot = build_snapshot(self._edges, self._adjacency, self._version)
         self._snapshot = snapshot
         return snapshot
+
+    def shard_index(self):
+        """The merged :class:`~repro.network.sharding.ShardIndex` view of
+        this network as a single shard, memoized against :attr:`version`.
+
+        This is the flat-array form the lambda full-graph sweep builds its
+        :class:`~repro.network.sampled_graph.SampledGraph` from; a
+        :class:`~repro.network.sharding.ShardedBehaviorNetwork` provides
+        the same arrays through its own memoized ``index()``.
+        """
+        from .sharding import build_shard_index
+
+        cached = self._shard_index
+        if cached is not None and cached.version == self._version:
+            return cached
+        index = build_shard_index([self], 1, self._version)
+        self._shard_index = index
+        return index
 
     def khop_neighborhood(
         self, uid: int, hops: int, allowed: set[int] | None = None

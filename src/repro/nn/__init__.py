@@ -18,6 +18,7 @@ from .optim import SGD, Adam, Optimizer
 from .sparse import (
     PreparedAggregator,
     as_csr,
+    csr_gather_rows,
     reset_transpose_conversion_count,
     spmm,
     transpose_conversion_count,
@@ -59,6 +60,7 @@ __all__ = [
     "spmm",
     "PreparedAggregator",
     "as_csr",
+    "csr_gather_rows",
     "transpose_conversion_count",
     "reset_transpose_conversion_count",
     "xavier_uniform",

@@ -39,7 +39,13 @@ from .queue import (
     SimulatedWorkerPool,
 )
 from .service import PredictRequest, RequestContext, Sampler, Service
-from .shard_router import ShardRouter, ShardWorkerPool, index_sample_batch
+from .shard_router import (
+    ShardRouter,
+    ShardWorkerPool,
+    fullgraph_executor,
+    index_sample_batch,
+    publish_materialize_inputs,
+)
 from .storage import InMemoryCache, LocalDatabase, ReplicatedStore, StorageError
 from .turbo import Turbo, TurboResponse, deploy_turbo
 
@@ -71,6 +77,8 @@ __all__ = [
     "DeltaSampler",
     "ShardRouter",
     "ShardWorkerPool",
+    "fullgraph_executor",
+    "publish_materialize_inputs",
     "index_sample_batch",
     "FeatureServer",
     "PredictionServer",

@@ -28,12 +28,20 @@ is bit-exact with that path, so serving it is a pure latency win.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
 
-from ..core.lambda_infer import HAGState, materialize
+from ..core.lambda_infer import (
+    HAGState,
+    MaterializeStats,
+    materialize,
+    materialize_fullgraph,
+    rematerialize,
+)
+from ..network.sampled_graph import SampledGraph, build_sampled_graph
 from ..network.sampling import BatchSampleStats
 from ..obs.tracing import Tracer
 
@@ -89,6 +97,10 @@ class LambdaLayer:
         staleness_budget: int = 0,
         store: "SharedSnapshotStore | None" = None,
         component: str = "lambda_layer",
+        full_graph: bool = True,
+        incremental: bool = True,
+        executor: Callable | None = None,
+        slices: int = 1,
     ) -> None:
         self.bn_server = bn_server
         self.feature_server = feature_server
@@ -102,10 +114,17 @@ class LambdaLayer:
         self.staleness_budget = staleness_budget
         self.store = store
         self.component = component
+        self.full_graph = full_graph
+        self.incremental = incremental
+        self.executor = executor
+        self.slices = slices
         self.metrics: "MetricsRegistry | None" = None
         self.state: HAGState | None = None
         self.last_pass_at: float | None = None
         self.batch_passes = 0
+        self.incremental_passes = 0
+        self.last_materialize: MaterializeStats | None = None
+        self._sampled: SampledGraph | None = None
         self.hits = 0
         self.misses = {"uncovered": 0, "stale": 0, "unbound": 0}
         self.fallthrough_requests = 0
@@ -137,19 +156,55 @@ class LambdaLayer:
             rows.append((uid, int(txn.txn_id), float(txn.audit_at)))
         return rows
 
+    def _sampled_graph(self, bn) -> SampledGraph:
+        """The deployment's :class:`SampledGraph`, memoized per BN version."""
+        cached = self._sampled
+        if (
+            cached is not None
+            and cached.version == int(bn.version)
+            and cached.fanout == self.fanout
+        ):
+            return cached
+        sampled = build_sampled_graph(bn, self.fanout)
+        self._sampled = sampled
+        return sampled
+
     def run_batch_pass(self, now: float) -> tuple[HAGState, BatchSampleStats]:
         """One full batch pass at simulated time ``now``.
 
-        Replays the exact sampled serving path for every target (see
-        :func:`repro.core.lambda_infer.materialize`), runs the full-graph
-        layer pass, checkpoints the state to storage, publishes it to the
-        snapshot store (when one is wired), and resets delta tracking so
-        staleness counts start from this pass.
+        Computes the exact serving-path score for every target — through
+        :func:`repro.core.lambda_infer.materialize_fullgraph` over the
+        version-pinned :class:`SampledGraph` by default, or the legacy
+        per-user union replay when ``full_graph`` is off — runs the
+        full-graph layer pass, checkpoints the state to storage, publishes
+        it to the snapshot store (when one is wired), and resets delta
+        tracking so staleness counts start from this pass.
 
-        The pass is traced as one ``lambda_batch`` root span; its charged
-        duration (the packed model forwards plus the checkpoint write) is
-        metered under ``turbo.lambda.*`` but never billed to any request.
+        The pass is traced as one ``lambda_batch`` root span with a
+        ``lambda_materialize`` child carrying per-stage children; its
+        charged duration (the packed model forwards plus the checkpoint
+        write) is metered under ``turbo.lambda.*`` but never billed to any
+        request.
         """
+        return self._run_pass(now, incremental=False)
+
+    def run_incremental_pass(self, now: float) -> tuple[HAGState, BatchSampleStats]:
+        """Refresh the state by recomputing only the delta's affected cone.
+
+        Valid when the current state binds to the live BN with delta
+        tracking on; anything else (no prior, rebound network, an ancestor
+        the prior cannot extend) silently falls back to a full pass, so
+        the call always leaves a fresh state behind.  Work is O(affected):
+        only targets within ``hops`` of a touched node (plus targets whose
+        feature provenance changed) are rescored, and only layer rows
+        within SAO depth of a seed are recomputed — everything else is a
+        byte-copy of the prior state.
+        """
+        return self._run_pass(now, incremental=True)
+
+    def _run_pass(
+        self, now: float, *, incremental: bool
+    ) -> tuple[HAGState, BatchSampleStats]:
         feature_manager = self.feature_server.feature_manager
         scaler = self.prediction_server.scaler
         latency = self.prediction_server.latency
@@ -172,54 +227,135 @@ class LambdaLayer:
         context_rows: dict[int, np.ndarray] = {}
         dim = feature_manager.dim
 
+        def context_row(uid: int) -> np.ndarray:
+            row = context_rows.get(uid)
+            if row is None:
+                txn = self.feature_server.latest_transaction(uid)
+                row = np.zeros(dim) if txn is None else feature_manager.vector(txn)
+                context_rows[uid] = row
+            return row
+
+        # Subgraph sizes actually scored this pass (incremental passes
+        # score a subset; the deployment clock charges only that work).
+        computed_sizes: list[int] = []
+
         def feature_fn(k: int, nodes) -> np.ndarray:
+            computed_sizes.append(len(nodes))
             matrix_rows = [feature_manager.vector(
                 self.feature_server.latest_transaction(targets[k]), as_of=nows[k]
             )]
             for uid in nodes[1:]:
-                row = context_rows.get(uid)
-                if row is None:
-                    txn = self.feature_server.latest_transaction(uid)
-                    row = np.zeros(dim) if txn is None else feature_manager.vector(txn)
-                    context_rows[uid] = row
-                matrix_rows.append(row)
+                matrix_rows.append(context_row(uid))
             return np.stack(matrix_rows)
 
-        layer_features = None
-        if targets:
-            layer_features = scaler.transform(
-                np.stack([
-                    context_rows[uid]
-                    if uid in context_rows
-                    else feature_manager.vector(
-                        self.feature_server.latest_transaction(uid)
-                    )
-                    for uid in targets
-                ])
-            )
+        # Wall-clock stage marks from the materializer's observer; turned
+        # into lambda_materialize child spans after the pass.
+        marks: list[tuple[str, float]] = []
+        wall_start = time.perf_counter()
 
-        state, stats = materialize(
-            self.prediction_server.model,
-            bn,
-            targets,
-            txn_ids,
-            nows,
-            feature_fn,
-            hops=self.hops,
-            fanout=self.fanout,
-            edge_type_order=self.prediction_server.edge_type_order,
-            allowed=self.allowed,
-            transform=scaler.transform,
-            selection_cache=self.bn_server._batch_selection_cache(self.fanout),
-            layer_features=layer_features,
+        def observer(name: str) -> None:
+            marks.append((name, time.perf_counter()))
+
+        model = self.prediction_server.model
+        edge_type_order = self.prediction_server.edge_type_order
+        mstats: MaterializeStats | None = None
+        state: HAGState
+        stats: BatchSampleStats
+
+        use_incremental = (
+            incremental
+            and self.incremental
+            and self.state is not None
+            and self._bn is bn
+            and bn.delta_tracking()
         )
+        if use_incremental:
+
+            def layer_row_fn(idx: np.ndarray) -> np.ndarray:
+                return scaler.transform(
+                    np.stack([context_row(targets[int(i)]) for i in idx])
+                )
+
+            try:
+                state, stats, mstats = rematerialize(
+                    model,
+                    bn,
+                    self.state,
+                    targets,
+                    txn_ids,
+                    nows,
+                    feature_fn,
+                    hops=self.hops,
+                    fanout=self.fanout,
+                    edge_type_order=edge_type_order,
+                    allowed=self.allowed,
+                    transform=scaler.transform,
+                    sampled=self._sampled_graph(bn),
+                    touched=self._delta_touched(),
+                    layer_row_fn=layer_row_fn,
+                    observer=observer,
+                )
+            except ValueError:
+                # Prior is not a valid ancestor (hops/fanout drift, missing
+                # layer arrays) — degrade to the full sweep.
+                use_incremental = False
+                marks.clear()
+                computed_sizes.clear()
+
+        if not use_incremental:
+            layer_features = None
+            if targets:
+                layer_features = scaler.transform(
+                    np.stack([context_row(uid) for uid in targets])
+                )
+            if self.full_graph:
+                state, stats, mstats = materialize_fullgraph(
+                    model,
+                    bn,
+                    targets,
+                    txn_ids,
+                    nows,
+                    feature_fn,
+                    hops=self.hops,
+                    fanout=self.fanout,
+                    edge_type_order=edge_type_order,
+                    allowed=self.allowed,
+                    transform=scaler.transform,
+                    sampled=self._sampled_graph(bn),
+                    layer_features=layer_features,
+                    executor=self.executor,
+                    slices=self.slices,
+                    observer=observer,
+                )
+            else:
+                state, stats = materialize(
+                    model,
+                    bn,
+                    targets,
+                    txn_ids,
+                    nows,
+                    feature_fn,
+                    hops=self.hops,
+                    fanout=self.fanout,
+                    edge_type_order=edge_type_order,
+                    allowed=self.allowed,
+                    transform=scaler.transform,
+                    selection_cache=self.bn_server._batch_selection_cache(
+                        self.fanout
+                    ),
+                    layer_features=layer_features,
+                )
+        wall_seconds = time.perf_counter() - wall_start
 
         arrays = state.to_arrays()
-        charged = sum(
-            latency.charge_model_forward_batch(
-                [int(n) for n in np.diff(state.subgraph_indptr)]
-            )
-        )
+        if mstats is not None and mstats.mode == "incremental":
+            charged_sizes = computed_sizes
+        else:
+            # Full passes score every row; with a pool executor the
+            # features are assembled worker-side, so read the sizes off
+            # the assembled state rather than the local feature_fn count.
+            charged_sizes = [int(s) for s in np.diff(state.subgraph_indptr)]
+        charged = sum(latency.charge_model_forward_batch(charged_sizes))
         charged += self.database.put(_CHECKPOINT_TABLE, _CHECKPOINT_KEY, arrays)
         if self.store is not None:
             previous = self._segment
@@ -238,26 +374,64 @@ class LambdaLayer:
         bn.track_deltas()
         self.last_pass_at = now
         self.batch_passes += 1
+        self.last_materialize = mstats
+        if mstats is not None and mstats.mode == "incremental":
+            self.incremental_passes += 1
 
         if self.metrics is not None:
             self.metrics.counter("turbo.lambda.batch_passes").inc()
             self.metrics.histogram("turbo.lambda.batch_seconds").observe(charged)
             self.metrics.gauge("turbo.lambda.covered_nodes").set(state.num_nodes)
             self.metrics.gauge("turbo.lambda.bn_version").set(state.bn_version)
+            if mstats is not None:
+                self.metrics.counter("turbo.lambda.materialize.rows").inc(
+                    mstats.rows_computed
+                )
+                self.metrics.counter("turbo.lambda.materialize.edges").inc(
+                    mstats.edges_touched
+                )
+                self.metrics.histogram(
+                    "turbo.lambda.materialize.wall_seconds"
+                ).observe(wall_seconds)
+                self.metrics.histogram(
+                    "turbo.lambda.materialize.clock_seconds"
+                ).observe(charged)
+                self.metrics.histogram(
+                    "turbo.lambda.materialize.cone_rows"
+                ).observe(float(mstats.cone_rows))
         if root is not None:
             root.annotate("bn_version", state.bn_version)
             root.annotate("covered_nodes", state.num_nodes)
             root.annotate("sampled_nodes", stats.sampled_nodes)
+            if mstats is not None:
+                mat_span = root.child("lambda_materialize", now)
+                mat_span.annotate("mode", mstats.mode)
+                mat_span.annotate("rows_computed", mstats.rows_computed)
+                mat_span.annotate("edges_touched", mstats.edges_touched)
+                mat_span.annotate("cone_rows", mstats.cone_rows)
+                mat_span.annotate("layer_rows", mstats.layer_rows)
+                mat_span.annotate("slices", mstats.slices)
+                previous_mark = wall_start
+                for stage, at_mark in marks:
+                    child = mat_span.child(stage, now)
+                    child.finish(at_mark - previous_mark)
+                    previous_mark = at_mark
+                mat_span.finish(wall_seconds)
             self.tracer.finish_trace(root, charged)
         return state, stats
 
     def maybe_refresh(self, now: float) -> bool:
-        """Run a batch pass when the refresh period elapsed; ``True`` if run."""
+        """Run a batch pass when the refresh period elapsed; ``True`` if run.
+
+        Prefers the incremental path when a valid prior state exists for an
+        ancestor of the live BN (delta tracking intact); otherwise — first
+        pass, rebound network, or ``incremental`` off — runs a full sweep.
+        """
         if self.refresh_period is None:
             return False
         if self.last_pass_at is not None and now - self.last_pass_at < self.refresh_period:
             return False
-        self.run_batch_pass(now)
+        self._run_pass(now, incremental=True)
         return True
 
     def load_checkpoint(self) -> HAGState | None:
@@ -355,8 +529,12 @@ class LambdaLayer:
         delta_size = 0.0
         if self._bn is not None and self._bn.delta_tracking():
             delta_size = float(self._bn.delta_size())
+        last = self.last_materialize
         return {
             "batch_passes": float(self.batch_passes),
+            "incremental_passes": float(self.incremental_passes),
+            "materialize_rows": float(last.rows_computed if last is not None else -1),
+            "materialize_edges": float(last.edges_touched if last is not None else -1),
             "covered_nodes": float(state.num_nodes if state is not None else 0),
             "bn_version": float(state.bn_version if state is not None else -1),
             "last_pass_at": float(

@@ -40,8 +40,9 @@ from typing import TYPE_CHECKING, Any, Callable, Sequence
 import numpy as np
 import scipy.sparse as sp
 
-from ..core.lambda_infer import HAGState
+from ..core.lambda_infer import HAGState, SliceResult, score_slice
 from ..datagen.behavior_types import BehaviorType
+from ..network.sampled_graph import SampledGraph
 from ..network.sampling import BatchSampleStats, ComputationSubgraph
 from ..network.sharding import ShardIndex, ShardedBehaviorNetwork, _shard_of_int
 from ..network.shm import SharedSnapshotStore, attach_segment
@@ -52,7 +53,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..obs.metrics import MetricsRegistry
     from .faults import CircuitBreaker, FaultInjector
 
-__all__ = ["index_sample_batch", "ShardRouter", "ShardWorkerPool"]
+__all__ = [
+    "index_sample_batch",
+    "publish_materialize_inputs",
+    "fullgraph_executor",
+    "ShardRouter",
+    "ShardWorkerPool",
+]
 
 #: Selection key -> neighbour list; shared shape with the single-network
 #: sampler's ``selection_cache`` so the BN server can reuse one dict.
@@ -239,6 +246,76 @@ def index_sample_batch(
         partial=tuple(i for i in range(n_requests) if partial[i]),
     )
     return subgraphs, stats
+
+
+def publish_materialize_inputs(
+    store: SharedSnapshotStore,
+    name: str,
+    sampled: SampledGraph,
+    uids: np.ndarray,
+    context_rows: np.ndarray,
+    target_rows: np.ndarray,
+    *,
+    hops: int,
+    chunk: int = 256,
+    allowed_mask: np.ndarray | None = None,
+):
+    """Publish one full-graph sweep's worker inputs as a single segment.
+
+    The segment bundles the :class:`SampledGraph` payload (``sg:``-prefixed
+    arrays), the sorted target ``uids``, the per-graph-position raw context
+    feature rows, and the per-target raw transaction feature rows — all a
+    ``materialize`` worker command needs besides the model bundle.  Returns
+    the publish handle; pass ``handle.segment`` to
+    :meth:`ShardWorkerPool.materialize_attach`.
+    """
+    sg_arrays, sg_meta = sampled.to_payload()
+    arrays = {f"sg:{key}": value for key, value in sg_arrays.items()}
+    arrays["uids"] = np.asarray(uids, dtype=np.int64)
+    arrays["context_rows"] = np.asarray(context_rows, dtype=np.float64)
+    arrays["target_rows"] = np.asarray(target_rows, dtype=np.float64)
+    if allowed_mask is not None:
+        arrays["allowed_mask"] = allowed_mask.astype(np.uint8)
+    meta = {"sampled": sg_meta, "hops": int(hops), "chunk": int(chunk)}
+    return store.publish(name, arrays, meta, version=sampled.version)
+
+
+def fullgraph_executor(pool: "ShardWorkerPool"):
+    """Executor over a worker pool for ``materialize_fullgraph``.
+
+    Returns a callable mapping the sweep's ``(lo, hi)`` bounds to
+    :class:`SliceResult`s: bounds are assigned round-robin over the live
+    workers, all commands are pipelined before any result is collected
+    (workers score their slices concurrently), and a dead worker's slots
+    come back ``None`` — ``materialize_fullgraph`` recomputes those slices
+    in-process, so worker loss degrades throughput, never correctness.
+    The pool must have model and materialize inputs attached
+    (:meth:`ShardWorkerPool.materialize_attach`).
+    """
+
+    def executor(
+        bounds: Sequence[tuple[int, int]],
+    ) -> list[SliceResult | None]:
+        results: list[SliceResult | None] = [None] * len(bounds)
+        workers = [w for w in range(pool.n_workers) if pool.alive(w)]
+        if not workers:
+            return results
+        assigned: dict[int, list[int]] = {}
+        for i in range(len(bounds)):
+            assigned.setdefault(workers[i % len(workers)], []).append(i)
+        for worker_id, slots in assigned.items():
+            for i in slots:
+                if not pool.start(worker_id, "materialize", tuple(bounds[i])):
+                    break
+        for worker_id, slots in assigned.items():
+            for i in slots:
+                value = pool.finish(worker_id)
+                if value is None:
+                    break
+                results[i] = SliceResult.from_arrays(value)
+        return results
+
+    return executor
 
 
 class ShardRouter:
@@ -508,6 +585,8 @@ def _worker_main(conn: Any, segments: list[str]) -> None:  # pragma: no cover
     features_cache: dict[str, Any] = {}
     lambda_state: HAGState | None = None
     lambda_segment: Any = None
+    mat: dict[str, Any] | None = None
+    mat_segment: Any = None
     while True:
         try:
             command, payload = conn.recv()
@@ -580,6 +659,69 @@ def _worker_main(conn: Any, segments: list[str]) -> None:  # pragma: no cover
                     hit = lambda_state.lookup(int(uid), int(txn_id), float(at))
                     scores.append(None if hit is None else float(hit[0]))
                 conn.send(("ok", scores))
+            elif command == "materialize_attach":
+                # One published segment carries the whole sweep's inputs:
+                # the SampledGraph payload (``sg:`` prefix), the sorted
+                # target uids, per-position context feature rows, and
+                # per-target transaction feature rows.
+                if mat_segment is not None:
+                    mat_segment.close()
+                mat_segment = attach_segment(payload)
+                arrays = mat_segment.arrays
+                meta = mat_segment.meta
+                sampled = SampledGraph.from_payload(
+                    {
+                        key[3:]: value
+                        for key, value in arrays.items()
+                        if key.startswith("sg:")
+                    },
+                    meta["sampled"],
+                )
+                mat = {
+                    "sampled": sampled,
+                    "uids": np.asarray(arrays["uids"], dtype=np.int64),
+                    "context_rows": arrays["context_rows"],
+                    "target_rows": arrays["target_rows"],
+                    "allowed_mask": (
+                        np.asarray(arrays["allowed_mask"], dtype=bool)
+                        if "allowed_mask" in arrays
+                        else None
+                    ),
+                    "hops": int(meta["hops"]),
+                    "chunk": int(meta["chunk"]),
+                }
+                conn.send(("ok", sampled.version))
+            elif command == "materialize":
+                if mat is None:
+                    raise RuntimeError("no materialize inputs attached")
+                if bundle is None:
+                    raise RuntimeError("no model loaded")
+                lo, hi = payload
+                sampled = mat["sampled"]
+                context_rows = mat["context_rows"]
+                target_rows = mat["target_rows"]
+
+                def feature_fn(k: int, nodes: Any) -> np.ndarray:
+                    plist = sampled.positions_of(
+                        np.asarray(nodes, dtype=np.int64)
+                    )
+                    rows = context_rows[np.maximum(plist, 0)]
+                    rows[0] = target_rows[k]
+                    return rows
+
+                result = score_slice(
+                    bundle["model"],
+                    sampled,
+                    mat["uids"],
+                    np.arange(lo, hi, dtype=np.int64),
+                    feature_fn,
+                    hops=mat["hops"],
+                    edge_type_order=bundle["edge_type_order"],
+                    allowed_mask=mat["allowed_mask"],
+                    transform=bundle["scaler"].transform,
+                    chunk=mat["chunk"],
+                )
+                conn.send(("ok", result.to_arrays()))
             elif command == "crash":
                 os._exit(13)
             elif command == "stop":
@@ -596,9 +738,12 @@ def _worker_main(conn: Any, segments: list[str]) -> None:  # pragma: no cover
     # close() hits BufferError and GC replays it noisily at interpreter exit.
     index = None
     lambda_state = None
+    mat = None
     closing = list(attached) + list(features_cache.values())
     if lambda_segment is not None:
         closing.append(lambda_segment)
+    if mat_segment is not None:
+        closing.append(mat_segment)
     for seg in closing:
         seg.close()
 
@@ -767,6 +912,58 @@ class ShardWorkerPool:
         if status == "error":
             raise RuntimeError(f"shard worker {worker_id} failed: {value}")
         return value
+
+    def start(self, worker_id: int, command: str, payload: Any = None) -> bool:
+        """Send one command without waiting — pair with :meth:`finish`.
+
+        Splitting :meth:`call` lets a driver pipeline work across workers
+        (send to all, then collect), so slices score concurrently.  Returns
+        ``False`` when the worker is dead or the pipe broke on send.
+        """
+        worker = self._workers[worker_id]
+        if not worker["alive"]:
+            return False
+        try:
+            worker["conn"].send((command, payload))
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            worker["alive"] = False
+            worker["process"].join(timeout=1.0)
+            return False
+        return True
+
+    def finish(self, worker_id: int) -> Any:
+        """Collect one pending reply from :meth:`start` (None when dead)."""
+        worker = self._workers[worker_id]
+        if not worker["alive"]:
+            return None
+        conn = worker["conn"]
+        try:
+            if not conn.poll(self.timeout):
+                raise EOFError("worker timed out")
+            status, value = conn.recv()
+        except (EOFError, BrokenPipeError, ConnectionResetError, OSError):
+            worker["alive"] = False
+            worker["process"].join(timeout=1.0)
+            return None
+        if status == "error":
+            raise RuntimeError(f"shard worker {worker_id} failed: {value}")
+        return value
+
+    def materialize_attach(self, worker_id: int, segment: str) -> int | None:
+        """Attach one published full-graph sweep input segment zero-copy.
+
+        The segment comes from :func:`publish_materialize_inputs`.  Returns
+        the attached :class:`SampledGraph`'s BN version, or ``None`` when
+        the worker is dead.
+        """
+        return self.call(worker_id, "materialize_attach", str(segment))
+
+    def materialize_slice(self, worker_id: int, lo: int, hi: int) -> SliceResult | None:
+        """Score one ``[lo, hi)`` slice of the attached sweep's targets."""
+        value = self.call(worker_id, "materialize", (int(lo), int(hi)))
+        if value is None:
+            return None
+        return SliceResult.from_arrays(value)
 
     def resolve(
         self, shard_id: int, keys: list[tuple[int, BehaviorType]], fanout: int | None

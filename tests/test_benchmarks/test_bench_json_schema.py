@@ -26,6 +26,7 @@ RESULT_FILES = sorted(REPO_ROOT.glob("BENCH_*.json"))
 #: rename breaking the glob) fails here, not in a downstream consumer.
 REQUIRED_RESULTS = (
     "BENCH_lambda.json",
+    "BENCH_lambda_fullgraph.json",
     "BENCH_loadtest.json",
     "BENCH_serving_batch.json",
     "BENCH_sharding.json",

@@ -1,0 +1,298 @@
+"""Full-graph and incremental materialization parity (lambda batch tier).
+
+Pinned contracts (see ``docs/LAMBDA.md`` — Full-graph materialization):
+
+* :func:`~repro.core.lambda_infer.materialize_fullgraph` produces a
+  :class:`~repro.core.lambda_infer.HAGState` **byte-identical** to the
+  legacy per-user union replay (:func:`~repro.core.lambda_infer.materialize`)
+  — scores, subgraph CSR, and every layer array — at any chunk size and
+  any slice split, with or without an executor (a dead executor slot is
+  recomputed in-process);
+* :func:`~repro.core.lambda_infer.rematerialize` recomputes only the
+  delta's affected cone: at zero delta the refreshed state is a byte copy
+  of the prior, under randomized delta batches the scores are byte-equal
+  to a fresh full pass while untouched layer rows are byte copies of the
+  prior (only ``layer_rows`` rows may differ), and provenance changes
+  (new transaction / as-of) force a recompute of exactly those targets;
+* an incompatible prior (hops/fanout drift, missing layer arrays) raises
+  ``ValueError`` so callers fall back to the full sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import HAG, materialize
+from repro.core.lambda_infer import (
+    SliceResult,
+    materialize_fullgraph,
+    rematerialize,
+    score_slice,
+)
+from repro.datagen import BehaviorType
+from repro.network import BehaviorNetwork, build_sampled_graph
+
+TYPES = (BehaviorType.DEVICE_ID, BehaviorType.IPV4, BehaviorType.WIFI_MAC)
+HOPS, FANOUT = 2, 6
+IN_DIM = 5
+
+
+def build_bn(seed=0, n_users=140, n_edges=700):
+    rng = np.random.default_rng(seed)
+    bn = BehaviorNetwork()
+    u = rng.integers(0, n_users, size=n_edges)
+    v = rng.integers(0, n_users, size=n_edges)
+    for uu, vv, code, w, ts in zip(
+        u,
+        v,
+        rng.integers(0, len(TYPES), size=n_edges),
+        rng.uniform(0.1, 3.0, size=n_edges),
+        rng.uniform(0.0, 500.0, size=n_edges),
+    ):
+        if uu != vv:
+            bn.add_weight(int(uu), int(vv), TYPES[int(code)], float(w), float(ts))
+    return bn
+
+
+def add_delta(bn, seed, count, n_users=140):
+    """Apply one random delta batch; returns the touched uids."""
+    rng = np.random.default_rng(seed)
+    touched = set()
+    for _ in range(count):
+        uu = int(rng.integers(0, n_users))
+        vv = int(rng.integers(0, n_users))
+        if uu == vv:
+            continue
+        bn.add_weight(
+            uu, vv, TYPES[int(rng.integers(0, len(TYPES)))],
+            float(rng.uniform(0.5, 2.0)), 600.0,
+        )
+        touched |= {uu, vv}
+    return touched
+
+
+@pytest.fixture(scope="module")
+def setup():
+    bn = build_bn()
+    types = tuple(sorted(bn.edge_types(), key=lambda t: t.value))
+    rng = np.random.default_rng(5)
+    model = HAG(
+        IN_DIM, len(types), rng, hidden=(8, 4), cfo_out_dim=2, mlp_hidden=(4,)
+    )
+    features = rng.normal(size=(200, IN_DIM))
+    targets = sorted(int(t) for t in np.random.default_rng(6).choice(
+        sorted(bn.nodes()), size=60, replace=False
+    ))
+    return bn, model, features, types, targets
+
+
+def feature_fn_for(features):
+    return lambda k, nodes: features[np.asarray(nodes, dtype=np.int64)]
+
+
+def run_replay(setup_tuple, **kwargs):
+    bn, model, features, types, targets = setup_tuple
+    return materialize(
+        model, bn, targets, [10 * t for t in targets], [float(t) for t in targets],
+        feature_fn_for(features),
+        hops=HOPS, fanout=FANOUT, edge_type_order=types,
+        layer_features=features[np.asarray(targets, dtype=np.int64)],
+        **kwargs,
+    )
+
+
+def run_fullgraph(setup_tuple, **kwargs):
+    bn, model, features, types, targets = setup_tuple
+    return materialize_fullgraph(
+        model, bn, targets, [10 * t for t in targets], [float(t) for t in targets],
+        feature_fn_for(features),
+        hops=HOPS, fanout=FANOUT, edge_type_order=types,
+        layer_features=features[np.asarray(targets, dtype=np.int64)],
+        **kwargs,
+    )
+
+
+def assert_states_bitexact(got, want):
+    got_arrays, want_arrays = got.to_arrays(), want.to_arrays()
+    assert got_arrays.keys() == want_arrays.keys()
+    for name in want_arrays:
+        assert got_arrays[name].tobytes() == want_arrays[name].tobytes(), name
+
+
+class TestFullGraphParity:
+    def test_bitexact_vs_replay(self, setup):
+        want, want_stats = run_replay(setup)
+        got, got_stats, mstats = run_fullgraph(setup)
+        assert_states_bitexact(got, want)
+        assert got_stats == want_stats
+        assert mstats.mode == "full"
+        assert mstats.rows_computed == len(setup[4])
+        assert mstats.edges_touched > 0
+
+    @pytest.mark.parametrize("chunk", (1, 7, 256))
+    def test_chunking_does_not_change_bits(self, setup, chunk):
+        want, _, _ = run_fullgraph(setup)
+        got, _, _ = run_fullgraph(setup, chunk=chunk)
+        assert_states_bitexact(got, want)
+
+    def test_slices_and_dead_executor_slots(self, setup):
+        """Executor results splice bit-exactly; dead (None) slots recompute."""
+        bn, model, features, types, targets = setup
+        sampled = build_sampled_graph(bn, FANOUT)
+        node_ids = np.asarray(targets, dtype=np.int64)
+        calls = []
+
+        def executor(bounds):
+            # Serve even slices like a worker would, drop odd ones.
+            calls.append(list(bounds))
+            out = []
+            for i, (lo, hi) in enumerate(bounds):
+                if i % 2:
+                    out.append(None)
+                    continue
+                result = score_slice(
+                    model, sampled, node_ids,
+                    np.arange(lo, hi, dtype=np.int64),
+                    feature_fn_for(features),
+                    hops=HOPS, edge_type_order=types,
+                    allowed_mask=sampled.allowed_mask(None),
+                    transform=None, chunk=256,
+                )
+                out.append(SliceResult.from_arrays(result.to_arrays()))
+            return out
+
+        want, want_stats, _ = run_fullgraph(setup)
+        got, got_stats, mstats = run_fullgraph(
+            setup, sampled=sampled, executor=executor, slices=5
+        )
+        assert_states_bitexact(got, want)
+        assert got_stats == want_stats
+        assert mstats.slices == 5
+        assert len(calls) == 1 and len(calls[0]) == 5
+
+    def test_version_mismatch_rejected(self, setup):
+        bn, model, features, types, targets = setup
+        sampled = build_sampled_graph(bn, FANOUT)
+        other = build_bn(seed=9)
+        with pytest.raises(ValueError):
+            materialize_fullgraph(
+                model, other, targets[:4], [1, 2, 3, 4], [0.0] * 4,
+                feature_fn_for(features),
+                hops=HOPS, fanout=FANOUT, edge_type_order=types, sampled=sampled,
+            )
+
+
+class TestIncremental:
+    def run_incremental(self, setup_tuple, prior, touched):
+        bn, model, features, types, targets = setup_tuple
+
+        def layer_row_fn(rows):
+            return features[np.asarray(targets, dtype=np.int64)[rows]]
+
+        return rematerialize(
+            model, bn, prior, targets,
+            [10 * t for t in targets], [float(t) for t in targets],
+            feature_fn_for(features),
+            hops=HOPS, fanout=FANOUT, edge_type_order=types,
+            touched=touched, layer_row_fn=layer_row_fn,
+        )
+
+    def test_zero_delta_is_byte_noop(self, setup):
+        prior, _, _ = run_fullgraph(setup)
+        state, _, mstats = self.run_incremental(setup, prior, {})
+        assert mstats.mode == "incremental"
+        assert mstats.rows_computed == 0
+        assert mstats.layer_rows == 0
+        assert_states_bitexact(state, prior)
+
+    @pytest.mark.parametrize("delta_seed", (1, 2, 3))
+    def test_randomized_delta_cone(self, delta_seed):
+        """Cone property: scores byte-equal a fresh full pass; untouched
+        layer rows are byte copies of the prior."""
+        # Sparse on purpose: with mean degree ~2 a two-hop reverse cone
+        # around a couple of touched edges stays far from covering the
+        # whole target set, so the O(affected) claim is actually exercised.
+        bn = build_bn(seed=delta_seed + 50, n_users=800, n_edges=800)
+        types = tuple(sorted(bn.edge_types(), key=lambda t: t.value))
+        rng = np.random.default_rng(5)
+        model = HAG(
+            IN_DIM, len(types), rng, hidden=(8, 4), cfo_out_dim=2, mlp_hidden=(4,)
+        )
+        features = rng.normal(size=(900, IN_DIM))
+        targets = sorted(bn.nodes())[:300]
+        local = (bn, model, features, types, targets)
+
+        prior, _, _ = run_fullgraph(local)
+        touched_uids = add_delta(bn, seed=delta_seed, count=2, n_users=800)
+        touched = {uid: 1 for uid in touched_uids}
+
+        fresh, fresh_stats, _ = run_fullgraph(local)
+        state, _, mstats = self.run_incremental(local, prior, touched)
+
+        # Scores and subgraphs: byte-equal the fresh full pass everywhere.
+        assert state.scores.tobytes() == fresh.scores.tobytes()
+        assert state.subgraph_indptr.tobytes() == fresh.subgraph_indptr.tobytes()
+        assert state.subgraph_nodes.tobytes() == fresh.subgraph_nodes.tobytes()
+        assert 0 < mstats.rows_computed < len(targets)
+
+        # Layers: equal to fresh within numerics everywhere; rows that are
+        # not byte copies of the prior are exactly the recomputed cone.
+        recomputed = np.zeros(len(targets), dtype=bool)
+        for name, want in fresh.layers.items():
+            got = state.layers[name]
+            np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-12)
+            prior_arr = prior.layers[name]
+            for row in range(len(targets)):
+                if got[row].tobytes() != prior_arr[row].tobytes():
+                    recomputed[row] = True
+        assert int(recomputed.sum()) <= mstats.layer_rows
+
+    def test_provenance_change_recomputes_target(self, setup):
+        bn, model, features, types, targets = setup
+        prior, _, _ = run_fullgraph(setup)
+
+        def layer_row_fn(rows):
+            return features[np.asarray(targets, dtype=np.int64)[rows]]
+
+        txn_ids = [10 * t for t in targets]
+        txn_ids[3] += 1  # one target has a newer transaction
+        state, _, mstats = rematerialize(
+            model, bn, prior, targets, txn_ids, [float(t) for t in targets],
+            feature_fn_for(features),
+            hops=HOPS, fanout=FANOUT, edge_type_order=types,
+            touched={}, layer_row_fn=layer_row_fn,
+        )
+        assert mstats.rows_computed >= 1
+        assert state.txn_ids[3] == txn_ids[3]
+        # The graph did not change, so the recomputed score matches the prior.
+        assert state.scores.tobytes() == prior.scores.tobytes()
+
+    def test_hops_mismatch_rejected(self, setup):
+        bn, model, features, types, targets = setup
+        prior, _, _ = run_fullgraph(setup)
+        with pytest.raises(ValueError):
+            rematerialize(
+                model, bn, prior, targets,
+                [10 * t for t in targets], [float(t) for t in targets],
+                feature_fn_for(features),
+                hops=HOPS + 1, fanout=FANOUT, edge_type_order=types,
+            )
+
+    def test_missing_layer_arrays_rejected(self, setup):
+        bn, model, features, types, targets = setup
+        prior, _, _ = run_fullgraph(setup)
+        prior.layers.pop("fused")
+        try:
+            with pytest.raises(ValueError):
+                rematerialize(
+                    model, bn, prior, targets,
+                    [10 * t for t in targets], [float(t) for t in targets],
+                    feature_fn_for(features),
+                    hops=HOPS, fanout=FANOUT, edge_type_order=types,
+                    layer_row_fn=lambda rows: features[
+                        np.asarray(targets, dtype=np.int64)[rows]
+                    ],
+                )
+        finally:
+            prior.layers["fused"] = np.zeros((len(targets), 2))

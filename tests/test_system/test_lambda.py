@@ -419,3 +419,119 @@ class TestWorkerPoolLambda:
         with ShardWorkerPool(router.segments, n_workers=1) as pool:
             with pytest.raises(RuntimeError):
                 pool.lambda_lookup(0, [(1, 1, 0.0)])
+
+
+class TestIncrementalRefresh:
+    """Full-graph + incremental maybe_refresh (the PR-9 materialize tier)."""
+
+    def test_deploy_pass_is_full_graph(self, lambda_deployed):
+        turbo, _ = lambda_deployed
+        lam = turbo.lambda_layer
+        assert lam.full_graph and lam.incremental
+        assert lam.last_materialize is not None
+        assert lam.last_materialize.mode == "full"
+        assert lam.last_materialize.rows_computed == lam.state.num_nodes
+
+    def test_maybe_refresh_prefers_incremental(self, tiny_dataset):
+        turbo, _data = deploy_turbo(
+            tiny_dataset, lambda_config(lambda_refresh_period=50.0)
+        )
+        lam = turbo.lambda_layer
+        passes = lam.batch_passes
+        assert lam.maybe_refresh(lam.last_pass_at + 60.0)
+        assert lam.batch_passes == passes + 1
+        assert lam.incremental_passes == 1
+        assert lam.last_materialize.mode == "incremental"
+        # Zero delta since the deploy pass: the refresh recomputes nothing.
+        assert lam.last_materialize.rows_computed == 0
+
+    def test_incremental_off_runs_full_sweeps(self, tiny_dataset):
+        turbo, _data = deploy_turbo(
+            tiny_dataset,
+            lambda_config(lambda_refresh_period=50.0, lambda_incremental=False),
+        )
+        lam = turbo.lambda_layer
+        assert lam.maybe_refresh(lam.last_pass_at + 60.0)
+        assert lam.incremental_passes == 0
+        assert lam.last_materialize.mode == "full"
+
+    def test_legacy_replay_config_still_serves(self, tiny_dataset):
+        turbo, data = deploy_turbo(
+            tiny_dataset,
+            lambda_config(lambda_full_graph=False, lambda_incremental=False),
+        )
+        lam = turbo.lambda_layer
+        assert lam.last_materialize is None  # replay path has no sweep stats
+        txn = covered_requests(turbo, data, count=1)[0]
+        response = turbo.handle_request(txn, now=txn.audit_at)
+        assert response.tier == "lambda"
+
+    def test_incremental_refresh_after_delta_matches_full(self, tiny_dataset):
+        turbo, _data = deploy_turbo(tiny_dataset, lambda_config())
+        lam = turbo.lambda_layer
+        t_end = max(log.timestamp for log in tiny_dataset.logs)
+        turbo.bn_server.run_due_jobs(now=t_end)
+        lam.run_batch_pass(turbo.clock.now())
+
+        covered = [int(u) for u in lam.state.node_ids]
+        template = tiny_dataset.logs[0]
+        turbo.bn_server.ingest(
+            [
+                BehaviorLog(
+                    uid=uid,
+                    btype=template.btype,
+                    value="inc-shared-device",
+                    timestamp=t_end + 60.0 + i,
+                )
+                for i, uid in enumerate(covered[:2])
+            ]
+        )
+        turbo.bn_server.run_due_jobs(now=t_end + 2 * HOUR)
+        assert lam._bn.delta_size() > 0
+        lam.run_incremental_pass(turbo.clock.now())
+        incremental = lam.state
+        assert lam.last_materialize.mode == "incremental"
+        assert 0 < lam.last_materialize.rows_computed < incremental.num_nodes
+
+        lam.run_batch_pass(turbo.clock.now())
+        full = lam.state
+        # Scores and subgraphs must be byte-equal the fresh full sweep;
+        # layer rows recomputed through the rectangular path are equal
+        # within numerics (BLAS shape-dependence), untouched rows exactly.
+        assert incremental.scores.tobytes() == full.scores.tobytes()
+        assert (
+            incremental.subgraph_nodes.tobytes() == full.subgraph_nodes.tobytes()
+        )
+        for name, want in full.layers.items():
+            np.testing.assert_allclose(
+                incremental.layers[name], want, rtol=1e-9, atol=1e-12
+            )
+
+    def test_materialize_metrics_and_span(self, tiny_dataset):
+        turbo, _data = deploy_turbo(tiny_dataset, lambda_config())
+        lam = turbo.lambda_layer
+        lam.run_incremental_pass(turbo.clock.now())
+        counters = turbo.metrics.snapshot()["counters"]
+        assert "turbo.lambda.materialize.rows" in counters
+        assert "turbo.lambda.materialize.edges" in counters
+        histograms = turbo.metrics.snapshot()["histograms"]
+        assert "turbo.lambda.materialize.wall_seconds" in histograms
+        assert "turbo.lambda.materialize.clock_seconds" in histograms
+        assert "turbo.lambda.materialize.cone_rows" in histograms
+
+        trace = next(
+            t for t in reversed(turbo.tracer.traces) if t.name == "lambda_batch"
+        )
+        mat = next(s for s in trace.children if s.name == "lambda_materialize")
+        assert mat.attributes["mode"] == "incremental"
+        assert mat.closed
+        stages = [child.name for child in mat.children]
+        assert "scores" in stages
+        assert "fused" in stages
+
+    def test_stats_expose_materialize_counters(self, lambda_deployed):
+        turbo, _ = lambda_deployed
+        stats = turbo.lambda_layer.stats()
+        assert "incremental_passes" in stats
+        assert stats["materialize_rows"] >= 0
+        assert stats["materialize_edges"] >= 0

@@ -314,3 +314,111 @@ class TestTurboSharded:
         assert {
             r.txn_id: r.probability for r in recovered
         } == baseline, "recovery must restore bit-exact full serving"
+
+
+class TestPoolMaterialize:
+    """Full-graph sweep sharded across the worker pool: bit-exact, degradable."""
+
+    @pytest.fixture()
+    def sweep(self, rng):
+        import pickle
+
+        from repro.core import HAG
+        from repro.core.lambda_infer import materialize_fullgraph
+        from repro.features.pipeline import StandardScaler
+        from repro.network import build_sampled_graph
+
+        bn, sharded = build_pair(contribution_batches(rng, n_users=160), 4)
+        types = tuple(sorted(bn.edge_types(), key=lambda t: t.value))
+        model_rng = np.random.default_rng(3)
+        model = HAG(
+            5, len(types), model_rng, hidden=(8, 4), cfo_out_dim=2, mlp_hidden=(4,)
+        )
+        features = model_rng.normal(size=(200, 5))
+        scaler = StandardScaler().fit(features)
+        targets = sorted(int(t) for t in rng.choice(160, size=48, replace=False))
+        sampled = build_sampled_graph(bn, 5)
+
+        def feature_fn(k, nodes):
+            return features[np.asarray(nodes, dtype=np.int64)]
+
+        def run(**kwargs):
+            return materialize_fullgraph(
+                model, bn, targets,
+                [10 * t for t in targets], [float(t) for t in targets],
+                feature_fn,
+                hops=2, fanout=5, edge_type_order=types,
+                transform=scaler.transform, sampled=sampled,
+                layer_features=scaler.transform(
+                    features[np.asarray(targets, dtype=np.int64)]
+                ),
+                **kwargs,
+            )
+
+        bundle = pickle.dumps(
+            {"model": model, "scaler": scaler, "edge_type_order": types}
+        )
+        router = ShardRouter(sharded)
+        try:
+            router.ensure_published()
+            from repro.system import publish_materialize_inputs
+
+            handle = publish_materialize_inputs(
+                router.store, "mat", sampled,
+                np.asarray(targets, dtype=np.int64),
+                features[sampled.node_ids],
+                features[np.asarray(targets, dtype=np.int64)],
+                hops=2, chunk=64,
+            )
+            yield router, handle, bundle, sampled, run
+        finally:
+            router.close()
+
+    def test_four_worker_sweep_bitexact(self, sweep):
+        from repro.system import fullgraph_executor
+
+        router, handle, bundle, sampled, run = sweep
+        want, want_stats, _ = run()
+        with ShardWorkerPool(
+            router.segments, n_workers=4, model_payload=bundle
+        ) as pool:
+            for wid in range(4):
+                assert pool.materialize_attach(wid, handle.segment) == sampled.version
+            got, got_stats, mstats = run(
+                executor=fullgraph_executor(pool), slices=8
+            )
+            assert mstats.slices == 8
+            assert got_stats == want_stats
+            got_arrays, want_arrays = got.to_arrays(), want.to_arrays()
+            assert got_arrays.keys() == want_arrays.keys()
+            for name in want_arrays:
+                assert got_arrays[name].tobytes() == want_arrays[name].tobytes()
+
+            # Worker loss degrades to in-process recompute, still bit-exact.
+            pool.crash(0)
+            pool.crash(2)
+            degraded, degraded_stats, _ = run(
+                executor=fullgraph_executor(pool), slices=8
+            )
+            assert degraded_stats == want_stats
+            for name, arr in degraded.to_arrays().items():
+                assert arr.tobytes() == want_arrays[name].tobytes()
+
+    def test_materialize_without_attach_errors(self, sweep):
+        router, _handle, bundle, _sampled, _run = sweep
+        with ShardWorkerPool(
+            router.segments, n_workers=1, model_payload=bundle
+        ) as pool:
+            with pytest.raises(RuntimeError):
+                pool.materialize_slice(0, 0, 4)
+
+    def test_slice_round_trip(self, sweep):
+        router, handle, bundle, sampled, run = sweep
+        want, _, _ = run()
+        with ShardWorkerPool(
+            router.segments, n_workers=1, model_payload=bundle
+        ) as pool:
+            assert pool.materialize_attach(0, handle.segment) == sampled.version
+            result = pool.materialize_slice(0, 0, 6)
+            assert result is not None
+            assert result.scores.tobytes() == want.scores[:6].tobytes()
