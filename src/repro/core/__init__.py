@@ -16,6 +16,14 @@ from .minibatch import (
     train_with_neighbor_sampling,
 )
 from .sao import SAOLayer, neighbor_mean_matrix
+from .train_engine import (
+    Minibatch,
+    ParallelTrainConfig,
+    PresampledGraph,
+    assemble_minibatch,
+    fold_gradients,
+    train_parallel,
+)
 from .trainer import TrainConfig, TrainResult, train_node_classifier
 
 __all__ = [
@@ -37,4 +45,10 @@ __all__ = [
     "induced_adjacencies",
     "induced_adjacencies_reference",
     "train_with_neighbor_sampling",
+    "PresampledGraph",
+    "Minibatch",
+    "ParallelTrainConfig",
+    "assemble_minibatch",
+    "fold_gradients",
+    "train_parallel",
 ]

@@ -75,7 +75,21 @@ class SAOLayer(nn.Module):
     def forward(
         self, h: Tensor, aggregator: sp.spmatrix | nn.PreparedAggregator
     ) -> Tensor:
-        """Apply SAO given node features ``h`` and the Eq. 6 aggregator."""
+        """Apply SAO given node features ``h`` and the Eq. 6 aggregator.
+
+        Without attention the aggregate and the neighbour affine fuse into
+        one :func:`~repro.nn.spmm_affine` node (bit-exact with the unfused
+        chain).  The attention path keeps the explicit ``spmm``: Eq. 8
+        needs the raw ``h_N(v)`` for the ``W_n`` projection, so the
+        intermediate cannot be eliminated there.
+        """
+        if not self.use_attention:
+            z_self = self.w_self(h)
+            z_neigh = nn.spmm_affine(
+                aggregator, h, self.w_neigh.weight, self.w_neigh.bias
+            )
+            out = z_self + z_neigh
+            return out.relu() if self.activation else out
         return self.combine(h, nn.spmm(aggregator, h))
 
     def combine(self, h: Tensor, h_neigh: Tensor) -> Tensor:

@@ -21,10 +21,12 @@ from .sparse import (
     csr_gather_rows,
     reset_transpose_conversion_count,
     spmm,
+    spmm_affine,
     transpose_conversion_count,
 )
 from .tensor import (
     Tensor,
+    addmm,
     as_tensor,
     concat,
     is_grad_enabled,
@@ -37,6 +39,7 @@ from .tensor import (
 
 __all__ = [
     "Tensor",
+    "addmm",
     "as_tensor",
     "concat",
     "stack",
@@ -58,6 +61,7 @@ __all__ = [
     "hinge_loss",
     "mse_loss",
     "spmm",
+    "spmm_affine",
     "PreparedAggregator",
     "as_csr",
     "csr_gather_rows",

@@ -7,7 +7,7 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 from . import init
-from .tensor import Tensor, is_grad_enabled
+from .tensor import Tensor, addmm, is_grad_enabled
 
 __all__ = ["Module", "Linear", "MLP", "Dropout", "Sequential", "ModuleList"]
 
@@ -151,7 +151,14 @@ class Linear(Module):
         self.bias = init.zeros((out_features,)) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        """Affine map of the input rows."""
+        """Affine map of the input rows.
+
+        Batched inputs take the fused :func:`~repro.nn.tensor.addmm` path
+        (one graph node, no intermediate activation); it is bit-exact with
+        the matmul-then-add pair, which remains as the 1-D fallback.
+        """
+        if self.bias is not None and x.ndim >= 2:
+            return addmm(x, self.weight, self.bias)
         out = x @ self.weight
         if self.bias is not None:
             out = out + self.bias

@@ -17,7 +17,14 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled", "row_blocks"]
+__all__ = [
+    "Tensor",
+    "addmm",
+    "as_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "row_blocks",
+]
 
 _GRAD_ENABLED = True
 _ROW_BLOCKS: np.ndarray | None = None
@@ -611,6 +618,37 @@ def segment_sum(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> T
         return [(values, g[segment_ids])]
 
     return Tensor._make(out_data, (values,), backward)
+
+
+def addmm(x: Tensor, weight: Tensor, bias: Tensor) -> Tensor:
+    """Fused ``x @ weight + bias`` as a single autograd node.
+
+    One graph node instead of two kills the intermediate activation tensor
+    and one ``_accumulate`` pass per training step.  Bit-exact with the
+    unfused pair: the forward is the same ``_blocked_matmul`` followed by
+    the same broadcast add, and the unfused add's backward passes the
+    incoming gradient through unchanged (``_unbroadcast`` to an identical
+    shape is the identity), so the three gradients below are precisely the
+    arrays the two-node graph would produce.
+
+    Restricted to ``x.ndim >= 2`` with a 2-D ``weight`` — the shapes where
+    the fused backward formulas match ``__matmul__``'s general-case branch.
+    """
+    x, weight, bias = as_tensor(x), as_tensor(weight), as_tensor(bias)
+    if x.ndim < 2 or weight.ndim != 2:
+        raise ValueError("addmm requires x.ndim >= 2 and a 2-D weight")
+    out_data = _blocked_matmul(x.data, weight.data) + bias.data
+
+    def backward(g: np.ndarray) -> list[tuple[Tensor, np.ndarray]]:
+        ga = g @ np.swapaxes(weight.data, -1, -2)
+        gw = np.swapaxes(x.data, -1, -2) @ g
+        return [
+            (x, _unbroadcast(ga, x.shape)),
+            (weight, _unbroadcast(gw, weight.shape)),
+            (bias, _unbroadcast(g, bias.shape)),
+        ]
+
+    return Tensor._make(out_data, (x, weight, bias), backward)
 
 
 def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:

@@ -2,8 +2,9 @@
 
 Unlike the online system — whose latency is *charged* against the
 simulated :class:`~repro.system.latency.LatencyModel` — offline training
-(``repro.core.trainer`` / ``repro.core.minibatch``) runs real numpy work,
-so the profiler measures real wall time via ``time.perf_counter``.
+(``repro.core.trainer`` / ``repro.core.minibatch`` /
+``repro.core.train_engine``) runs real numpy work, so the profiler
+measures real wall time via ``time.perf_counter``.
 
 Usage::
 
@@ -13,10 +14,29 @@ Usage::
 
 Each epoch produces an :class:`EpochProfile` with total seconds, the loss,
 per-stage timings (``forward``, ``backward``, ``step``, ``validation``;
-neighbor-sampled training adds ``sampling`` and ``induction``), the batch
-count, and the number of sampled subgraph nodes.  Totals are mirrored
-into an optional :class:`~repro.obs.metrics.MetricsRegistry` under the
-``train.*`` metric names documented in ``docs/OBSERVABILITY.md``.
+neighbor-sampled training adds ``sampling`` and ``induction``; the
+parallel engine adds ``presample``, ``gather``, ``prefetch``, ``reduce``,
+``dispatch``, ``workers_busy`` and ``workers_critical``), the batch count,
+and the number of sampled subgraph nodes.  Totals are mirrored into an
+optional :class:`~repro.obs.metrics.MetricsRegistry` under the ``train.*``
+metric names documented in ``docs/OBSERVABILITY.md`` — per-epoch counters
+plus one ``train.stage_seconds.<stage>`` histogram per stage — and
+:meth:`TrainProfiler.mirror_into` replays them post-hoc into a registry
+created *after* training (``deploy_turbo`` publishes them under
+``turbo.train.*`` this way).
+
+When a :class:`~repro.obs.tracing.Tracer` is attached, every epoch also
+emits a ``train_epoch`` span whose children are the epoch's stages, so
+training shows up in ``repro trace`` next to the serving spans.  The
+children are laid end-to-end from per-stage *totals*: with the prefetch
+pipeline, assembly stages tick on a background thread concurrently with
+compute, so the span tree is a cost breakdown, not a timeline (children
+may sum past the epoch's own span — that overhang *is* the overlap).
+
+Thread-safety: the prefetch thread records assembly stages while the main
+thread records compute stages.  Stage names on the two threads are
+disjoint, so the per-name read-modify-write on the stages dict never
+races under the GIL.
 
 :class:`NullProfiler` is the no-op stand-in the training loops fall back
 to when no profiler is passed; its hooks cost one attribute lookup and a
@@ -30,6 +50,7 @@ from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 
 from .metrics import MetricsRegistry
+from .tracing import Tracer
 
 __all__ = ["EpochProfile", "TrainProfiler", "NullProfiler"]
 
@@ -59,6 +80,9 @@ class NullProfiler:
         """No-op stage scope."""
         return self._CTX
 
+    def add_stage_seconds(self, name: str, seconds: float) -> None:
+        """No-op externally-timed stage accumulator."""
+
     def count_batch(self, sampled_nodes: int = 0) -> None:
         """No-op batch counter."""
 
@@ -69,9 +93,17 @@ class NullProfiler:
 class TrainProfiler:
     """Collects per-epoch / per-stage wall-clock timings and sample counts."""
 
-    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
         self.registry = registry
+        self.tracer = tracer
         self.epochs: list[EpochProfile] = []
+        #: stage seconds recorded outside any epoch scope (one-time run
+        #: setup such as the engine's ``presample`` pass).
+        self.run_stages: dict[str, float] = {}
         self._current: EpochProfile | None = None
 
     @contextmanager
@@ -87,10 +119,9 @@ class TrainProfiler:
             self.epochs.append(profile)
             self._current = None
             if self.registry is not None:
-                self.registry.counter("train.epochs").inc()
-                self.registry.histogram("train.epoch_seconds").observe(profile.seconds)
-                self.registry.counter("train.batches").inc(profile.batches)
-                self.registry.counter("train.sampled_nodes").inc(profile.sampled_nodes)
+                self._mirror_epoch(self.registry, profile, "")
+            if self.tracer is not None:
+                self._emit_epoch_trace(profile, started)
 
     @contextmanager
     def stage(self, name: str):
@@ -99,10 +130,23 @@ class TrainProfiler:
         try:
             yield
         finally:
-            elapsed = time.perf_counter() - started
-            if self._current is not None:
-                stages = self._current.stages
-                stages[name] = stages.get(name, 0.0) + elapsed
+            self.add_stage_seconds(name, time.perf_counter() - started)
+
+    def add_stage_seconds(self, name: str, seconds: float) -> None:
+        """Accumulate externally-timed seconds onto the current epoch's stage.
+
+        The pooled training path times worker busy spans *in the child
+        process* and books them here (``workers_busy``/``workers_critical``)
+        — a context manager around the parent's dispatch could not see them.
+
+        Outside an epoch scope the seconds land in :attr:`run_stages`
+        (one-time setup work like the presample pass), still visible in
+        :meth:`stage_totals` and :meth:`mirror_into`.
+        """
+        stages = (
+            self._current.stages if self._current is not None else self.run_stages
+        )
+        stages[name] = stages.get(name, 0.0) + seconds
 
     def count_batch(self, sampled_nodes: int = 0) -> None:
         """Count one mini-batch (and the nodes its sampled subgraph holds)."""
@@ -116,11 +160,59 @@ class TrainProfiler:
             self._current.loss = float(loss)
 
     # ------------------------------------------------------------------
+    # Metrics / tracing export
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _mirror_epoch(
+        registry: MetricsRegistry, profile: EpochProfile, prefix: str
+    ) -> None:
+        registry.counter(f"{prefix}train.epochs").inc()
+        registry.histogram(f"{prefix}train.epoch_seconds").observe(profile.seconds)
+        registry.counter(f"{prefix}train.batches").inc(profile.batches)
+        registry.counter(f"{prefix}train.sampled_nodes").inc(profile.sampled_nodes)
+        for name, seconds in profile.stages.items():
+            registry.histogram(f"{prefix}train.stage_seconds.{name}").observe(
+                seconds
+            )
+
+    def mirror_into(self, registry: MetricsRegistry, prefix: str = "") -> None:
+        """Replay every recorded epoch's totals into ``registry``.
+
+        For registries that do not exist yet while training runs:
+        ``deploy_turbo`` trains first and constructs the ``Turbo`` system
+        (and its monitor) afterwards, then replays the profile under the
+        system's ``turbo.`` prefix so ``repro trace``/``repro metrics``
+        show the training cost next to the serving counters.
+        """
+        for profile in self.epochs:
+            self._mirror_epoch(registry, profile, prefix)
+        for name, seconds in self.run_stages.items():
+            registry.histogram(f"{prefix}train.stage_seconds.{name}").observe(
+                seconds
+            )
+
+    def _emit_epoch_trace(self, profile: EpochProfile, started: float) -> None:
+        """One ``train_epoch`` span per epoch with per-stage child spans."""
+        root = self.tracer.start_trace(
+            "train_epoch",
+            at=started,
+            epoch=profile.epoch,
+            batches=profile.batches,
+            sampled_nodes=profile.sampled_nodes,
+        )
+        at = started
+        for name, seconds in profile.stages.items():
+            child = root.child(name, at)
+            child.finish(seconds)
+            at += seconds
+        self.tracer.finish_trace(root, profile.seconds)
+
+    # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
     def stage_totals(self) -> dict[str, float]:
-        """Total seconds per stage across all profiled epochs."""
-        totals: dict[str, float] = {}
+        """Total seconds per stage: run-level setup plus all epochs."""
+        totals: dict[str, float] = dict(self.run_stages)
         for profile in self.epochs:
             for name, seconds in profile.stages.items():
                 totals[name] = totals.get(name, 0.0) + seconds

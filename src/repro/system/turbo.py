@@ -48,6 +48,7 @@ from ..datagen.entities import Dataset, Transaction
 from ..eval.runner import ExperimentData, prepare_experiment
 from ..features.pipeline import StandardScaler
 from ..obs.metrics import MetricsRegistry
+from ..obs.profiling import TrainProfiler
 from ..obs.tracing import Span, Tracer, use_span
 from .bn_server import BNServer
 from .clock import SimulatedClock
@@ -927,6 +928,12 @@ def deploy_turbo(
         mlp_hidden=(16,),
     )
     aggregators = prepare_aggregators([data.adjacencies[t] for t in data.edge_types])
+    # The tracer is created before training so the profiler can emit
+    # ``train_epoch`` spans into the same trace buffer the serving spans
+    # use; metric totals are replayed into the registry (created with the
+    # Turbo system below) via mirror_into under the ``turbo.`` prefix.
+    tracer = Tracer(max_traces=config.trace_max)
+    train_profiler = TrainProfiler(tracer=tracer)
     train_node_classifier(
         model,
         lambda x: model.forward(x, aggregators),
@@ -942,6 +949,7 @@ def deploy_turbo(
             seed=config.seed,
             pos_weight=data.pos_weight(),
         ),
+        profiler=train_profiler,
     )
 
     latency = config.latency or LatencyModel(seed=config.seed)
@@ -1013,7 +1021,6 @@ def deploy_turbo(
             blocklist=blocklist,
             logs=dataset.logs,
         )
-    tracer = Tracer(max_traces=config.trace_max)
     lambda_layer = None
     if config.lambda_tier:
         # Two-tier serving: the batch layer's state is checkpointed to the
@@ -1063,6 +1070,7 @@ def deploy_turbo(
         tracer=tracer,
         lambda_layer=lambda_layer,
     )
+    train_profiler.mirror_into(turbo.metrics, prefix="turbo.")
     if lambda_layer is not None:
         lambda_layer.run_batch_pass(clock.now())
     return turbo, data

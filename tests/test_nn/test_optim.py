@@ -73,3 +73,70 @@ class TestAdam:
         quadratic_loss(w).backward()
         optimizer.zero_grad()
         assert w.grad is None
+
+
+class TestAdamInPlace:
+    """The fused in-place step must be bit-exact vs the reference update."""
+
+    @staticmethod
+    def _paired(weight_decay: float) -> tuple[Adam, Adam]:
+        rng = np.random.default_rng(3)
+        shapes = [(5, 4), (4,), (3, 2), (1,)]
+        data = [rng.standard_normal(shape) for shape in shapes]
+        fused = Adam(
+            [Tensor(d.copy(), requires_grad=True) for d in data],
+            lr=0.07,
+            weight_decay=weight_decay,
+        )
+        reference = Adam(
+            [Tensor(d.copy(), requires_grad=True) for d in data],
+            lr=0.07,
+            weight_decay=weight_decay,
+        )
+        return fused, reference
+
+    @pytest.mark.parametrize("weight_decay", [0.0, 0.13])
+    def test_bit_exact_vs_reference(self, weight_decay):
+        fused, reference = self._paired(weight_decay)
+        rng = np.random.default_rng(11)
+        for step in range(25):
+            grads = [rng.standard_normal(p.data.shape) for p in fused.params]
+            for p, q, g in zip(fused.params, reference.params, grads):
+                p.grad = g.copy()
+                q.grad = g.copy()
+            fused.step()
+            reference._step_reference()
+            for p, q in zip(fused.params, reference.params):
+                assert np.array_equal(p.data, q.data), step
+            for m1, m2 in zip(fused._m, reference._m):
+                assert np.array_equal(m1, m2), step
+            for v1, v2 in zip(fused._v, reference._v):
+                assert np.array_equal(v1, v2), step
+
+    def test_bit_exact_with_missing_grads(self):
+        fused, reference = self._paired(0.05)
+        rng = np.random.default_rng(7)
+        for step in range(10):
+            for i, (p, q) in enumerate(zip(fused.params, reference.params)):
+                if (step + i) % 3 == 0:
+                    p.grad = None
+                    q.grad = None
+                else:
+                    g = rng.standard_normal(p.data.shape)
+                    p.grad = g.copy()
+                    q.grad = g.copy()
+            fused.step()
+            reference._step_reference()
+            for p, q in zip(fused.params, reference.params):
+                assert np.array_equal(p.data, q.data), step
+
+    def test_step_does_not_allocate_new_param_array(self):
+        # The in-place update must mutate the existing buffer — that is the
+        # whole point of the fusion (and what callers holding `p.data`
+        # references across a step observe).
+        w = Tensor(np.ones(4), requires_grad=True)
+        optimizer = Adam([w], lr=0.1)
+        buffer = w.data
+        w.grad = np.full(4, 0.5)
+        optimizer.step()
+        assert w.data is buffer
